@@ -1,0 +1,675 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, runs the design-choice ablations from DESIGN.md, then
+   times the core algorithms with Bechamel (one Test.make per table /
+   figure driver).
+
+   Environment knobs:
+     CLUSTEER_BENCH_UOPS   micro-ops per simulation point (default 20000)
+     CLUSTEER_BENCH_FAST   set to 1 to sweep a 10-benchmark subset *)
+
+open Bechamel
+module Config = Clusteer_uarch.Config
+module Stats = Clusteer_uarch.Stats
+module Experiments = Clusteer_harness.Experiments
+module Runner = Clusteer_harness.Runner
+module Metrics = Clusteer_harness.Metrics
+module Spec2000 = Clusteer_workloads.Spec2000
+module Profile = Clusteer_workloads.Profile
+module Pinpoints = Clusteer_workloads.Pinpoints
+module Synth = Clusteer_workloads.Synth
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let uops = env_int "CLUSTEER_BENCH_UOPS" 20_000
+
+let profiles =
+  if Sys.getenv_opt "CLUSTEER_BENCH_FAST" = Some "1" then
+    List.map Spec2000.find
+      [
+        "gzip-1"; "gcc-1"; "crafty"; "mcf"; "twolf"; "galgel"; "swim";
+        "equake"; "art-1"; "sixtrack";
+      ]
+  else Spec2000.all
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let progress name = Printf.eprintf "  running %s...\r%!" name
+
+(* ---- paper tables ---------------------------------------------------- *)
+
+let run_tables () =
+  heading "Table 1: steering-logic complexity";
+  Experiments.print_table1 ();
+  heading "Table 2: architectural parameters";
+  Experiments.print_table2 ~clusters:2;
+  heading "Table 3: evaluated configurations";
+  Experiments.print_table3 ();
+  heading "Section 2.1 worked example";
+  Experiments.print_section21 (Experiments.section21_example ())
+
+(* ---- figures ---------------------------------------------------------- *)
+
+let run_figures () =
+  heading
+    (Printf.sprintf
+       "Figure 5: 2-cluster slowdown vs OP (%d points x %d uops)"
+       (List.length profiles) uops);
+  let run2 = Experiments.run_2cluster ~uops ~profiles ~progress () in
+  Printf.eprintf "%40s\r%!" "";
+  let fig5 = Experiments.figure5_of run2 in
+  Experiments.print_slowdown_figure
+    ~title:"(paper averages: one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62)"
+    fig5;
+  heading "Figure 6: copy / balance trade-off (VC vs OB, RHOP, OP)";
+  print_endline
+    "(paper: a.1/b.1 VC reduces copies and stalls vs OB; a.2/b.2 VC vs RHOP\n\
+    \ wins overall; a.3/b.3 OP generates fewer copies than VC)";
+  let fig6 = Experiments.figure6_of run2 in
+  Experiments.print_scatter_summary fig6;
+  Experiments.print_scatter_plots fig6;
+  heading
+    (Printf.sprintf "Figure 7: 4-cluster slowdown vs OP (%d points)"
+       (List.length profiles));
+  let run4 = Experiments.run_4cluster ~uops ~profiles ~progress () in
+  Printf.eprintf "%40s\r%!" "";
+  let fig7 = Experiments.figure7_of run4 in
+  Experiments.print_slowdown_figure
+    ~title:
+      "(paper averages: OB 12.45, RHOP 12.69, VC(4->4) 12.96, VC(2->4) 3.64)"
+    fig7;
+  Printf.printf "VC(4->4) copies over VC(2->4): %+.1f%% (paper: +28%%)\n"
+    (Experiments.copy_inflation run4)
+
+(* ---- ablations --------------------------------------------------------- *)
+
+(* Design-choice ablation 1: the remap hysteresis threshold of the
+   hardware mapping table (0 = the paper's always-remap semantics). *)
+let ablation_profiles () =
+  List.map Spec2000.find [ "gzip-1"; "galgel"; "swim"; "gcc-1" ]
+
+let run_vc_threshold_ablation () =
+  heading "Ablation: VC remap hysteresis threshold (extension; 0 = paper)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-10s %12s %14s %16s\n" "threshold" "avg cycles" "avg copies"
+    "avg alloc stalls";
+  List.iter
+    (fun threshold ->
+      let totals = ref (0, 0, 0) in
+      List.iter
+        (fun profile ->
+          let point = List.hd (Pinpoints.points profile) in
+          let workload = Synth.build point.Pinpoints.profile in
+          let annot =
+            Clusteer.Hybrid.compile ~program:workload.Synth.program
+              ~likely:workload.Synth.likely ~virtual_clusters:2 ()
+          in
+          let policy =
+            Clusteer_steer.Vc_map.make ~remap_threshold:threshold ~annot
+              ~clusters:2 ()
+          in
+          let prewarm =
+            Array.to_list
+              (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+          in
+          let engine =
+            Clusteer_uarch.Engine.create ~config:Config.default_2c ~annot
+              ~policy ~prewarm ()
+          in
+          let gen = Synth.trace workload ~seed:1 in
+          let stats =
+            Clusteer_uarch.Engine.run ~warmup:5000 engine
+              ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+              ~uops:bench_uops
+          in
+          let c, k, s = !totals in
+          totals :=
+            ( c + stats.Stats.cycles,
+              k + stats.Stats.copies_generated,
+              s + Stats.allocation_stalls stats ))
+        (ablation_profiles ());
+      let n = List.length (ablation_profiles ()) in
+      let c, k, s = !totals in
+      Printf.printf "%-10d %12d %14d %16d\n" threshold (c / n) (k / n) (s / n))
+    [ 0; 4; 8; 16; 32 ]
+
+(* Design-choice ablation 2: sequential vs parallel (rename-style)
+   steering at full-trace scale (§2.1 beyond the worked example). *)
+let run_seq_par_ablation () =
+  heading "Ablation: sequential vs parallel OP steering (2.1 at trace scale)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %14s %14s %12s\n" "benchmark" "seq copies" "par copies"
+    "par slowdown";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let runs =
+        (Runner.run_point ~machine:Config.default_2c
+           ~configs:
+             [ Clusteer.Configuration.Op; Clusteer.Configuration.Op_parallel ]
+           ~uops:bench_uops point)
+          .Runner.runs
+      in
+      let op = List.assoc "op" runs and par = List.assoc "op-parallel" runs in
+      Printf.printf "%-12s %14d %14d %11.2f%%\n" profile.Profile.name
+        op.Stats.copies_generated par.Stats.copies_generated
+        (Metrics.slowdown_pct ~baseline:op par))
+    (ablation_profiles ())
+
+(* Design-choice ablation 3: number of virtual clusters on the
+   2-cluster machine (the paper fixes 2 "because more does not help"). *)
+let run_vc_count_ablation () =
+  heading "Ablation: virtual-cluster count on the 2-cluster machine";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-6s %12s %14s\n" "VCs" "avg cycles" "avg copies";
+  List.iter
+    (fun nvc ->
+      let totals = ref (0, 0) in
+      List.iter
+        (fun profile ->
+          let point = List.hd (Pinpoints.points profile) in
+          let runs =
+            (Runner.run_point ~machine:Config.default_2c
+               ~configs:[ Clusteer.Configuration.Vc { virtual_clusters = nvc } ]
+               ~uops:bench_uops point)
+              .Runner.runs
+          in
+          let _, stats = List.hd runs in
+          let c, k = !totals in
+          totals := (c + stats.Stats.cycles, k + stats.Stats.copies_generated))
+        (ablation_profiles ());
+      let n = List.length (ablation_profiles ()) in
+      let c, k = !totals in
+      Printf.printf "%-6d %12d %14d\n" nvc (c / n) (k / n))
+    [ 1; 2; 3; 4 ]
+
+(* Design-choice ablation 4: the compiler's region scope — §3.2 claims
+   software steering wins by inspecting "a bigger window of
+   instructions" than the hardware can; shrinking the superblock
+   budget should cost the software schemes performance. *)
+let run_region_scope_ablation () =
+  heading "Ablation: compiler region scope (micro-ops per superblock)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %14s %14s %14s
+" "scheme" "32-uop regions"
+    "128-uop regions" "512-uop regions";
+  let avg_cycles config region_uops =
+    let total = ref 0 in
+    List.iter
+      (fun profile ->
+        let point = List.hd (Pinpoints.points profile) in
+        let workload = Synth.build point.Pinpoints.profile in
+        let annot, policy =
+          Clusteer.Configuration.prepare config ~program:workload.Synth.program
+            ~likely:workload.Synth.likely ~clusters:2 ~region_uops ()
+        in
+        let prewarm =
+          Array.to_list
+            (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+        in
+        let engine =
+          Clusteer_uarch.Engine.create ~config:Config.default_2c ~annot
+            ~policy ~prewarm ()
+        in
+        let gen = Synth.trace workload ~seed:1 in
+        let stats =
+          Clusteer_uarch.Engine.run ~warmup:5000 engine
+            ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+            ~uops:bench_uops
+        in
+        total := !total + stats.Stats.cycles)
+      (ablation_profiles ());
+    !total / List.length (ablation_profiles ())
+  in
+  List.iter
+    (fun config ->
+      Printf.printf "%-12s %14d %14d %14d
+"
+        (Clusteer.Configuration.name config)
+        (avg_cycles config 32) (avg_cycles config 128)
+        (avg_cycles config 512))
+    [
+      Clusteer.Configuration.Ob;
+      Clusteer.Configuration.Rhop;
+      Clusteer.Configuration.Vc { virtual_clusters = 2 };
+    ]
+
+(* Extension study 0: quantify §2.1 — charge the hardware-only schemes
+   the extra decode stages their serialized dependence-check + vote
+   logic would cost, and watch the hybrid overtake OP. *)
+let run_steer_depth_study () =
+  heading "Extension: cost of serialized steering logic (2.1)";
+  print_endline
+    "(VC slowdown vs OP when OP pays extra pipe stages for its serialized\n\
+     dependence-check + vote logic; negative = the hybrid is faster)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-14s %14s %14s %14s\n" "benchmark" "+0 stages" "+1 stage"
+    "+2 stages";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let gap stages =
+        let machine =
+          { Config.default_2c with Config.steer_serial_stages = stages }
+        in
+        let runs =
+          (Runner.run_point ~machine
+             ~configs:
+               [
+                 Clusteer.Configuration.Op;
+                 Clusteer.Configuration.Vc { virtual_clusters = 2 };
+               ]
+             ~uops:bench_uops point)
+            .Runner.runs
+        in
+        Metrics.slowdown_pct
+          ~baseline:(List.assoc "op" runs)
+          (List.assoc "vc2" runs)
+      in
+      Printf.printf "%-14s %13.2f%% %13.2f%% %13.2f%%\n" profile.Profile.name
+        (gap 0) (gap 1) (gap 2))
+    (ablation_profiles ())
+
+(* Extension study 1: baselines beyond Table 3 — MOD_3 (Baniasadi &
+   Moshovos) and plain dependence-based steering (Canal et al.), the
+   ancestors the paper's §3.1 positions OP against. *)
+let run_extended_baselines () =
+  heading "Extension: hardware baselines beyond Table 3 (slowdown vs OP)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %8s %8s %8s %8s %8s\n" "benchmark" "mod3" "dep"
+    "crit" "one-cl" "vc2";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let runs =
+        (Runner.run_point ~machine:Config.default_2c
+           ~configs:
+             [
+               Clusteer.Configuration.Op;
+               Clusteer.Configuration.Mod_n { n = 3 };
+               Clusteer.Configuration.Dep;
+               Clusteer.Configuration.Crit;
+               Clusteer.Configuration.One_cluster;
+               Clusteer.Configuration.Vc { virtual_clusters = 2 };
+             ]
+           ~uops:bench_uops point)
+          .Runner.runs
+      in
+      let op = List.assoc "op" runs in
+      let slow name =
+        Metrics.slowdown_pct ~baseline:op (List.assoc name runs)
+      in
+      Printf.printf "%-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n"
+        profile.Profile.name (slow "mod3") (slow "dep") (slow "crit")
+        (slow "one-cluster") (slow "vc2"))
+    (ablation_profiles ())
+
+(* Extension study 2: interconnect topology at 4 clusters — the paper
+   assumes dedicated point-to-point links; this quantifies that choice
+   against a shared bus and a ring. *)
+let run_topology_study () =
+  heading "Extension: interconnect topology, 4-cluster machine (cycles)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %16s %12s %12s\n" "benchmark" "point-to-point" "bus"
+    "ring";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let cycles topology =
+        let machine = { Config.default_4c with Config.topology } in
+        let runs =
+          (Runner.run_point ~machine
+             ~configs:[ Clusteer.Configuration.Vc { virtual_clusters = 2 } ]
+             ~uops:bench_uops point)
+            .Runner.runs
+        in
+        (snd (List.hd runs)).Stats.cycles
+      in
+      Printf.printf "%-12s %16d %12d %12d\n" profile.Profile.name
+        (cycles Config.Point_to_point) (cycles Config.Bus)
+        (cycles Config.Ring))
+    (ablation_profiles ())
+
+(* Extension study 3: the VLIW substrate (§3.3) — software-only
+   steering on its home ground. On the statically-scheduled machine,
+   RHOP and the VC partition are competitive with unified
+   assign-and-schedule; the big gaps of Figure 5 only exist on the
+   out-of-order machine, which is the paper's §3.3 argument. *)
+let run_vliw_study () =
+  heading "Extension: VLIW substrate (3.3) — static-schedule gap vs UAS";
+  let machine = Clusteer_vliw.Machine.default ~clusters:2 in
+  Printf.printf "%-12s %10s %18s %18s\n" "benchmark" "UAS IPC" "RHOP gap"
+    "VC-partition gap";
+  List.iter
+    (fun profile ->
+      let w = Synth.build profile in
+      let program = w.Synth.program and likely = w.Synth.likely in
+      let run mode = Clusteer_vliw.Eval.run machine ~program ~likely mode in
+      let uas = run Clusteer_vliw.Eval.Unified in
+      let rhop =
+        run
+          (Clusteer_vliw.Eval.Fixed
+             (fun g -> Clusteer_compiler.Rhop.assign_region g ~clusters:2))
+      in
+      let vc =
+        run
+          (Clusteer_vliw.Eval.Fixed
+             (fun g ->
+               Clusteer_compiler.Vc_partition.assign_region g
+                 ~virtual_clusters:2 ()))
+      in
+      let gap (s : Clusteer_vliw.Eval.summary) =
+        (float_of_int s.Clusteer_vliw.Eval.cycles
+         /. float_of_int uas.Clusteer_vliw.Eval.cycles
+        -. 1.0)
+        *. 100.0
+      in
+      Printf.printf "%-12s %10.2f %17.2f%% %17.2f%%\n" profile.Profile.name
+        uas.Clusteer_vliw.Eval.static_ipc (gap rhop) (gap vc))
+    (ablation_profiles ())
+
+(* Extension study 4: the energy argument of §1 — a clustered backend
+   with the hybrid steering vs an equally wide monolithic backend.
+   Smaller per-cluster structures cost less per access; copies add
+   events. *)
+let run_energy_study () =
+  heading "Extension: energy per committed micro-op (arbitrary units)";
+  let bench_uops = min uops 10_000 in
+  let monolithic =
+    {
+      Config.default_2c with
+      Config.clusters = 1;
+      int_issue_width = 4;
+      fp_issue_width = 4;
+      int_iq_size = 96;
+      fp_iq_size = 96;
+    }
+  in
+  Printf.printf "%-12s %12s %12s %14s %16s %12s\n" "benchmark" "mono e/uop"
+    "vc2 e/uop" "vc2 copy e%" "vc2 cycle delta" "vc2 dT";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let run machine config =
+        let runs =
+          (Runner.run_point ~machine ~configs:[ config ] ~uops:bench_uops
+             point)
+            .Runner.runs
+        in
+        snd (List.hd runs)
+      in
+      let mono = run monolithic Clusteer.Configuration.One_cluster in
+      let vc =
+        run Config.default_2c
+          (Clusteer.Configuration.Vc { virtual_clusters = 2 })
+      in
+      let e_mono = Clusteer_uarch.Energy.estimate ~clusters:1 mono in
+      let e_vc = Clusteer_uarch.Energy.estimate ~clusters:2 vc in
+      let t_vc = Clusteer_uarch.Thermal.estimate ~clusters:2 vc in
+      Printf.printf "%-12s %12.2f %12.2f %13.1f%% %15.1f%% %11.2f\n"
+        profile.Profile.name e_mono.Clusteer_uarch.Energy.per_uop
+        e_vc.Clusteer_uarch.Energy.per_uop
+        (100.
+        *. e_vc.Clusteer_uarch.Energy.copies
+        /. Float.max 1e-9 e_vc.Clusteer_uarch.Energy.dynamic)
+        ((float_of_int vc.Stats.cycles /. float_of_int mono.Stats.cycles -. 1.0)
+        *. 100.)
+        t_vc.Clusteer_uarch.Thermal.spread)
+    (ablation_profiles ())
+
+(* Extension study 5: link latency sensitivity — Table 2's 1-cycle
+   point-to-point links are optimistic for deeper technologies; the
+   hybrid's advantage should be robust as copies get slower. *)
+let run_link_latency_study () =
+  heading "Extension: inter-cluster link latency sensitivity (VC vs OP)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %12s %12s %12s
+" "benchmark" "1 cycle" "2 cycles"
+    "4 cycles";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let gap latency =
+        let machine = { Config.default_2c with Config.link_latency = latency } in
+        let runs =
+          (Runner.run_point ~machine
+             ~configs:
+               [
+                 Clusteer.Configuration.Op;
+                 Clusteer.Configuration.Vc { virtual_clusters = 2 };
+               ]
+             ~uops:bench_uops point)
+            .Runner.runs
+        in
+        Metrics.slowdown_pct
+          ~baseline:(List.assoc "op" runs)
+          (List.assoc "vc2" runs)
+      in
+      Printf.printf "%-12s %11.2f%% %11.2f%% %11.2f%%
+" profile.Profile.name
+        (gap 1) (gap 2) (gap 4))
+    (ablation_profiles ())
+
+(* Extension study 6: cluster-count scaling beyond the paper (2 and 4
+   evaluated there; 8 extrapolated) — does VC(2->N) keep tracking OP? *)
+let run_scaling_study () =
+  heading "Extension: cluster-count scaling, VC(2->N) slowdown vs OP";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %12s %12s %12s
+" "benchmark" "2 clusters"
+    "4 clusters" "8 clusters";
+  List.iter
+    (fun profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let gap clusters =
+        let machine = Config.default ~clusters in
+        let runs =
+          (Runner.run_point ~machine
+             ~configs:
+               [
+                 Clusteer.Configuration.Op;
+                 Clusteer.Configuration.Vc { virtual_clusters = 2 };
+               ]
+             ~uops:bench_uops point)
+            .Runner.runs
+        in
+        Metrics.slowdown_pct
+          ~baseline:(List.assoc "op" runs)
+          (List.assoc "vc2" runs)
+      in
+      Printf.printf "%-12s %11.2f%% %11.2f%% %11.2f%%
+" profile.Profile.name
+        (gap 2) (gap 4) (gap 8))
+    (ablation_profiles ())
+
+(* Extension study 7: an idealised next-line prefetcher — how much of
+   the memory-bound benchmarks' stall time is prefetchable, and does
+   the steering ranking survive a better memory system? *)
+let run_prefetch_study () =
+  heading "Extension: idealised next-line prefetch (cycles, VC on 2 clusters)";
+  let bench_uops = min uops 10_000 in
+  Printf.printf "%-12s %14s %14s %10s
+" "benchmark" "no prefetch"
+    "prefetch" "saved";
+  List.iter
+    (fun name ->
+      let profile = Spec2000.find name in
+      let point = List.hd (Pinpoints.points profile) in
+      let cycles prefetch_next_line =
+        let machine = { Config.default_2c with Config.prefetch_next_line } in
+        let runs =
+          (Runner.run_point ~machine
+             ~configs:[ Clusteer.Configuration.Vc { virtual_clusters = 2 } ]
+             ~uops:bench_uops point)
+            .Runner.runs
+        in
+        (snd (List.hd runs)).Stats.cycles
+      in
+      let off = cycles false and on = cycles true in
+      Printf.printf "%-12s %14d %14d %9.1f%%
+" profile.Profile.name off on
+        (100. *. float_of_int (off - on) /. float_of_int off))
+    [ "mcf"; "swim"; "equake"; "art-1" ]
+
+(* Ground truth: the hand-written kernels under the main schemes. *)
+let run_kernel_table () =
+  heading "Micro-kernels: analytically understood steering ground truth";
+  let bench_uops = min uops 8_000 in
+  Printf.printf "%-12s %9s %10s %10s %12s
+" "kernel" "op IPC" "one-cl"
+    "vc2" "vc2 copies";
+  List.iter
+    (fun (name, kernel) ->
+      let runs =
+        Runner.run_workload ~machine:Config.default_2c
+          ~configs:
+            [
+              Clusteer.Configuration.Op;
+              Clusteer.Configuration.One_cluster;
+              Clusteer.Configuration.Vc { virtual_clusters = 2 };
+            ]
+          ~uops:bench_uops kernel
+      in
+      let stats n = List.assoc n runs in
+      let op = stats "op" in
+      let slow n =
+        (float_of_int (stats n).Stats.cycles /. float_of_int op.Stats.cycles
+        -. 1.0)
+        *. 100.0
+      in
+      Printf.printf "%-12s %9.2f %9.1f%% %9.1f%% %12d
+" name (Stats.ipc op)
+        (slow "one-cluster") (slow "vc2")
+        (stats "vc2").Stats.copies_generated)
+    Clusteer_workloads.Kernels.all
+
+(* ---- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro_point profile =
+  let point = List.hd (Pinpoints.points profile) in
+  point
+
+let time_tables =
+  Test.make ~name:"table1-3/complexity+config"
+    (Staged.stage (fun () ->
+         ignore (Clusteer_steer.Complexity.table_rows ());
+         ignore (Config.describe Config.default_2c);
+         ignore (Clusteer.Configuration.table3 ~clusters:2)))
+
+let time_sec21 =
+  Test.make ~name:"sec2.1/worked-example"
+    (Staged.stage (fun () -> ignore (Experiments.section21_example ())))
+
+let time_fig5_point =
+  let point = micro_point (Spec2000.find "gzip-1") in
+  Test.make ~name:"fig5/one-point-op-2c"
+    (Staged.stage (fun () ->
+         ignore
+           (Runner.run_point ~warmup:200 ~machine:Config.default_2c
+              ~configs:[ Clusteer.Configuration.Op ] ~uops:500 point)))
+
+let time_fig6_metrics =
+  let a = Stats.create ~clusters:2 and b = Stats.create ~clusters:2 in
+  a.Stats.cycles <- 1000;
+  a.Stats.copies_generated <- 10;
+  b.Stats.cycles <- 1100;
+  b.Stats.copies_generated <- 20;
+  Test.make ~name:"fig6/scatter-metrics"
+    (Staged.stage (fun () ->
+         ignore (Metrics.speedup_pct ~of_:a ~over:b);
+         ignore (Metrics.copy_reduction_pct ~of_:a ~over:b);
+         ignore (Metrics.balance_improvement_pct ~of_:a ~over:b)))
+
+let time_fig7_point =
+  let point = micro_point (Spec2000.find "gzip-1") in
+  Test.make ~name:"fig7/one-point-vc2-4c"
+    (Staged.stage (fun () ->
+         ignore
+           (Runner.run_point ~warmup:200 ~machine:Config.default_4c
+              ~configs:[ Clusteer.Configuration.Vc { virtual_clusters = 2 } ]
+              ~uops:500 point)))
+
+let time_vc_compile =
+  let w = Synth.build (Spec2000.find "galgel") in
+  Test.make ~name:"core/vc-partition-compile"
+    (Staged.stage (fun () ->
+         ignore
+           (Clusteer.Hybrid.compile ~program:w.Synth.program
+              ~likely:w.Synth.likely ~virtual_clusters:2 ())))
+
+let time_rhop_compile =
+  let w = Synth.build (Spec2000.find "galgel") in
+  Test.make ~name:"core/rhop-compile"
+    (Staged.stage (fun () ->
+         ignore
+           (Clusteer_compiler.Rhop.compile ~program:w.Synth.program
+              ~likely:w.Synth.likely ~clusters:2 ())))
+
+let time_tracegen =
+  let w = Synth.build (Spec2000.find "gzip-1") in
+  Test.make ~name:"substrate/tracegen-1k-uops"
+    (Staged.stage (fun () ->
+         let gen = Synth.trace w ~seed:1 in
+         ignore (Clusteer_trace.Tracegen.take gen 1000)))
+
+let run_microbenchmarks () =
+  heading "Bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
+  let tests =
+    Test.make_grouped ~name:"clusteer"
+      [
+        time_tables;
+        time_sec21;
+        time_fig5_point;
+        time_fig6_metrics;
+        time_fig7_point;
+        time_vc_compile;
+        time_rhop_compile;
+        time_tracegen;
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some (est :: _) ->
+          if est > 1_000_000.0 then
+            Printf.printf "%-40s %12.2f ms/run\n" name (est /. 1e6)
+          else if est > 1_000.0 then
+            Printf.printf "%-40s %12.2f us/run\n" name (est /. 1e3)
+          else Printf.printf "%-40s %12.1f ns/run\n" name est
+      | Some [] | None -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf
+    "clusteer bench harness: reproduction of Cai et al., IPPS 2008\n";
+  run_tables ();
+  run_figures ();
+  run_vc_threshold_ablation ();
+  run_seq_par_ablation ();
+  run_vc_count_ablation ();
+  run_region_scope_ablation ();
+  run_steer_depth_study ();
+  run_extended_baselines ();
+  run_topology_study ();
+  run_vliw_study ();
+  run_energy_study ();
+  run_link_latency_study ();
+  run_scaling_study ();
+  run_prefetch_study ();
+  run_kernel_table ();
+  run_microbenchmarks ();
+  print_newline ()

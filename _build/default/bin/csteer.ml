@@ -1,0 +1,431 @@
+(* csteer: command-line driver for the clusteer reproduction.
+
+   Subcommands:
+     list        enumerate the SPEC CPU2000 workload profiles
+     simulate    run one simulation point under one configuration
+     compile     run a software pass and print the partition summary
+     experiment  regenerate a paper table or figure *)
+
+open Cmdliner
+module Config = Clusteer_uarch.Config
+module Stats = Clusteer_uarch.Stats
+module Profile = Clusteer_workloads.Profile
+module Spec2000 = Clusteer_workloads.Spec2000
+module Pinpoints = Clusteer_workloads.Pinpoints
+module Synth = Clusteer_workloads.Synth
+module Runner = Clusteer_harness.Runner
+module Experiments = Clusteer_harness.Experiments
+
+(* ---- shared arguments -------------------------------------------- *)
+
+let workload_arg =
+  let doc = "Workload name (e.g. 181.mcf or just mcf)." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let clusters_arg =
+  let doc = "Number of physical clusters." in
+  Arg.(value & opt int 2 & info [ "c"; "clusters" ] ~doc)
+
+let uops_arg default =
+  let doc = "Committed micro-ops to simulate per point." in
+  Arg.(value & opt int default & info [ "n"; "uops" ] ~doc)
+
+let config_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "op" -> Ok Clusteer.Configuration.Op
+    | "one-cluster" | "one" -> Ok Clusteer.Configuration.One_cluster
+    | "ob" -> Ok Clusteer.Configuration.Ob
+    | "rhop" -> Ok Clusteer.Configuration.Rhop
+    | "op-parallel" -> Ok Clusteer.Configuration.Op_parallel
+    | "dep" -> Ok Clusteer.Configuration.Dep
+    | "crit" -> Ok Clusteer.Configuration.Crit
+    | "thermal" -> Ok Clusteer.Configuration.Thermal
+    | s when String.length s > 3 && String.sub s 0 3 = "mod" -> (
+        match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+        | Some n when n > 0 -> Ok (Clusteer.Configuration.Mod_n { n })
+        | _ -> Error (`Msg "modN needs a positive N"))
+    | s when String.length s > 2 && String.sub s 0 2 = "vc" -> (
+        match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+        | Some v when v > 0 ->
+            Ok (Clusteer.Configuration.Vc { virtual_clusters = v })
+        | _ -> Error (`Msg "vcN needs a positive N"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf (Clusteer.Configuration.name c)
+  in
+  Arg.conv (parse, print)
+
+let config_arg =
+  let doc =
+    "Steering configuration: op, one-cluster, ob, rhop, vcN, op-parallel, \
+     modN, dep, crit, thermal."
+  in
+  Arg.(
+    value
+    & opt config_conv (Clusteer.Configuration.Vc { virtual_clusters = 2 })
+    & info [ "p"; "policy" ] ~doc)
+
+(* ---- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let header = [| "name"; "suite"; "phases"; "ilp"; "mem"; "fp"; "footprint" |] in
+    let rows =
+      List.map
+        (fun (p : Profile.t) ->
+          [|
+            p.Profile.name;
+            Profile.suite_name p.Profile.suite;
+            string_of_int p.Profile.phases;
+            string_of_int p.Profile.ilp;
+            Printf.sprintf "%.2f" p.Profile.mem_ratio;
+            Printf.sprintf "%.2f" p.Profile.fp_ratio;
+            Printf.sprintf "%dKB" p.Profile.footprint_kb;
+          |])
+        Spec2000.all
+    in
+    print_string (Clusteer_util.Table.render ~header rows)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the SPEC CPU2000 workload profiles")
+    Term.(const run $ const ())
+
+(* ---- simulate ------------------------------------------------------ *)
+
+let simulate workload clusters config uops phase =
+  match Spec2000.find workload with
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %S (try `csteer list`)\n" workload;
+      exit 1
+  | profile ->
+      let points = Pinpoints.points profile in
+      let point =
+        match List.nth_opt points phase with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "workload has only %d phases\n" (List.length points);
+            exit 1
+      in
+      let machine = Config.default ~clusters in
+      let result =
+        Runner.run_point ~machine ~configs:[ config ] ~uops point
+      in
+      let name, stats = List.hd result.Runner.runs in
+      Printf.printf "%s phase %d under %s on %d clusters (%d uops):\n"
+        profile.Profile.name phase name clusters uops;
+      Format.printf "%a@." Stats.pp stats;
+      let e = Clusteer_uarch.Energy.estimate ~clusters stats in
+      Printf.printf
+        "energy: %.0f units (%.2f/uop), %.0f%% static, %.1f%% of dynamic in copies\n"
+        e.Clusteer_uarch.Energy.total e.Clusteer_uarch.Energy.per_uop
+        (100. *. e.Clusteer_uarch.Energy.static_ /. Float.max 1e-9 e.Clusteer_uarch.Energy.total)
+        (100. *. e.Clusteer_uarch.Energy.copies /. Float.max 1e-9 e.Clusteer_uarch.Energy.dynamic)
+
+let simulate_cmd =
+  let phase =
+    Arg.(value & opt int 0 & info [ "phase" ] ~doc:"Simulation point index.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulation point under one configuration")
+    Term.(
+      const simulate $ workload_arg $ clusters_arg $ config_arg
+      $ uops_arg 20_000 $ phase)
+
+(* ---- compile ------------------------------------------------------- *)
+
+let compile workload clusters config emit =
+  match Spec2000.find workload with
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | profile ->
+      let w = Synth.build profile in
+      let annot, _policy =
+        Clusteer.Configuration.prepare config ~program:w.Synth.program
+          ~likely:w.Synth.likely ~clusters ()
+      in
+      let n = w.Synth.program.Clusteer_isa.Program.uop_count in
+      Printf.printf "%s: %d static micro-ops, scheme %s\n" profile.Profile.name
+        n annot.Clusteer_isa.Annot.scheme;
+      if annot.Clusteer_isa.Annot.virtual_clusters > 0 then begin
+        let diag =
+          Clusteer_compiler.Diagnostics.of_annot ~program:w.Synth.program
+            ~likely:w.Synth.likely ~annot ()
+        in
+        Format.printf "%a@." Clusteer_compiler.Diagnostics.pp diag
+      end
+      else begin
+        let assigned =
+          Array.to_list annot.Clusteer_isa.Annot.cluster_of
+          |> List.filter (fun c -> c >= 0)
+        in
+        let counts = Array.make (max 1 clusters) 0 in
+        List.iter (fun c -> counts.(c) <- counts.(c) + 1) assigned;
+        Printf.printf "static clusters: %s\n"
+          (String.concat " " (Array.to_list (Array.map string_of_int counts)))
+      end;
+      Option.iter
+        (fun path ->
+          Clusteer_isa.Annot_io.save ~path annot;
+          Printf.printf "annotation written to %s\n" path)
+        emit
+
+let compile_cmd =
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~doc:"Write the annotation (the ISA side channel) to a file.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run a software steering pass and summarise the partition")
+    Term.(const compile $ workload_arg $ clusters_arg $ config_arg $ emit)
+
+(* ---- stats ---------------------------------------------------------- *)
+
+let workload_stats workload uops =
+  let w =
+    match List.assoc_opt workload Clusteer_workloads.Kernels.all with
+    | Some k -> k
+    | None -> (
+        match Spec2000.find workload with
+        | profile -> Synth.build profile
+        | exception Not_found ->
+            Printf.eprintf
+              "unknown workload %S (SPEC names or kernels: %s)\n" workload
+              (String.concat ", "
+                 (List.map fst Clusteer_workloads.Kernels.all));
+            exit 1)
+  in
+  let mix = Clusteer_workloads.Analysis.measure w ~uops ~seed:1 in
+  Printf.printf "%s (%d static micro-ops):\n"
+    w.Synth.profile.Profile.name w.Synth.program.Clusteer_isa.Program.uop_count;
+  Format.printf "%a@." Clusteer_workloads.Analysis.pp mix
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Measure a workload's dynamic instruction mix and footprint")
+    Term.(const workload_stats $ workload_arg $ uops_arg 50_000)
+
+(* ---- sweep ------------------------------------------------------------ *)
+
+let sweep workload uops out =
+  match Spec2000.find workload with
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | profile ->
+      let point = List.hd (Pinpoints.points profile) in
+      let configs =
+        [
+          Clusteer.Configuration.Op;
+          Clusteer.Configuration.One_cluster;
+          Clusteer.Configuration.Ob;
+          Clusteer.Configuration.Rhop;
+          Clusteer.Configuration.Vc { virtual_clusters = 2 };
+          Clusteer.Configuration.Mod_n { n = 3 };
+          Clusteer.Configuration.Dep;
+          Clusteer.Configuration.Crit;
+          Clusteer.Configuration.Thermal;
+        ]
+      in
+      let rows = ref [] in
+      List.iter
+        (fun clusters ->
+          let machine = Config.default ~clusters in
+          let result = Runner.run_point ~machine ~configs ~uops point in
+          List.iter
+            (fun (name, (stats : Stats.t)) ->
+              rows :=
+                [
+                  string_of_int clusters;
+                  name;
+                  string_of_int stats.Stats.cycles;
+                  Printf.sprintf "%.4f" (Stats.ipc stats);
+                  string_of_int stats.Stats.copies_generated;
+                  string_of_int (Stats.allocation_stalls stats);
+                ]
+                :: !rows)
+            result.Runner.runs)
+        [ 2; 4; 8 ];
+      let header =
+        [ "clusters"; "config"; "cycles"; "ipc"; "copies"; "alloc_stalls" ]
+      in
+      let rows = List.rev !rows in
+      (match out with
+      | Some path ->
+          Clusteer_util.Csv.write ~path ~header rows;
+          Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+      | None ->
+          print_string
+            (Clusteer_util.Table.render
+               ~header:(Array.of_list header)
+               (List.map Array.of_list rows)))
+
+let sweep_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the sweep as CSV to this file.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep one simulation point over 2/4/8 clusters and every steering \
+          configuration")
+    Term.(const sweep $ workload_arg $ uops_arg 10_000 $ out)
+
+(* ---- vliw ------------------------------------------------------------ *)
+
+let vliw_compare workload clusters =
+  let machine = Clusteer_vliw.Machine.default ~clusters in
+  match List.assoc_opt workload Clusteer_workloads.Kernels.all with
+  | Some k ->
+      (* Kernels are single-block loops: software-pipeline the body. *)
+      let body =
+        k.Clusteer_workloads.Synth.program.Clusteer_isa.Program.blocks.(0)
+          .Clusteer_isa.Block.uops
+      in
+      let g = Clusteer_vliw.Modulo.loop_ddg_of_body body in
+      let n = Array.length body in
+      let local = Array.make n 0 in
+      let spread = Array.init n (fun i -> i mod clusters) in
+      let report name assignment =
+        let r = Clusteer_vliw.Modulo.schedule machine g ~assignment () in
+        Clusteer_vliw.Modulo.validate machine g ~assignment r;
+        Printf.printf "  %-14s II=%d (mii %d), %d moves/iter\n" name
+          r.Clusteer_vliw.Modulo.ii r.Clusteer_vliw.Modulo.mii
+          r.Clusteer_vliw.Modulo.moves
+      in
+      Printf.printf "%s: modulo scheduling on the %d-cluster VLIW\n" workload
+        clusters;
+      report "one-cluster" local;
+      report "round-robin" spread
+  | None -> (
+      match Spec2000.find workload with
+      | exception Not_found ->
+          Printf.eprintf "unknown workload %S\n" workload;
+          exit 1
+      | profile ->
+          let w = Synth.build profile in
+          let program = w.Synth.program and likely = w.Synth.likely in
+          let run name mode =
+            let s = Clusteer_vliw.Eval.run machine ~program ~likely mode in
+            Printf.printf "  %-14s static IPC %.2f  cycles %d  moves %d\n"
+              name s.Clusteer_vliw.Eval.static_ipc s.Clusteer_vliw.Eval.cycles
+              s.Clusteer_vliw.Eval.moves
+          in
+          Printf.printf "%s: acyclic scheduling on the %d-cluster VLIW\n"
+            profile.Profile.name clusters;
+          run "UAS" Clusteer_vliw.Eval.Unified;
+          run "RHOP"
+            (Clusteer_vliw.Eval.Fixed
+               (fun g -> Clusteer_compiler.Rhop.assign_region g ~clusters));
+          run "VC-partition"
+            (Clusteer_vliw.Eval.Fixed
+               (fun g ->
+                 Clusteer_compiler.Vc_partition.assign_region g
+                   ~virtual_clusters:clusters ())))
+
+let vliw_cmd =
+  Cmd.v
+    (Cmd.info "vliw"
+       ~doc:
+         "Schedule a workload on the clustered VLIW substrate (kernels are \
+          software-pipelined; SPEC points are list-scheduled per region)")
+    Term.(const vliw_compare $ workload_arg $ clusters_arg)
+
+(* ---- experiment ---------------------------------------------------- *)
+
+let progress name = Printf.eprintf "  running %s...\n%!" name
+
+let subset_profiles = function
+  | None -> None
+  | Some names ->
+      let names = String.split_on_char ',' names in
+      Some (List.map Spec2000.find names)
+
+let experiment which uops benchmarks csv_dir =
+  let profiles = subset_profiles benchmarks in
+  match which with
+  | "tables" ->
+      Experiments.print_table1 ();
+      print_newline ();
+      Experiments.print_table2 ~clusters:2;
+      print_newline ();
+      Experiments.print_table3 ()
+  | "sec21" -> Experiments.print_section21 (Experiments.section21_example ())
+  | "fig5" | "fig6" | "fig56" ->
+      let run = Experiments.run_2cluster ~uops ?profiles ~progress () in
+      if which <> "fig6" then begin
+        let fig5 = Experiments.figure5_of run in
+        Experiments.print_slowdown_figure
+          ~title:"Figure 5: slowdown vs OP, 2-cluster machine" fig5;
+        Option.iter
+          (fun dir ->
+            List.iter (Printf.eprintf "wrote %s\n")
+              (Clusteer_harness.Report.write_slowdown_figure ~dir ~name:"fig5"
+                 fig5))
+          csv_dir
+      end;
+      if which <> "fig5" then begin
+        let fig6 = Experiments.figure6_of run in
+        Experiments.print_scatter_summary fig6;
+        Option.iter
+          (fun dir ->
+            List.iter (Printf.eprintf "wrote %s\n")
+              (Clusteer_harness.Report.write_scatter_figure ~dir fig6))
+          csv_dir
+      end
+  | "fig7" ->
+      let run = Experiments.run_4cluster ~uops ?profiles ~progress () in
+      let fig7 = Experiments.figure7_of run in
+      Experiments.print_slowdown_figure
+        ~title:"Figure 7: slowdown vs OP, 4-cluster machine" fig7;
+      Printf.printf "VC(4->4) copy inflation over VC(2->4): %.1f%% (paper: 28%%)\n"
+        (Experiments.copy_inflation run);
+      Option.iter
+        (fun dir ->
+          List.iter (Printf.eprintf "wrote %s\n")
+            (Clusteer_harness.Report.write_slowdown_figure ~dir ~name:"fig7"
+               fig7))
+        csv_dir
+  | other ->
+      Printf.eprintf
+        "unknown experiment %S (expected tables, sec21, fig5, fig6, fig56, fig7)\n"
+        other;
+      exit 1
+
+let experiment_cmd =
+  let which =
+    let doc = "Experiment: tables, sec21, fig5, fig6, fig56, fig7." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let benchmarks =
+    let doc = "Comma-separated benchmark subset (default: full suite)." in
+    Arg.(value & opt (some string) None & info [ "benchmarks" ] ~doc)
+  in
+  let csv =
+    let doc = "Directory for CSV export of the figure data." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv)
+
+let main =
+  let doc =
+    "clusteer: software-hardware hybrid steering for clustered \
+     microarchitectures (IPPS 2008 reproduction)"
+  in
+  Cmd.group (Cmd.info "csteer" ~doc)
+    [
+      list_cmd; simulate_cmd; compile_cmd; stats_cmd; sweep_cmd; vliw_cmd;
+      experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

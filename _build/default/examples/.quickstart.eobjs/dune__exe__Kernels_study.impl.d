@@ -1,0 +1,1 @@
+examples/kernels_study.ml: Clusteer Clusteer_harness Clusteer_uarch Clusteer_util Clusteer_workloads Fmt List Printf

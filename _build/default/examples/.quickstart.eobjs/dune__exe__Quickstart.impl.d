@@ -1,0 +1,1 @@
+examples/quickstart.ml: Annot Array Clusteer Clusteer_isa Clusteer_trace Clusteer_uarch Fmt Opcode Program Reg Uop

@@ -1,0 +1,1 @@
+examples/scalability.ml: Clusteer Clusteer_harness Clusteer_uarch Clusteer_util Clusteer_workloads Fmt List Printf

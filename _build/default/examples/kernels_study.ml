@@ -1,0 +1,67 @@
+(* Hand-written micro-kernels as steering ground truth: each kernel's
+   behaviour under clustering is understood analytically, so the
+   simulator's results can be sanity-checked by eye.
+
+     dune exec examples/kernels_study.exe
+
+   Expectations:
+   - dot / chase are serial: one-cluster costs nothing (it can even be
+     the optimum — any spreading only adds copies to the chain);
+   - fib is serial but three-wide per iteration, so one cluster's
+     2-wide issue pinches a little;
+   - daxpy and histogram are embarrassingly parallel: one-cluster
+     roughly halves their throughput and good steering recovers it;
+   - matmul is bound by the shared data-cache read ports (2 loads per
+     cycle, Table 2), so clustering barely matters for it. *)
+
+module Config = Clusteer_uarch.Config
+module Stats = Clusteer_uarch.Stats
+module Runner = Clusteer_harness.Runner
+module Kernels = Clusteer_workloads.Kernels
+module Analysis = Clusteer_workloads.Analysis
+module Table = Clusteer_util.Table
+
+let uops = 12_000
+
+let () =
+  Fmt.pr "Micro-kernel steering study (%d micro-ops each, 2 clusters)@.@."
+    uops;
+  let header =
+    [| "kernel"; "op IPC"; "one-cl"; "vc2"; "vc2 copies"; "mix" |]
+  in
+  let rows =
+    List.map
+      (fun (name, kernel) ->
+        let runs =
+          Runner.run_workload ~machine:Config.default_2c
+            ~configs:
+              [
+                Clusteer.Configuration.Op;
+                Clusteer.Configuration.One_cluster;
+                Clusteer.Configuration.Vc { virtual_clusters = 2 };
+              ]
+            ~uops kernel
+        in
+        let stats n = List.assoc n runs in
+        let op = stats "op" in
+        let slow n =
+          (float_of_int (stats n).Stats.cycles
+           /. float_of_int op.Stats.cycles
+          -. 1.0)
+          *. 100.0
+        in
+        let mix = Analysis.measure kernel ~uops:5_000 ~seed:2 in
+        [|
+          name;
+          Printf.sprintf "%.2f" (Stats.ipc op);
+          Printf.sprintf "%+.1f%%" (slow "one-cluster");
+          Printf.sprintf "%+.1f%%" (slow "vc2");
+          string_of_int (stats "vc2").Stats.copies_generated;
+          Printf.sprintf "%.0f%%mem %.0f%%fp" (100. *. mix.Analysis.mem_frac)
+            (100. *. mix.Analysis.fp_frac);
+        |])
+      Kernels.all
+  in
+  print_string (Table.render ~header rows);
+  Fmt.pr
+    "@.one-cl / vc2 columns: slowdown vs the OP baseline on the same kernel.@."

@@ -1,0 +1,69 @@
+(* Scalability of the hybrid scheme (paper §5.4): the same workloads on
+   2- and 4-cluster machines, comparing hardware-only steering with
+   VC(2), VC(4->4) and VC(2->4).
+
+     dune exec examples/scalability.exe *)
+
+module Config = Clusteer_uarch.Config
+module Stats = Clusteer_uarch.Stats
+module Runner = Clusteer_harness.Runner
+module Metrics = Clusteer_harness.Metrics
+module Spec2000 = Clusteer_workloads.Spec2000
+module Pinpoints = Clusteer_workloads.Pinpoints
+module Table = Clusteer_util.Table
+
+let benchmarks = [ "178.galgel"; "171.swim"; "186.crafty"; "200.sixtrack" ]
+let uops = 15_000
+
+let run ~clusters ~configs name =
+  let profile = Spec2000.find name in
+  let point = List.hd (Pinpoints.points profile) in
+  (Runner.run_point ~machine:(Config.default ~clusters) ~configs ~uops point)
+    .Runner.runs
+
+let () =
+  Fmt.pr "Scalability study: 2 vs 4 clusters, %d micro-ops per point@.@." uops;
+  let header =
+    [| "benchmark"; "2c IPC(op)"; "2c vc2"; "4c IPC(op)"; "4c vc4"; "4c vc2" |]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let r2 =
+          run ~clusters:2
+            ~configs:
+              [
+                Clusteer.Configuration.Op;
+                Clusteer.Configuration.Vc { virtual_clusters = 2 };
+              ]
+            name
+        in
+        let r4 =
+          run ~clusters:4
+            ~configs:
+              [
+                Clusteer.Configuration.Op;
+                Clusteer.Configuration.Vc { virtual_clusters = 4 };
+                Clusteer.Configuration.Vc { virtual_clusters = 2 };
+              ]
+            name
+        in
+        let slow runs base other =
+          Metrics.slowdown_pct ~baseline:(List.assoc base runs)
+            (List.assoc other runs)
+        in
+        [|
+          name;
+          Printf.sprintf "%.2f" (Stats.ipc (List.assoc "op" r2));
+          Printf.sprintf "%+.2f%%" (slow r2 "op" "vc2");
+          Printf.sprintf "%.2f" (Stats.ipc (List.assoc "op" r4));
+          Printf.sprintf "%+.2f%%" (slow r4 "op" "vc4");
+          Printf.sprintf "%+.2f%%" (slow r4 "op" "vc2");
+        |])
+      benchmarks
+  in
+  print_string (Table.render ~header rows);
+  Fmt.pr
+    "@.vcN columns are slowdowns vs the occupancy-aware hardware baseline@.\
+     on the same machine. The paper's guidance: keep the number of@.\
+     virtual clusters at two even on the 4-cluster machine (VC(2->4)).@."

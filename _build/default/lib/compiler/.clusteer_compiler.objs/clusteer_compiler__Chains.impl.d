@@ -1,0 +1,1 @@
+lib/compiler/chains.ml: Annot Array Clusteer_ddg Clusteer_isa List Region Uop

@@ -1,0 +1,1 @@
+lib/compiler/chains.mli: Annot Clusteer_ddg Clusteer_isa

@@ -1,0 +1,1 @@
+lib/compiler/crit_hints.ml: Array Clusteer_ddg Clusteer_isa Critical Ddg List Program Region Uop

@@ -1,0 +1,1 @@
+lib/compiler/crit_hints.mli: Clusteer_isa Program

@@ -1,0 +1,1 @@
+lib/compiler/diagnostics.ml: Annot Array Chains Clusteer_ddg Clusteer_isa Ddg Format Fun List Program Region Uop

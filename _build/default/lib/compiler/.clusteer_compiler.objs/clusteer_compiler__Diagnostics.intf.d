@@ -1,0 +1,1 @@
+lib/compiler/diagnostics.mli: Annot Clusteer_isa Format Program

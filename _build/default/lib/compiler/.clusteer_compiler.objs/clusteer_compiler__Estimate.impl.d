@@ -1,0 +1,1 @@
+lib/compiler/estimate.ml: Array Clusteer_ddg Ddg Float List

@@ -1,0 +1,1 @@
+lib/compiler/estimate.mli: Clusteer_ddg

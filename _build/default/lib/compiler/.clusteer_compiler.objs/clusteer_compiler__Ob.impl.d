@@ -1,0 +1,1 @@
+lib/compiler/ob.ml: Annot Array Clusteer_ddg Clusteer_isa Ddg Estimate List Program Region Uop

@@ -1,0 +1,1 @@
+lib/compiler/ob.mli: Annot Clusteer_ddg Clusteer_isa Program

@@ -1,0 +1,1 @@
+lib/compiler/passes.ml: Annot Clusteer_isa Ob Printf Program Rhop Vc_partition

@@ -1,0 +1,1 @@
+lib/compiler/passes.mli: Annot Clusteer_isa Program

@@ -1,0 +1,1 @@
+lib/compiler/rhop.ml: Annot Array Clusteer_ddg Clusteer_graphpart Clusteer_isa Critical Ddg List Multilevel Program Region Uop Wgraph

@@ -1,0 +1,1 @@
+lib/compiler/rhop.mli: Annot Clusteer_ddg Clusteer_graphpart Clusteer_isa Program

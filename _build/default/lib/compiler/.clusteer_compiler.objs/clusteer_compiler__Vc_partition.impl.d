@@ -1,0 +1,1 @@
+lib/compiler/vc_partition.ml: Annot Array Chains Clusteer_ddg Clusteer_isa Critical Ddg Estimate List Program Region Uop

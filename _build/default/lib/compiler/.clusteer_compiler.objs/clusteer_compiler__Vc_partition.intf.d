@@ -1,0 +1,1 @@
+lib/compiler/vc_partition.mli: Annot Clusteer_ddg Clusteer_isa Program

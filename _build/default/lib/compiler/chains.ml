@@ -1,0 +1,27 @@
+open Clusteer_isa
+open Clusteer_ddg
+
+let mark_region annot (region : Region.t) =
+  let prev_vc = ref (-2) in
+  Array.iter
+    (fun (u : Uop.t) ->
+      let vc = annot.Annot.vc_of.(u.Uop.id) in
+      if vc <> !prev_vc then annot.Annot.leader.(u.Uop.id) <- vc <> -1;
+      prev_vc := vc)
+    region.Region.uops
+
+let chains_of_region annot (region : Region.t) =
+  let chains = ref [] and current = ref [] in
+  let prev_vc = ref (-2) in
+  Array.iter
+    (fun (u : Uop.t) ->
+      let vc = annot.Annot.vc_of.(u.Uop.id) in
+      if vc <> !prev_vc && !current <> [] then begin
+        chains := List.rev !current :: !chains;
+        current := []
+      end;
+      if vc <> -1 then current := u.Uop.id :: !current;
+      prev_vc := vc)
+    region.Region.uops;
+  if !current <> [] then chains := List.rev !current :: !chains;
+  List.rev !chains

@@ -1,0 +1,20 @@
+(** Chain and chain-leader identification (paper Figure 3).
+
+    Within a region, a {e chain} is a maximal run of consecutive
+    (program-order) micro-ops carrying the same virtual-cluster id. The
+    first micro-op of each chain is its {e leader} and gets a special
+    mark: at run time the hardware consults the workload counters and
+    updates the VC→physical mapping table only when it decodes a
+    leader; every non-leader simply follows the current table entry.
+    Chain selection therefore controls how often the hardware may
+    rebalance — the knob the whole hybrid scheme turns on. *)
+
+open Clusteer_isa
+
+val mark_region : Annot.t -> Clusteer_ddg.Region.t -> unit
+(** Set leader marks for one region whose [vc_of] entries are already
+    filled. The region's first micro-op always starts a chain. *)
+
+val chains_of_region : Annot.t -> Clusteer_ddg.Region.t -> int list list
+(** The chains, each as the list of uop ids, in program order.
+    Useful for inspection and tests. *)

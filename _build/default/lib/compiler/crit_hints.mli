@@ -1,0 +1,21 @@
+(** Criticality hints: per-micro-op "is on a critical path" bits.
+
+    Implements the information a criticality predictor would provide
+    at run time (Salverda & Zilles, MICRO-38 — the paper's [24] — study
+    steering under criticality information without committing to an
+    implementation). We compute it at compile time from region DDG
+    slack, which acts as an oracle-ish upper bound for such predictors;
+    the {!Clusteer_steer.Crit} policy consumes it. *)
+
+open Clusteer_isa
+
+val compute :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  ?region_uops:int ->
+  ?slack_threshold:int ->
+  unit ->
+  bool array
+(** [compute ~program ~likely ()] marks every static micro-op whose
+    slack within its region DDG is at most [slack_threshold] (default
+    0, i.e. exactly the critical paths). *)

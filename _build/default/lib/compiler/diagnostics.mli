@@ -1,0 +1,35 @@
+(** Compiler-output diagnostics.
+
+    "The effectiveness of our proposed hardware-software mechanism
+    largely depends on the selection of chains" (paper §4.2): these
+    measurements expose that selection — chain count and lengths, VC
+    population balance, and how many dependence edges cross VCs (the
+    copies a static VC→cluster mapping would imply). Used by
+    [csteer compile] and the test suite. *)
+
+open Clusteer_isa
+
+type t = {
+  static_uops : int;
+  regions : int;
+  chains : int;
+  mean_chain_length : float;
+  max_chain_length : int;
+  vc_population : int array;  (** micro-ops per virtual cluster *)
+  cross_vc_edges : int;
+      (** region-DDG dependence edges whose endpoints sit in different
+          virtual clusters *)
+  intra_vc_edges : int;
+}
+
+val of_annot :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  annot:Annot.t ->
+  ?region_uops:int ->
+  unit ->
+  t
+(** Analyse a VC annotation. Raises [Invalid_argument] when the
+    annotation has no virtual clusters. *)
+
+val pp : Format.formatter -> t -> unit

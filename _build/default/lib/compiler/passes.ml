@@ -1,0 +1,21 @@
+open Clusteer_isa
+
+type scheme =
+  | Sw_none
+  | Sw_ob
+  | Sw_rhop of { seed : int }
+  | Sw_vc of { virtual_clusters : int }
+
+let scheme_name = function
+  | Sw_none -> "none"
+  | Sw_ob -> "ob"
+  | Sw_rhop _ -> "rhop"
+  | Sw_vc { virtual_clusters } -> Printf.sprintf "vc%d" virtual_clusters
+
+let run scheme ~program ~likely ~clusters ?(region_uops = 512) () =
+  match scheme with
+  | Sw_none -> Annot.none ~uop_count:program.Program.uop_count
+  | Sw_ob -> Ob.compile ~program ~likely ~clusters ~region_uops ()
+  | Sw_rhop { seed } -> Rhop.compile ~program ~likely ~clusters ~region_uops ~seed ()
+  | Sw_vc { virtual_clusters } ->
+      Vc_partition.compile ~program ~likely ~virtual_clusters ~region_uops ()

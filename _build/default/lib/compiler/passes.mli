@@ -1,0 +1,27 @@
+(** Top-level compiler driver: one entry point per software scheme.
+
+    [likely] is the profile feedback the region builder uses (index of
+    the likely successor of a block, or [None] for an unbiased
+    branch); workload definitions provide it from their branch models,
+    standing in for the production compiler's profile data. *)
+
+open Clusteer_isa
+
+type scheme =
+  | Sw_none  (** hardware-only schemes: empty annotation *)
+  | Sw_ob
+  | Sw_rhop of { seed : int }
+  | Sw_vc of { virtual_clusters : int }
+
+val scheme_name : scheme -> string
+
+val run :
+  scheme ->
+  program:Program.t ->
+  likely:(int -> int option) ->
+  clusters:int ->
+  ?region_uops:int ->
+  unit ->
+  Annot.t
+(** Produce the annotation for [scheme] targeting a machine with
+    [clusters] physical clusters. *)

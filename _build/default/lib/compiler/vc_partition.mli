@@ -1,0 +1,39 @@
+(** The paper's software partitioner (Figure 2): distribute DDG nodes
+    into *virtual clusters* at compile time.
+
+    Three steps per region:
+    {ol
+    {- {b Critical paths}: depth and height via two DDG traversals;
+       criticality = depth + height (§4.2).}
+    {- {b Partition into VCs}: top-down over the DDG; each instruction
+       is priced in every VC via the static completion-time estimator
+       and placed where it completes earliest. The contention term is
+       scaled down for critical instructions (low slack), so critical
+       dependence chains follow their producers into one VC even at
+       the cost of imbalance — the behaviour §5.3 observes ("VC can
+       send critical dependence chains to one single cluster ... at
+       the expense of increasing workload imbalance").}
+    {- {b Chains and chain leaders} are identified afterwards by
+       {!Chains}.}} *)
+
+open Clusteer_isa
+
+val assign_region :
+  Clusteer_ddg.Ddg.t ->
+  virtual_clusters:int ->
+  ?issue_width:float ->
+  ?comm_latency:float ->
+  unit ->
+  int array
+(** VC assignment (node -> vc id) for one region DDG. *)
+
+val compile :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  virtual_clusters:int ->
+  ?region_uops:int ->
+  ?issue_width:float ->
+  unit ->
+  Annot.t
+(** Whole-program hybrid annotation (scheme ["vc"]): VC ids plus chain
+    leader marks, ready for the runtime mapper. *)

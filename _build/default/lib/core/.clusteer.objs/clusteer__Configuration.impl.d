@@ -1,0 +1,1 @@
+lib/core/configuration.ml: Clusteer_compiler Clusteer_steer Printf

@@ -1,0 +1,1 @@
+lib/core/configuration.mli: Annot Clusteer_isa Clusteer_uarch Program

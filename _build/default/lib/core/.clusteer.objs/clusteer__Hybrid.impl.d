@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Clusteer_compiler Clusteer_steer Clusteer_uarch

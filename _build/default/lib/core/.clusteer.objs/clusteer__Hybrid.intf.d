@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Annot Clusteer_isa Clusteer_trace Clusteer_uarch Program

@@ -1,0 +1,81 @@
+module Compiler = Clusteer_compiler
+module Steer = Clusteer_steer
+
+type t =
+  | Op
+  | One_cluster
+  | Ob
+  | Rhop
+  | Vc of { virtual_clusters : int }
+  | Op_parallel
+  | Mod_n of { n : int }
+  | Dep
+  | Crit
+  | Thermal
+
+let name = function
+  | Op -> "op"
+  | One_cluster -> "one-cluster"
+  | Ob -> "ob"
+  | Rhop -> "rhop"
+  | Vc { virtual_clusters } -> Printf.sprintf "vc%d" virtual_clusters
+  | Op_parallel -> "op-parallel"
+  | Mod_n { n } -> Printf.sprintf "mod%d" n
+  | Dep -> "dep"
+  | Crit -> "crit"
+  | Thermal -> "thermal"
+
+let description = function
+  | Op -> "Occupancy-aware steering [15]"
+  | One_cluster -> "Every instruction goes to one cluster"
+  | Ob -> "Static-placement dynamic-issue operation-based steering [19]"
+  | Rhop -> "Region-based hierarchical operation partition [8]"
+  | Vc { virtual_clusters } ->
+      Printf.sprintf "Hybrid steering based on virtual clustering (%d VCs)"
+        virtual_clusters
+  | Op_parallel -> "OP with parallel (rename-style) steering decisions (2.1)"
+  | Mod_n { n } ->
+      Printf.sprintf "Rotate clusters every %d micro-ops (Baniasadi-Moshovos)" n
+  | Dep -> "Dependence-based steering without stalling (Canal et al.)"
+  | Crit -> "Criticality-aware steering (after Salverda-Zilles)"
+  | Thermal -> "Thermal activity-migration steering (after Chaparro et al.)"
+
+let table3 ~clusters =
+  if clusters <= 2 then [ Op; One_cluster; Ob; Rhop; Vc { virtual_clusters = 2 } ]
+  else
+    [
+      Op;
+      Ob;
+      Rhop;
+      Vc { virtual_clusters = clusters };
+      Vc { virtual_clusters = 2 };
+    ]
+
+let prepare t ~program ~likely ~clusters ?(region_uops = 512) () =
+  let scheme =
+    match t with
+    | Op | One_cluster | Op_parallel | Mod_n _ | Dep | Crit | Thermal ->
+        Compiler.Passes.Sw_none
+    | Ob -> Compiler.Passes.Sw_ob
+    | Rhop -> Compiler.Passes.Sw_rhop { seed = 1 }
+    | Vc { virtual_clusters } -> Compiler.Passes.Sw_vc { virtual_clusters }
+  in
+  let annot = Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops () in
+  let policy =
+    match t with
+    | Op -> Steer.Op.make ()
+    | Op_parallel -> Steer.Op_parallel.make ()
+    | One_cluster -> Steer.One_cluster.make ()
+    | Ob -> Steer.Static.make ~name:"ob" ~annot
+    | Rhop -> Steer.Static.make ~name:"rhop" ~annot
+    | Vc _ -> Steer.Vc_map.make ~annot ~clusters ()
+    | Mod_n { n } -> Steer.Mod_n.make ~n ()
+    | Dep -> Steer.Dep.make ()
+    | Crit ->
+        let critical =
+          Compiler.Crit_hints.compute ~program ~likely ~region_uops ()
+        in
+        Steer.Crit.make ~critical ()
+    | Thermal -> Steer.Thermal_aware.make ()
+  in
+  (annot, policy)

@@ -1,0 +1,52 @@
+(** The five steering configurations of paper Table 3 (plus the §2.1
+    parallel-steering strawman), each bundling its compile-time pass
+    and its runtime policy.
+
+    {!prepare} is the one-call entry point: given a program (and the
+    profile feedback its workload provides), it runs whatever compiler
+    pass the configuration needs and returns the annotation together
+    with a fresh runtime {!Clusteer_uarch.Policy.t} for a machine with
+    [clusters] physical clusters. *)
+
+open Clusteer_isa
+
+type t =
+  | Op  (** occupancy-aware hardware-only steering [15] — the baseline *)
+  | One_cluster  (** every micro-op to cluster 0 *)
+  | Ob  (** static-placement dynamic-issue (SPDI) operation-based [19] *)
+  | Rhop  (** region-based hierarchical operation partitioning [8] *)
+  | Vc of { virtual_clusters : int }
+      (** the paper's hybrid: software VC partitioning + hardware
+          mapping. [Vc {virtual_clusters = 2}] on a 4-cluster machine
+          is the paper's VC(2→4). *)
+  | Op_parallel  (** §2.1 ablation: OP with stale intra-bundle locations *)
+  | Mod_n of { n : int }
+      (** extension beyond Table 3: the MOD_N baseline of [3] *)
+  | Dep  (** extension beyond Table 3: dependence-based steering [5],
+             i.e. OP without stall-over-steer *)
+  | Crit
+      (** extension beyond Table 3: criticality-aware steering after
+          [24] — critical micro-ops chase operands, the rest balance *)
+  | Thermal
+      (** extension beyond Table 3: activity-migration steering after
+          [7] — balance in-flight load against a decaying per-cluster
+          heat proxy *)
+
+val name : t -> string
+(** Short identifier, e.g. ["vc2"]. *)
+
+val description : t -> string
+(** Table 3 description. *)
+
+val table3 : clusters:int -> t list
+(** The configurations evaluated against each other for a machine of
+    the given size (2 → Fig. 5 set, 4 → Fig. 7 set). *)
+
+val prepare :
+  t ->
+  program:Program.t ->
+  likely:(int -> int option) ->
+  clusters:int ->
+  ?region_uops:int ->
+  unit ->
+  Annot.t * Clusteer_uarch.Policy.t

@@ -1,0 +1,41 @@
+(** One-stop API for the paper's contribution: the software-hardware
+    hybrid steering mechanism based on virtual clusters.
+
+    {[
+      let workload = (* a program + profile feedback *) in
+      let sim =
+        Hybrid.simulate ~config:(Clusteer_uarch.Config.default_2c)
+          ~virtual_clusters:2 ~program ~likely ~source ~uops:50_000 ()
+      in
+      Fmt.pr "IPC %.2f, %d copies@." (Clusteer_uarch.Stats.ipc sim) ...
+    ]} *)
+
+open Clusteer_isa
+
+val compile :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  virtual_clusters:int ->
+  ?region_uops:int ->
+  unit ->
+  Annot.t
+(** The software half (Fig. 2 + Fig. 3): partition every region's DDG
+    into virtual clusters and mark chain leaders. *)
+
+val policy :
+  annot:Annot.t -> clusters:int -> Clusteer_uarch.Policy.t
+(** The hardware half (Fig. 4): the VC→physical mapping table driven
+    by workload counters at chain leaders. *)
+
+val simulate :
+  config:Clusteer_uarch.Config.t ->
+  virtual_clusters:int ->
+  program:Program.t ->
+  likely:(int -> int option) ->
+  source:(unit -> Clusteer_trace.Dynuop.t) ->
+  uops:int ->
+  ?region_uops:int ->
+  unit ->
+  Clusteer_uarch.Stats.t
+(** Compile, build the policy, run the engine: the full hybrid stack
+    end to end. *)

@@ -1,0 +1,1 @@
+lib/ddg/critical.ml: Array Ddg List

@@ -1,0 +1,1 @@
+lib/ddg/critical.mli: Ddg

@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Array Clusteer_isa Fun Hashtbl List Opcode Option Reg Region Uop

@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Clusteer_isa Region Uop

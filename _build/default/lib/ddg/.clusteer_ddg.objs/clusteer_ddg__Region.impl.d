@@ -1,0 +1,1 @@
+lib/ddg/region.ml: Array Block Clusteer_isa List Program Uop

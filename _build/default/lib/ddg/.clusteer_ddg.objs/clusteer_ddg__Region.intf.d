@@ -1,0 +1,1 @@
+lib/ddg/region.mli: Clusteer_isa Program Uop

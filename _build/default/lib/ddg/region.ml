@@ -1,0 +1,66 @@
+open Clusteer_isa
+
+type t = { id : int; blocks : int array; uops : Uop.t array }
+
+let build ~program ~likely ~max_uops =
+  if max_uops <= 0 then invalid_arg "Region.build: max_uops must be positive";
+  let nblocks = Array.length program.Program.blocks in
+  let placed = Array.make nblocks false in
+  let regions = ref [] in
+  let next_id = ref 0 in
+  let grow seed =
+    let blocks = ref [ seed ] in
+    let count = ref (Array.length program.Program.blocks.(seed).Block.uops) in
+    placed.(seed) <- true;
+    let rec extend current =
+      let blk = program.Program.blocks.(current) in
+      let succs = blk.Block.succs in
+      let choice =
+        match Array.length succs with
+        | 0 -> None
+        | 1 -> Some succs.(0)
+        | _ -> (
+            match likely current with
+            | Some i when i >= 0 && i < Array.length succs -> Some succs.(i)
+            | Some _ | None -> None)
+      in
+      match choice with
+      | Some nxt when (not placed.(nxt)) && !count < max_uops ->
+          let sz = Array.length program.Program.blocks.(nxt).Block.uops in
+          placed.(nxt) <- true;
+          blocks := nxt :: !blocks;
+          count := !count + sz;
+          extend nxt
+      | Some _ | None -> ()
+    in
+    extend seed;
+    let block_arr = Array.of_list (List.rev !blocks) in
+    let uops =
+      Array.concat
+        (Array.to_list
+           (Array.map (fun b -> program.Program.blocks.(b).Block.uops) block_arr))
+    in
+    let r = { id = !next_id; blocks = block_arr; uops } in
+    incr next_id;
+    regions := r :: !regions
+  in
+  (* Seed from the entry first so the hot path gets the longest region,
+     then sweep remaining blocks in id order. *)
+  grow program.Program.entry;
+  for b = 0 to nblocks - 1 do
+    if not placed.(b) then grow b
+  done;
+  List.rev !regions
+
+let find regions ~uop_id =
+  let has r = Array.exists (fun (u : Uop.t) -> u.Uop.id = uop_id) r.uops in
+  match List.find_opt has regions with
+  | Some r -> r
+  | None -> raise Not_found
+
+let position r ~uop_id =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (u : Uop.t) -> if u.Uop.id = uop_id && !found < 0 then found := i)
+    r.uops;
+  if !found < 0 then raise Not_found else !found

@@ -1,0 +1,32 @@
+(** Compilation regions (superblocks).
+
+    The software steering passes inspect "a bigger window of
+    instructions" than the hardware can (paper §3.2): we form regions
+    by growing traces of basic blocks along the statically likely path,
+    the classic superblock construction. Each basic block belongs to
+    exactly one region; the flattened micro-op sequence of a region is
+    the scope over which a DDG is built and partitioned. *)
+
+open Clusteer_isa
+
+type t = {
+  id : int;
+  blocks : int array;  (** block ids along the likely path *)
+  uops : Uop.t array;  (** flattened micro-ops, program order *)
+}
+
+val build :
+  program:Program.t -> likely:(int -> int option) -> max_uops:int -> t list
+(** [build ~program ~likely ~max_uops] covers the whole program with
+    regions. [likely blk] gives the index (into the block's successor
+    array) of the successor the profile considers most likely — [None]
+    for a fifty-fifty branch, which terminates the region. Growth also
+    stops at program exits, already-placed blocks, back-edges into the
+    region, and at [max_uops] flattened micro-ops. *)
+
+val find : t list -> uop_id:int -> t
+(** Region containing a static micro-op. Raises [Not_found]. *)
+
+val position : t -> uop_id:int -> int
+(** Index of a micro-op inside the region's flattened sequence.
+    Raises [Not_found]. *)

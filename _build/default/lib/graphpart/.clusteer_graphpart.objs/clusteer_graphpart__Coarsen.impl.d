@@ -1,0 +1,1 @@
+lib/graphpart/coarsen.ml: Array Clusteer_util Fun List Wgraph

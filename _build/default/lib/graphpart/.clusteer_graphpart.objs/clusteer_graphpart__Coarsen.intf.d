@@ -1,0 +1,1 @@
+lib/graphpart/coarsen.mli: Partition Wgraph

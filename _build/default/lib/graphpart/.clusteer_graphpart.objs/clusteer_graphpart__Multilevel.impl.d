@@ -1,0 +1,1 @@
+lib/graphpart/multilevel.ml: Array Coarsen Fun Refine Wgraph

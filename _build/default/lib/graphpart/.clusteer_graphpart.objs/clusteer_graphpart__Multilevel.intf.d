@@ -1,0 +1,1 @@
+lib/graphpart/multilevel.mli: Partition Wgraph

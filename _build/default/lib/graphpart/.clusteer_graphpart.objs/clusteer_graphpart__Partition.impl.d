@@ -1,0 +1,1 @@
+lib/graphpart/partition.ml: Array Float Printf Wgraph

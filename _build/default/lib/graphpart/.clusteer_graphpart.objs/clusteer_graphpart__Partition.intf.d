@@ -1,0 +1,1 @@
+lib/graphpart/partition.mli: Wgraph

@@ -1,0 +1,1 @@
+lib/graphpart/refine.ml: Array Float List Partition Wgraph

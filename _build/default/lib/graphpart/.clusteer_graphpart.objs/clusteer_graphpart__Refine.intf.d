@@ -1,0 +1,1 @@
+lib/graphpart/refine.mli: Partition Wgraph

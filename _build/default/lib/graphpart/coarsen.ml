@@ -1,0 +1,54 @@
+type level = { graph : Wgraph.t; map : int array }
+
+let step ?(seed = 1) ?(max_node_weight = infinity) g =
+  let n = Wgraph.node_count g in
+  let rng = Clusteer_util.Rng.create seed in
+  let order = Array.init n Fun.id in
+  Clusteer_util.Rng.shuffle rng order;
+  let mate = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      if mate.(v) = -1 then begin
+        let best = ref (-1) and best_w = ref neg_infinity in
+        List.iter
+          (fun (u, w) ->
+            if
+              mate.(u) = -1 && u <> v && w > !best_w
+              && Wgraph.node_weight g v +. Wgraph.node_weight g u
+                 <= max_node_weight
+            then begin
+              best := u;
+              best_w := w
+            end)
+          (Wgraph.neighbours g v);
+        if !best >= 0 then begin
+          mate.(v) <- !best;
+          mate.(!best) <- v
+        end
+      end)
+    order;
+  (* Assign coarse ids: a matched pair shares one id. *)
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if map.(v) = -1 then begin
+      map.(v) <- !next;
+      if mate.(v) >= 0 then map.(mate.(v)) <- !next;
+      incr next
+    end
+  done;
+  let nc = !next in
+  let vwgt = Array.make nc 0.0 in
+  for v = 0 to n - 1 do
+    vwgt.(map.(v)) <- vwgt.(map.(v)) +. Wgraph.node_weight g v
+  done;
+  let edges =
+    Wgraph.fold_edges
+      (fun a b w acc ->
+        if map.(a) <> map.(b) then (map.(a), map.(b), w) :: acc else acc)
+      g []
+  in
+  { graph = Wgraph.create ~nv:nc ~vwgt ~edges; map }
+
+let project level coarse_part =
+  Array.map (fun coarse -> coarse_part.(coarse)) level.map

@@ -1,0 +1,22 @@
+(** Coarsening step of multilevel partitioning: heavy-edge matching.
+
+    Unmatched nodes pair with the unmatched neighbour joined by the
+    heaviest edge; each matched pair collapses into one coarse node
+    whose weight is the pair's sum. Heavier edges correspond to more
+    critical dependences, so the coarsening "tends to group the
+    operations on the critical path together" (paper §3.3 on RHOP). *)
+
+type level = {
+  graph : Wgraph.t;  (** the coarse graph *)
+  map : int array;  (** fine node -> coarse node *)
+}
+
+val step : ?seed:int -> ?max_node_weight:float -> Wgraph.t -> level
+(** One round of heavy-edge matching. When no edge can be matched the
+    coarse graph equals the input (identity map). [seed] randomises the
+    visit order (default 1). [max_node_weight] (default unlimited)
+    refuses matches whose merged weight would exceed it, keeping
+    coarse nodes small enough for a balanced initial partition. *)
+
+val project : level -> Partition.t -> Partition.t
+(** Pull a partition of the coarse graph back to the finer graph. *)

@@ -1,0 +1,111 @@
+let pass g part ~k ~max_imbalance =
+  let n = Wgraph.node_count g in
+  let weights = Partition.part_weights g part ~k in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let ideal = if total > 0.0 then total /. float_of_int k else 1.0 in
+  let cap = max_imbalance *. ideal in
+  let moved = ref false in
+  for v = 0 to n - 1 do
+    let home = part.(v) in
+    (* Connectivity of v to each part. *)
+    let link = Array.make k 0.0 in
+    List.iter (fun (u, w) -> link.(part.(u)) <- link.(part.(u)) +. w)
+      (Wgraph.neighbours g v);
+    let vw = Wgraph.node_weight g v in
+    let best = ref home and best_gain = ref 0.0 in
+    for p = 0 to k - 1 do
+      if p <> home then begin
+        let gain = link.(p) -. link.(home) in
+        let new_weight = weights.(p) +. vw in
+        let balance_ok =
+          new_weight <= cap
+          || new_weight < Array.fold_left Float.max 0.0 weights
+        in
+        (* Prefer strict cut improvement; accept zero-gain moves that
+           improve balance, which spreads weight when cuts tie. *)
+        let improves_balance =
+          gain = 0.0 && weights.(p) +. vw < weights.(home)
+        in
+        if balance_ok && (gain > !best_gain || (improves_balance && !best = home))
+        then begin
+          best := p;
+          best_gain := gain
+        end
+      end
+    done;
+    if !best <> home then begin
+      weights.(home) <- weights.(home) -. vw;
+      weights.(!best) <- weights.(!best) +. vw;
+      part.(v) <- !best;
+      moved := true
+    end
+  done;
+  !moved
+
+(* Explicit rebalance: while some part exceeds the imbalance cap, move
+   the node of the heaviest part whose departure costs the least edge
+   weight to the lightest part. Runs after gain-driven passes so that
+   balance is restored even when every rebalancing move has negative
+   cut gain (e.g. when coarsening glued a long chain together). *)
+let rebalance g part ~k ~max_imbalance =
+  let n = Wgraph.node_count g in
+  let weights = Partition.part_weights g part ~k in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let ideal = if total > 0.0 then total /. float_of_int k else 1.0 in
+  let cap = max_imbalance *. ideal in
+  let heaviest () =
+    let h = ref 0 in
+    for p = 1 to k - 1 do
+      if weights.(p) > weights.(!h) then h := p
+    done;
+    !h
+  in
+  let lightest () =
+    let l = ref 0 in
+    for p = 1 to k - 1 do
+      if weights.(p) < weights.(!l) then l := p
+    done;
+    !l
+  in
+  let guard = ref (2 * n) in
+  let continue_ = ref true in
+  while !continue_ && !guard > 0 do
+    decr guard;
+    let src = heaviest () and dst = lightest () in
+    if weights.(src) <= cap || src = dst then continue_ := false
+    else begin
+      (* Cheapest node to evict: least (internal - external) link. *)
+      let best = ref (-1) and best_cost = ref infinity in
+      for v = 0 to n - 1 do
+        if part.(v) = src then begin
+          let internal = ref 0.0 and towards = ref 0.0 in
+          List.iter
+            (fun (u, w) ->
+              if part.(u) = src then internal := !internal +. w
+              else if part.(u) = dst then towards := !towards +. w)
+            (Wgraph.neighbours g v);
+          let cost = !internal -. !towards in
+          if cost < !best_cost then begin
+            best := v;
+            best_cost := cost
+          end
+        end
+      done;
+      if !best < 0 then continue_ := false
+      else begin
+        let vw = Wgraph.node_weight g !best in
+        part.(!best) <- dst;
+        weights.(src) <- weights.(src) -. vw;
+        weights.(dst) <- weights.(dst) +. vw
+      end
+    end
+  done
+
+let run g part ~k ~max_imbalance ~passes =
+  let rec loop i =
+    if i < passes && pass g part ~k ~max_imbalance then loop (i + 1)
+  in
+  loop 0;
+  rebalance g part ~k ~max_imbalance;
+  (* A final gain pass can claw back cut lost during rebalancing. *)
+  ignore (pass g part ~k ~max_imbalance)

@@ -1,0 +1,26 @@
+(** Refinement step: greedy boundary moves (Fiduccia-Mattheyses style).
+
+    Walking back up the coarsening hierarchy, nodes on part boundaries
+    are moved to the part that most reduces the edge cut, subject to a
+    balance constraint — the paper's "improvement to the initial
+    partition based on metrics such as the workload per cluster and the
+    total system workload". *)
+
+val pass :
+  Wgraph.t -> Partition.t -> k:int -> max_imbalance:float -> bool
+(** One in-place refinement pass over all nodes; returns [true] when at
+    least one move was applied. A move to part [p] is admissible when
+    after it [p]'s weight stays within [max_imbalance] times the ideal
+    part weight, or when it strictly improves the current worst
+    imbalance. *)
+
+val rebalance :
+  Wgraph.t -> Partition.t -> k:int -> max_imbalance:float -> unit
+(** Force the partition under the imbalance cap by evicting the
+    cheapest boundary nodes from overweight parts, even at negative
+    cut gain. *)
+
+val run :
+  Wgraph.t -> Partition.t -> k:int -> max_imbalance:float -> passes:int -> unit
+(** Iterate {!pass} until a fixed point or [passes] rounds, then
+    {!rebalance} and one final gain pass. *)

@@ -1,0 +1,45 @@
+type t = {
+  nv : int;
+  vwgt : float array;
+  adj : (int * float) list array;
+}
+
+let create ~nv ~vwgt ~edges =
+  if Array.length vwgt <> nv then invalid_arg "Wgraph.create: vwgt arity";
+  let merged = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (a, b, w) ->
+      if a = b then invalid_arg "Wgraph.create: self loop";
+      if a < 0 || a >= nv || b < 0 || b >= nv then
+        invalid_arg "Wgraph.create: endpoint out of range";
+      if w < 0.0 then invalid_arg "Wgraph.create: negative edge weight";
+      let key = if a < b then (a, b) else (b, a) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt merged key) in
+      Hashtbl.replace merged key (prev +. w))
+    edges;
+  let adj = Array.make nv [] in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    merged;
+  { nv; vwgt; adj }
+
+let node_count t = t.nv
+let node_weight t i = t.vwgt.(i)
+let total_weight t = Array.fold_left ( +. ) 0.0 t.vwgt
+let neighbours t i = t.adj.(i)
+
+let edge_weight t a b =
+  match List.assoc_opt b t.adj.(a) with
+  | Some w -> w
+  | None -> 0.0
+
+let fold_edges f t init =
+  let acc = ref init in
+  for a = 0 to t.nv - 1 do
+    List.iter (fun (b, w) -> if a < b then acc := f a b w !acc) t.adj.(a)
+  done;
+  !acc
+
+let degree t i = List.length t.adj.(i)

@@ -1,0 +1,26 @@
+(** Weighted undirected graphs for multilevel partitioning.
+
+    Nodes carry weights (estimated resource usage of the operations
+    they represent); edges carry weights (the cost of cutting the
+    dependence, i.e. of an inter-cluster communication). Parallel
+    edges are merged by summing their weights at construction. *)
+
+type t
+
+val create : nv:int -> vwgt:float array -> edges:(int * int * float) list -> t
+(** [vwgt] must have length [nv]; edge endpoints must be distinct and
+    in range; edge weights non-negative. *)
+
+val node_count : t -> int
+val node_weight : t -> int -> float
+val total_weight : t -> float
+val neighbours : t -> int -> (int * float) list
+(** Adjacent nodes with the merged edge weight. *)
+
+val edge_weight : t -> int -> int -> float
+(** 0 when not adjacent. *)
+
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Each undirected edge visited once, with [src < dst]. *)
+
+val degree : t -> int -> int

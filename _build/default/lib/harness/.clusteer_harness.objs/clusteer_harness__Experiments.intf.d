@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Clusteer_uarch Clusteer_workloads Config Profile Runner

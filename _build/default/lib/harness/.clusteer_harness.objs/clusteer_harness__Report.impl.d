@@ -1,0 +1,1 @@
+lib/harness/report.ml: Clusteer_util Experiments Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Clusteer Clusteer_trace Clusteer_uarch Clusteer_util Clusteer_workloads Config Engine List Option Pinpoints Printf Profile Stats Synth

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Clusteer Clusteer_uarch Clusteer_workloads Config Pinpoints Profile Stats Synth

@@ -1,0 +1,24 @@
+open Clusteer_uarch
+
+let slowdown_pct ~baseline s =
+  if baseline.Stats.cycles = 0 then invalid_arg "Metrics.slowdown_pct: empty baseline";
+  (float_of_int s.Stats.cycles /. float_of_int baseline.Stats.cycles -. 1.0)
+  *. 100.0
+
+let speedup_pct ~of_ ~over =
+  if of_.Stats.cycles = 0 then invalid_arg "Metrics.speedup_pct: empty run";
+  (float_of_int over.Stats.cycles /. float_of_int of_.Stats.cycles -. 1.0)
+  *. 100.0
+
+let reduction over_v of_v =
+  if over_v <= 0.0 then 0.0 else (over_v -. of_v) /. over_v *. 100.0
+
+let copy_reduction_pct ~of_ ~over =
+  reduction
+    (float_of_int over.Stats.copies_generated)
+    (float_of_int of_.Stats.copies_generated)
+
+let balance_improvement_pct ~of_ ~over =
+  reduction
+    (float_of_int (Stats.allocation_stalls over))
+    (float_of_int (Stats.allocation_stalls of_))

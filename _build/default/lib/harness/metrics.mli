@@ -1,0 +1,20 @@
+(** Derived metrics matching the paper's reporting conventions. *)
+
+open Clusteer_uarch
+
+val slowdown_pct : baseline:Stats.t -> Stats.t -> float
+(** Percentage by which a run is slower than the baseline run of the
+    same trace (same committed micro-op count): positive = slower than
+    baseline. Figure 5/7's y-axis with OP as baseline. *)
+
+val speedup_pct : of_:Stats.t -> over:Stats.t -> float
+(** Percentage by which [of_] is faster than [over] (Figure 6 x-axis:
+    speedup of VC over the other scheme). *)
+
+val copy_reduction_pct : of_:Stats.t -> over:Stats.t -> float
+(** Reduction in generated copies of [of_] relative to [over]
+    (Figure 6 y-axis, plots a.1-a.3). 0 when [over] generated none. *)
+
+val balance_improvement_pct : of_:Stats.t -> over:Stats.t -> float
+(** Reduction in issue-queue allocation stalls of [of_] relative to
+    [over] (Figure 6 y-axis, plots b.1-b.3). 0 when [over] had none. *)

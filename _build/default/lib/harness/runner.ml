@@ -1,0 +1,81 @@
+open Clusteer_uarch
+open Clusteer_workloads
+
+type point_result = {
+  point : Pinpoints.point;
+  runs : (string * Stats.t) list;
+}
+
+let trace_seed (point : Pinpoints.point) =
+  (point.Pinpoints.profile.Profile.seed * 31) + point.Pinpoints.index + 101
+
+(* Default warmup: half the measured length, capped — enough to fill
+   the L1 and train the predictor at the scaled-down trace sizes. *)
+let default_warmup uops = min 10_000 (max 2_000 (uops / 2))
+
+let run_workload ?warmup ?(seed = 1) ~machine ~configs ~uops workload =
+  let warmup = Option.value ~default:(default_warmup uops) warmup in
+  List.map
+    (fun config ->
+      let annot, policy =
+        Clusteer.Configuration.prepare config ~program:workload.Synth.program
+          ~likely:workload.Synth.likely ~clusters:machine.Config.clusters ()
+      in
+      let prewarm =
+        Array.to_list
+          (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+      in
+      let engine = Engine.create ~config:machine ~annot ~policy ~prewarm () in
+      let gen = Synth.trace workload ~seed in
+      let stats =
+        Engine.run ~warmup engine
+          ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+          ~uops
+      in
+      (Clusteer.Configuration.name config, stats))
+    configs
+
+let run_point ?warmup ~machine ~configs ~uops point =
+  let workload = Synth.build point.Pinpoints.profile in
+  (* Every configuration replays the identical dynamic stream: the
+     generator is reseeded per point with the same seed. *)
+  let runs =
+    run_workload ?warmup ~seed:(trace_seed point) ~machine ~configs ~uops
+      workload
+  in
+  { point; runs }
+
+let run_benchmark ?warmup ~machine ~configs ~uops profile =
+  List.map (run_point ?warmup ~machine ~configs ~uops) (Pinpoints.points profile)
+
+let run_suite ?(progress = fun _ -> ()) ?warmup ~machine ~configs ~uops
+    profiles =
+  List.concat_map
+    (fun profile ->
+      progress profile.Profile.name;
+      run_benchmark ?warmup ~machine ~configs ~uops profile)
+    profiles
+
+let stats_of result config =
+  match List.assoc_opt config result.runs with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Runner: configuration %s missing from results" config)
+
+let weighted_metric results ~config ~f =
+  let pairs =
+    List.map
+      (fun r -> (f (stats_of r config), r.point.Pinpoints.weight))
+      results
+  in
+  Clusteer_util.Stats.weighted_mean (Array.of_list pairs)
+
+let weighted_pair_metric results ~config_a ~config_b ~f =
+  let pairs =
+    List.map
+      (fun r ->
+        (f (stats_of r config_a) (stats_of r config_b), r.point.Pinpoints.weight))
+      results
+  in
+  Clusteer_util.Stats.weighted_mean (Array.of_list pairs)

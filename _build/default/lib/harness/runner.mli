@@ -1,0 +1,69 @@
+(** Run (simulation point × machine × configuration) triples and
+    collect statistics — the trace-driven methodology of §5.1, with
+    every configuration replaying the identical dynamic stream. *)
+
+open Clusteer_uarch
+open Clusteer_workloads
+
+type point_result = {
+  point : Pinpoints.point;
+  runs : (string * Stats.t) list;
+      (** configuration name -> statistics, in configuration order *)
+}
+
+val run_point :
+  ?warmup:int ->
+  machine:Config.t ->
+  configs:Clusteer.Configuration.t list ->
+  uops:int ->
+  Pinpoints.point ->
+  point_result
+(** Build the point's workload, compile each configuration's
+    annotation, and simulate [uops] committed micro-ops per
+    configuration, after a cache/predictor warmup phase (default: half
+    the measured length, capped at 10k). *)
+
+val run_workload :
+  ?warmup:int ->
+  ?seed:int ->
+  machine:Config.t ->
+  configs:Clusteer.Configuration.t list ->
+  uops:int ->
+  Synth.t ->
+  (string * Stats.t) list
+(** Run an explicit workload (a {!Clusteer_workloads.Synth.t}, e.g. a
+    hand-built {!Clusteer_workloads.Kernels} kernel) under each
+    configuration on the identical trace. *)
+
+val run_benchmark :
+  ?warmup:int ->
+  machine:Config.t ->
+  configs:Clusteer.Configuration.t list ->
+  uops:int ->
+  Profile.t ->
+  point_result list
+(** All PinPoints phases of one benchmark. *)
+
+val run_suite :
+  ?progress:(string -> unit) ->
+  ?warmup:int ->
+  machine:Config.t ->
+  configs:Clusteer.Configuration.t list ->
+  uops:int ->
+  Profile.t list ->
+  point_result list
+(** Whole-suite sweep; [progress] is called once per benchmark. *)
+
+val weighted_metric :
+  point_result list -> config:string -> f:(Stats.t -> float) -> float
+(** Phase-weighted metric for one configuration over one benchmark's
+    point results. *)
+
+val weighted_pair_metric :
+  point_result list ->
+  config_a:string ->
+  config_b:string ->
+  f:(Stats.t -> Stats.t -> float) ->
+  float
+(** Phase-weighted metric comparing two configurations point by
+    point (e.g. slowdown of a vs b). *)

@@ -1,0 +1,1 @@
+lib/isa/annot.ml: Array Printf

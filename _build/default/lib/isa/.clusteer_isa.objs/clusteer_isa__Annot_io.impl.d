@@ -1,0 +1,1 @@
+lib/isa/annot_io.ml: Annot Array Buffer Fun List Printf String

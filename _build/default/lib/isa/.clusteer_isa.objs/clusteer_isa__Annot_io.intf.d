@@ -1,0 +1,1 @@
+lib/isa/annot_io.mli: Annot

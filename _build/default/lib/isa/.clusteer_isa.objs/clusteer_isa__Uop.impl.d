@@ -1,0 +1,1 @@
+lib/isa/uop.ml: Array Format Opcode Printf Reg

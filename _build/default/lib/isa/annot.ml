@@ -1,0 +1,50 @@
+type t = {
+  scheme : string;
+  virtual_clusters : int;
+  vc_of : int array;
+  leader : bool array;
+  cluster_of : int array;
+}
+
+let blank ~scheme ~virtual_clusters ~uop_count =
+  {
+    scheme;
+    virtual_clusters;
+    vc_of = Array.make uop_count (-1);
+    leader = Array.make uop_count false;
+    cluster_of = Array.make uop_count (-1);
+  }
+
+let none ~uop_count = blank ~scheme:"none" ~virtual_clusters:0 ~uop_count
+
+let create_virtual ~scheme ~virtual_clusters ~uop_count =
+  if virtual_clusters <= 0 then
+    invalid_arg "Annot.create_virtual: need at least one virtual cluster";
+  blank ~scheme ~virtual_clusters ~uop_count
+
+let create_static ~scheme ~uop_count =
+  blank ~scheme ~virtual_clusters:0 ~uop_count
+
+let validate t ~clusters =
+  let n = Array.length t.vc_of in
+  if Array.length t.leader <> n || Array.length t.cluster_of <> n then
+    invalid_arg "Annot.validate: ragged annotation arrays";
+  Array.iteri
+    (fun i vc ->
+      if vc <> -1 && (vc < 0 || vc >= t.virtual_clusters) then
+        invalid_arg
+          (Printf.sprintf "Annot.validate: uop %d has vc %d out of range" i vc);
+      if t.leader.(i) && vc = -1 then
+        invalid_arg
+          (Printf.sprintf "Annot.validate: uop %d is a leader without a vc" i))
+    t.vc_of;
+  Array.iteri
+    (fun i c ->
+      if c <> -1 && (c < 0 || c >= clusters) then
+        invalid_arg
+          (Printf.sprintf "Annot.validate: uop %d has cluster %d out of range" i
+             c))
+    t.cluster_of
+
+let chain_count t =
+  Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 t.leader

@@ -1,0 +1,35 @@
+(** Steering annotations: the software half of the hybrid interface.
+
+    The paper extends the x86 instruction set so the compiler can pass,
+    per micro-op, a virtual-cluster id and a chain-leader mark to the
+    hardware (Section 4.2). Static schemes (OB, RHOP) instead pass a
+    fixed physical-cluster assignment. An [Annot.t] is that side channel:
+    dense per-static-uop arrays, produced by a compiler pass and read by
+    the runtime steering policy. Programs themselves stay immutable, so
+    several annotations for the same program can coexist. *)
+
+type t = {
+  scheme : string;  (** producing pass, e.g. ["vc"], ["rhop"], ["ob"] *)
+  virtual_clusters : int;  (** number of VCs; [0] when the scheme has none *)
+  vc_of : int array;  (** uop id -> virtual cluster id, [-1] = unassigned *)
+  leader : bool array;  (** uop id -> chain-leader mark (Fig. 3) *)
+  cluster_of : int array;  (** uop id -> static physical cluster, [-1] = none *)
+}
+
+val none : uop_count:int -> t
+(** Empty annotation for hardware-only schemes (OP, one-cluster). *)
+
+val create_virtual :
+  scheme:string -> virtual_clusters:int -> uop_count:int -> t
+(** All-unassigned VC annotation to be filled by a partitioner. *)
+
+val create_static : scheme:string -> uop_count:int -> t
+(** All-unassigned physical annotation to be filled by OB/RHOP. *)
+
+val validate : t -> clusters:int -> unit
+(** Check internal consistency: vc ids within [virtual_clusters], static
+    clusters within [clusters], leaders only on VC-assigned micro-ops.
+    Raises [Invalid_argument] on violation. *)
+
+val chain_count : t -> int
+(** Number of chain leaders (= number of chains). *)

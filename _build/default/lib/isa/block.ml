@@ -1,0 +1,35 @@
+type t = {
+  id : int;
+  uops : Uop.t array;
+  succs : int array;
+}
+
+let terminator t =
+  let n = Array.length t.uops in
+  if n = 0 then None
+  else
+    let last = t.uops.(n - 1) in
+    if Uop.is_branch last then Some last else None
+
+let make ~id ~uops ~succs =
+  let t = { id; uops; succs } in
+  let fail msg = invalid_arg (Printf.sprintf "Block.make (block %d): %s" id msg) in
+  Array.iteri
+    (fun i u ->
+      if Uop.is_branch u && i <> Array.length uops - 1 then
+        fail "branch must be the final micro-op")
+    uops;
+  if Array.length succs > 1 && terminator t = None then
+    fail "multi-successor block needs a terminating branch";
+  if Array.length succs <= 1 && terminator t <> None then
+    fail "branch terminator requires at least two successors";
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>block %d -> [%a]:@,%a@]" t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_list t.succs)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Uop.pp)
+    (Array.to_list t.uops)

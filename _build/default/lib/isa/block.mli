@@ -1,0 +1,20 @@
+(** Basic blocks: straight-line micro-op sequences with CFG successors.
+
+    A block with two or more successors must end in a [Branch] micro-op
+    whose behaviour model picks among them at trace time; a block with
+    one successor falls through. An empty successor array marks a
+    program exit. *)
+
+type t = {
+  id : int;
+  uops : Uop.t array;
+  succs : int array;  (** successor block ids *)
+}
+
+val make : id:int -> uops:Uop.t array -> succs:int array -> t
+(** Validates the branch/successor contract described above. *)
+
+val terminator : t -> Uop.t option
+(** The final branch micro-op, when the block is multi-successor. *)
+
+val pp : Format.formatter -> t -> unit

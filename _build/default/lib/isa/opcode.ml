@@ -1,0 +1,68 @@
+type t =
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Load
+  | Store
+  | Branch
+  | Copy
+
+type queue = Int_queue | Fp_queue | Copy_queue
+
+type fu = Fu_alu | Fu_imul | Fu_fp | Fu_copy
+
+let latency = function
+  | Int_alu -> 1
+  | Int_mul -> 3
+  | Int_div -> 20
+  | Fp_add -> 3
+  | Fp_mul -> 5
+  | Fp_div -> 20
+  | Load -> 1
+  | Store -> 1
+  | Branch -> 1
+  | Copy -> 1
+
+let pipelined = function
+  | Int_div | Fp_div -> false
+  | Int_alu | Int_mul | Fp_add | Fp_mul | Load | Store | Branch | Copy -> true
+
+let queue = function
+  | Int_alu | Int_mul | Int_div | Load | Store | Branch -> Int_queue
+  | Fp_add | Fp_mul | Fp_div -> Fp_queue
+  | Copy -> Copy_queue
+
+let fu = function
+  | Int_alu | Load | Store | Branch -> Fu_alu
+  | Int_mul | Int_div -> Fu_imul
+  | Fp_add | Fp_mul | Fp_div -> Fu_fp
+  | Copy -> Fu_copy
+
+let is_mem = function
+  | Load | Store -> true
+  | Int_alu | Int_mul | Int_div | Fp_add | Fp_mul | Fp_div | Branch | Copy ->
+      false
+
+let writes_fp = function
+  | Fp_add | Fp_mul | Fp_div -> true
+  | Int_alu | Int_mul | Int_div | Load | Store | Branch | Copy -> false
+
+let all =
+  [| Int_alu; Int_mul; Int_div; Fp_add; Fp_mul; Fp_div; Load; Store; Branch; Copy |]
+
+let to_string = function
+  | Int_alu -> "alu"
+  | Int_mul -> "imul"
+  | Int_div -> "idiv"
+  | Fp_add -> "fadd"
+  | Fp_mul -> "fmul"
+  | Fp_div -> "fdiv"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "br"
+  | Copy -> "copy"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

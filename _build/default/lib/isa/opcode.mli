@@ -1,0 +1,45 @@
+(** Micro-op opcode classes.
+
+    The reproduction does not interpret operand values; what matters to
+    steering is each micro-op's latency, functional-unit class and which
+    per-cluster issue queue it occupies (Table 2 of the paper: 48-entry
+    INT, 48-entry FP and 24-entry COPY queues per cluster). *)
+
+type t =
+  | Int_alu  (** add/sub/logic/shift, 1 cycle *)
+  | Int_mul  (** integer multiply, 3 cycles *)
+  | Int_div  (** integer divide, 20 cycles, unpipelined *)
+  | Fp_add   (** FP add/sub/convert, 3 cycles *)
+  | Fp_mul   (** FP multiply, 5 cycles *)
+  | Fp_div   (** FP divide/sqrt, 20 cycles, unpipelined *)
+  | Load     (** address generation + data cache access *)
+  | Store    (** address generation; retires through the LSQ *)
+  | Branch   (** conditional or indirect control transfer *)
+  | Copy     (** inter-cluster register copy (runtime-generated only) *)
+
+type queue = Int_queue | Fp_queue | Copy_queue
+
+type fu =
+  | Fu_alu   (** simple integer units (also used by Load/Store AGU and Branch) *)
+  | Fu_imul
+  | Fu_fp
+  | Fu_copy
+
+val latency : t -> int
+(** Execution latency in cycles. For {!Load} this is the
+    address-generation latency; cache access time is added by the
+    memory system. *)
+
+val pipelined : t -> bool
+(** Whether a unit can accept a new micro-op every cycle. *)
+
+val queue : t -> queue
+(** Which per-cluster issue queue holds the micro-op. Loads, stores and
+    branches share the INT queue, as in the baseline architecture. *)
+
+val fu : t -> fu
+val is_mem : t -> bool
+val writes_fp : t -> bool
+val all : t array
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type cls = Int_class | Fp_class
+
+type t = { cls : cls; idx : int }
+
+let int idx =
+  if idx < 0 then invalid_arg "Reg.int: negative index";
+  { cls = Int_class; idx }
+
+let fp idx =
+  if idx < 0 then invalid_arg "Reg.fp: negative index";
+  { cls = Fp_class; idx }
+
+let encode ~nregs_per_class r =
+  if r.idx < 0 || r.idx >= nregs_per_class then
+    invalid_arg "Reg.encode: index out of range";
+  match r.cls with
+  | Int_class -> r.idx
+  | Fp_class -> nregs_per_class + r.idx
+
+let decode ~nregs_per_class code =
+  if code < 0 || code >= 2 * nregs_per_class then
+    invalid_arg "Reg.decode: code out of range";
+  if code < nregs_per_class then { cls = Int_class; idx = code }
+  else { cls = Fp_class; idx = code - nregs_per_class }
+
+let equal a b = a.cls = b.cls && a.idx = b.idx
+
+let compare a b =
+  match (a.cls, b.cls) with
+  | Int_class, Fp_class -> -1
+  | Fp_class, Int_class -> 1
+  | (Int_class, Int_class | Fp_class, Fp_class) -> Int.compare a.idx b.idx
+
+let to_string r =
+  match r.cls with
+  | Int_class -> Printf.sprintf "r%d" r.idx
+  | Fp_class -> Printf.sprintf "f%d" r.idx
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,29 @@
+(** Architectural registers of the micro-op ISA.
+
+    Two classes, integer and floating point, mirroring the paper's
+    backend split (separate INT and FP issue queues and register files
+    per cluster). Registers are identified by a class and a small
+    index; [encode] flattens them into a dense integer space for the
+    renaming tables. *)
+
+type cls = Int_class | Fp_class
+
+type t = { cls : cls; idx : int }
+
+val int : int -> t
+(** [int i] is integer register [Ri]. *)
+
+val fp : int -> t
+(** [fp i] is floating-point register [Fi]. *)
+
+val encode : nregs_per_class:int -> t -> int
+(** Dense encoding in [\[0, 2*nregs_per_class)]. Raises
+    [Invalid_argument] if [idx] is out of range. *)
+
+val decode : nregs_per_class:int -> int -> t
+(** Inverse of {!encode}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,52 @@
+type t = {
+  id : int;
+  opcode : Opcode.t;
+  dst : Reg.t option;
+  srcs : Reg.t array;
+  stream : int;
+  branch_ref : int;
+}
+
+let validate t =
+  let fail msg = invalid_arg (Printf.sprintf "Uop.make (id %d): %s" t.id msg) in
+  (match (t.opcode, t.dst) with
+  | (Store | Branch), Some _ -> fail "store/branch cannot have a destination"
+  | (Int_alu | Int_mul | Int_div | Load | Copy), None ->
+      fail "computation needs a destination"
+  | (Fp_add | Fp_mul | Fp_div), None -> fail "fp computation needs a destination"
+  | _ -> ());
+  (match t.opcode with
+  | Load | Store ->
+      if t.stream < 0 then fail "memory micro-op must name a stream"
+  | Int_alu | Int_mul | Int_div | Fp_add | Fp_mul | Fp_div | Branch | Copy ->
+      if t.stream >= 0 then fail "non-memory micro-op cannot name a stream");
+  (match t.opcode with
+  | Branch -> if t.branch_ref < 0 then fail "branch must name a behaviour model"
+  | _ -> if t.branch_ref >= 0 then fail "only branches carry a branch model");
+  if Array.length t.srcs > 2 then fail "at most two register sources";
+  (match (t.opcode, t.dst) with
+  | (Fp_add | Fp_mul | Fp_div), Some d when d.Reg.cls <> Reg.Fp_class ->
+      fail "fp result must target an fp register"
+  | (Int_alu | Int_mul | Int_div), Some d when d.Reg.cls <> Reg.Int_class ->
+      fail "integer result must target an integer register"
+  | _ -> ());
+  t
+
+let make ~id ~opcode ?dst ?(srcs = [||]) ?(stream = -1) ?(branch_ref = -1) () =
+  validate { id; opcode; dst; srcs; stream; branch_ref }
+
+let is_mem t = Opcode.is_mem t.opcode
+
+let is_branch t =
+  match t.opcode with
+  | Opcode.Branch -> true
+  | _ -> false
+
+let pp ppf t =
+  let pp_dst ppf = function
+    | Some d -> Format.fprintf ppf "%a <- " Reg.pp d
+    | None -> ()
+  in
+  Format.fprintf ppf "@[#%d %a%a %a@]" t.id pp_dst t.dst Opcode.pp t.opcode
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Reg.pp)
+    (Array.to_list t.srcs)

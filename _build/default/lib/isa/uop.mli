@@ -1,0 +1,37 @@
+(** Static micro-ops.
+
+    A static micro-op is one node of the program text; the trace
+    generator instantiates it many times dynamically. [id] is unique
+    within a {!Program.t} and is the key under which compiler passes
+    record steering annotations ({!Annot}).
+
+    Loads and stores carry a [stream] identifier naming the abstract
+    memory-address stream they access; branches carry a [branch_ref]
+    naming their behaviour model. Both are interpreted by the trace
+    layer, keeping the ISA independent of workload modelling. *)
+
+type t = {
+  id : int;
+  opcode : Opcode.t;
+  dst : Reg.t option;
+  srcs : Reg.t array;
+  stream : int;  (** memory stream id; [-1] for non-memory micro-ops *)
+  branch_ref : int;  (** branch model id; [-1] for non-branches *)
+}
+
+val make :
+  id:int ->
+  opcode:Opcode.t ->
+  ?dst:Reg.t ->
+  ?srcs:Reg.t array ->
+  ?stream:int ->
+  ?branch_ref:int ->
+  unit ->
+  t
+(** Smart constructor; validates operand shape against the opcode
+    (e.g. a [Store] has no destination, a [Load] has one; memory
+    micro-ops must name a stream). *)
+
+val is_mem : t -> bool
+val is_branch : t -> bool
+val pp : Format.formatter -> t -> unit

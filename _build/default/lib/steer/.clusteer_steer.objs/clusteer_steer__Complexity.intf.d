@@ -1,0 +1,1 @@
+lib/steer/complexity.mli:

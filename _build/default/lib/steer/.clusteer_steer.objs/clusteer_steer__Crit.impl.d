@@ -1,0 +1,1 @@
+lib/steer/crit.ml: Array Clusteer_trace Clusteer_uarch Clusteer_util Dynuop Policy

@@ -1,0 +1,1 @@
+lib/steer/crit.mli: Clusteer_uarch

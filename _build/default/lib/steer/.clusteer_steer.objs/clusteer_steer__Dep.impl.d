@@ -1,0 +1,1 @@
+lib/steer/dep.ml: Array Clusteer_uarch Clusteer_util Policy

@@ -1,0 +1,1 @@
+lib/steer/dep.mli: Clusteer_uarch

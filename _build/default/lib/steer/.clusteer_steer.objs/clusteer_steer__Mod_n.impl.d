@@ -1,0 +1,1 @@
+lib/steer/mod_n.ml: Clusteer_uarch Policy Printf

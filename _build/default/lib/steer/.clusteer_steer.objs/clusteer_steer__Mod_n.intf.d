@@ -1,0 +1,1 @@
+lib/steer/mod_n.mli: Clusteer_uarch

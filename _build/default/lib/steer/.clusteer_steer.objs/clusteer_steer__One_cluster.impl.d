@@ -1,0 +1,1 @@
+lib/steer/one_cluster.ml: Clusteer_uarch Policy

@@ -1,0 +1,1 @@
+lib/steer/one_cluster.mli: Clusteer_uarch

@@ -1,0 +1,1 @@
+lib/steer/op.ml: Array Clusteer_isa Clusteer_trace Clusteer_uarch Clusteer_util Fun List Opcode Policy Uop

@@ -1,0 +1,1 @@
+lib/steer/op.mli: Clusteer_uarch

@@ -1,0 +1,1 @@
+lib/steer/op_parallel.ml: Array Clusteer_isa Clusteer_trace Clusteer_uarch Clusteer_util Fun Hashtbl List Opcode Option Policy Reg Uop

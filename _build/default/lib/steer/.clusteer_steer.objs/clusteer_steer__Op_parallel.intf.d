@@ -1,0 +1,1 @@
+lib/steer/op_parallel.mli: Clusteer_uarch

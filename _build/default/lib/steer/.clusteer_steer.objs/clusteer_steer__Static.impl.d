@@ -1,0 +1,1 @@
+lib/steer/static.ml: Annot Array Clusteer_isa Clusteer_trace Clusteer_uarch Dynuop Policy

@@ -1,0 +1,1 @@
+lib/steer/static.mli: Annot Clusteer_isa Clusteer_uarch

@@ -1,0 +1,1 @@
+lib/steer/thermal_aware.ml: Array Clusteer_uarch Policy

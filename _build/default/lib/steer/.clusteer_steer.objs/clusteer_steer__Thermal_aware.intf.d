@@ -1,0 +1,1 @@
+lib/steer/thermal_aware.mli: Clusteer_uarch

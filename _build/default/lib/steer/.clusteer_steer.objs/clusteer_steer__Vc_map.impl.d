@@ -1,0 +1,1 @@
+lib/steer/vc_map.ml: Annot Array Clusteer_isa Clusteer_trace Clusteer_uarch Dynuop Policy

@@ -1,0 +1,1 @@
+lib/steer/vc_map.mli: Annot Clusteer_isa Clusteer_uarch

@@ -1,0 +1,75 @@
+type t = {
+  name : string;
+  dependence_check : bool;
+  workload_balance : bool;
+  vote_unit : bool;
+  copy_generator : bool;
+  serialized : bool;
+}
+
+let op =
+  {
+    name = "hardware-only occupancy-aware (OP)";
+    dependence_check = true;
+    workload_balance = true;
+    vote_unit = true;
+    copy_generator = true;
+    serialized = true;
+  }
+
+let one_cluster =
+  {
+    name = "one-cluster";
+    dependence_check = false;
+    workload_balance = false;
+    vote_unit = false;
+    copy_generator = false;
+    serialized = false;
+  }
+
+let ob =
+  {
+    name = "software-only OB (SPDI)";
+    dependence_check = false;
+    workload_balance = false;
+    vote_unit = false;
+    copy_generator = true;
+    serialized = false;
+  }
+
+let rhop =
+  {
+    name = "software-only RHOP";
+    dependence_check = false;
+    workload_balance = false;
+    vote_unit = false;
+    copy_generator = true;
+    serialized = false;
+  }
+
+let vc =
+  {
+    name = "hybrid virtual clustering (VC)";
+    dependence_check = false;
+    workload_balance = true;
+    vote_unit = false;
+    copy_generator = true;
+    serialized = false;
+  }
+
+let all = [ op; one_cluster; ob; rhop; vc ]
+
+let yesno b = if b then "yes" else "no"
+
+let table_rows () =
+  List.map
+    (fun c ->
+      [|
+        c.name;
+        yesno c.dependence_check;
+        yesno c.workload_balance;
+        yesno c.vote_unit;
+        yesno c.copy_generator;
+        yesno c.serialized;
+      |])
+    all

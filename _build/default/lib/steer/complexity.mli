@@ -1,0 +1,26 @@
+(** Steering-logic complexity accounting (paper Table 1).
+
+    Which hardware blocks each steering configuration needs. The two
+    blocks the hybrid scheme eliminates — dependence checking and the
+    vote unit — are "the most expensive parts, both in complexity and
+    delay, of a hardware-only scheme" because they serialize steering
+    within a decode bundle (§4.3). *)
+
+type t = {
+  name : string;
+  dependence_check : bool;
+  workload_balance : bool;
+  vote_unit : bool;
+  copy_generator : bool;
+  serialized : bool;  (** must earlier bundle slots steer first? *)
+}
+
+val op : t
+val one_cluster : t
+val ob : t
+val rhop : t
+val vc : t
+val all : t list
+
+val table_rows : unit -> string array list
+(** Rows for regenerating Table 1. *)

@@ -1,0 +1,29 @@
+open Clusteer_uarch
+module Bitset = Clusteer_util.Bitset
+
+let make () =
+  let decide view duop =
+    let clusters = view.Policy.clusters in
+    let votes = Array.make clusters 0 in
+    Array.iter
+      (fun loc ->
+        for c = 0 to clusters - 1 do
+          if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+        done)
+      (view.Policy.src_locations duop);
+    let best_votes = Array.fold_left max 0 votes in
+    let best = ref (-1) in
+    for c = clusters - 1 downto 0 do
+      if
+        votes.(c) = best_votes
+        && (!best = -1 || view.Policy.inflight c < view.Policy.inflight !best)
+      then best := c
+    done;
+    Policy.Dispatch_to !best
+  in
+  {
+    Policy.name = "dep";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }

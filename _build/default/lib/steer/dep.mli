@@ -1,0 +1,11 @@
+(** Dependence-based steering (Canal, Parcerisa & González, HPCA-6 [5]
+    in the paper's bibliography): follow your operands, break ties to
+    the least-loaded cluster — like OP but without occupancy-aware
+    stalling (the front-end never stalls voluntarily; a full queue is
+    handled by the dispatch stage like any structural hazard).
+
+    Included beyond Table 3 as the ancestor of OP: comparing the two
+    isolates exactly what stall-over-steer buys (§3.1: "some recent
+    work has pointed out the benefit of stalling over steering"). *)
+
+val make : unit -> Clusteer_uarch.Policy.t

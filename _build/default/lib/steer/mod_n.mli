@@ -1,0 +1,11 @@
+(** MOD_N steering (Baniasadi & Moshovos, MICRO-33 [3] in the paper's
+    bibliography): send [n] consecutive micro-ops to a cluster, then
+    rotate to the next one.
+
+    The classic low-complexity hardware baseline — perfect long-term
+    balance, completely communication-blind. Included beyond the
+    paper's Table 3 to position the evaluated schemes against the
+    wider literature (the paper's §3.1 discusses this family). *)
+
+val make : ?n:int -> unit -> Clusteer_uarch.Policy.t
+(** [n] defaults to 3 (the best-performing variant reported in [3]). *)

@@ -1,0 +1,9 @@
+open Clusteer_uarch
+
+let make () =
+  {
+    Policy.name = "one-cluster";
+    decide = (fun _view _duop -> Policy.Dispatch_to 0);
+    uses_dependence_check = false;
+    uses_vote_unit = false;
+  }

@@ -1,0 +1,6 @@
+(** The naive hardware scheme of Table 3: "every instruction goes to
+    one cluster". Zero communication, worst workload distribution —
+    the paper's lower bound showing how much a good steering scheme
+    buys. *)
+
+val make : unit -> Clusteer_uarch.Policy.t

@@ -1,0 +1,71 @@
+open Clusteer_isa
+open Clusteer_uarch
+module Bitset = Clusteer_util.Bitset
+
+(* Clusters holding the most source operands (the vote), as a list of
+   candidates; sources located everywhere vote for every cluster. *)
+let vote view duop =
+  let clusters = view.Policy.clusters in
+  let votes = Array.make clusters 0 in
+  Array.iter
+    (fun loc ->
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done)
+    (view.Policy.src_locations duop);
+  let best = Array.fold_left max 0 votes in
+  let candidates = ref [] in
+  for c = clusters - 1 downto 0 do
+    if votes.(c) = best then candidates := c :: !candidates
+  done;
+  !candidates
+
+let least_loaded view candidates =
+  match candidates with
+  | [] -> invalid_arg "Op.least_loaded: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best c ->
+          if view.Policy.inflight c < view.Policy.inflight best then c else best)
+        first rest
+
+let make ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
+  let decide view duop =
+    let u = duop.Clusteer_trace.Dynuop.suop in
+    let queue = Opcode.queue u.Uop.opcode in
+    let clusters = view.Policy.clusters in
+    let all = List.init clusters Fun.id in
+    let preferred = least_loaded view (vote view duop) in
+    let min_load =
+      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
+    in
+    (* Balance override: a severely overloaded preferred cluster loses
+       its dependence advantage. *)
+    let preferred =
+      if view.Policy.inflight preferred - min_load > imbalance_limit then
+        least_loaded view all
+      else preferred
+    in
+    if view.Policy.queue_free preferred queue > 0 then
+      Policy.Dispatch_to preferred
+    else begin
+      (* Preferred cluster is out of queue slots: steer away only when
+         some other cluster is comfortably idle, otherwise stall
+         (stall-over-steer). *)
+      let alternatives =
+        List.filter
+          (fun c ->
+            c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
+          all
+      in
+      match alternatives with
+      | [] -> Policy.Stall
+      | cs -> Policy.Dispatch_to (least_loaded view cs)
+    end
+  in
+  {
+    Policy.name = "op";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }

@@ -1,0 +1,25 @@
+(** OP: occupancy-aware hardware-only steering (González, Latorre &
+    González [15] — the paper's baseline, "one of the best
+    hardware-only steering algorithms in the literature").
+
+    Sequential dependence-based steering: each micro-op, in program
+    order and with fully up-to-date rename-table locations, votes for
+    the cluster holding most of its source operands; ties go to the
+    least-loaded cluster. Occupancy-awareness adds stall-over-steer:
+    when the preferred cluster's issue queue is (nearly) full it is
+    better to stall the front-end than to steer the micro-op away from
+    its operands — unless another cluster is comfortably idle.
+
+    This is precisely the serialized logic whose hardware cost §2.1
+    argues is prohibitive; the simulator charges no extra latency for
+    it, making OP an *upper* bound, which is the paper's methodology
+    (every scheme is reported as slowdown against OP). *)
+
+val make :
+  ?stall_threshold:int -> ?imbalance_limit:int -> unit ->
+  Clusteer_uarch.Policy.t
+(** [stall_threshold] (default 16): minimum free issue-queue slots
+    another cluster must have before OP steers away from the preferred
+    cluster instead of stalling. [imbalance_limit] (default 24):
+    in-flight count difference beyond which balance overrides
+    dependences. *)

@@ -1,0 +1,101 @@
+open Clusteer_isa
+open Clusteer_uarch
+module Bitset = Clusteer_util.Bitset
+
+(* Per-cycle memory of registers redefined by micro-ops already steered
+   this cycle: maps the register to the location mask its *previous*
+   value had when the bundle started. Reading through this table is
+   what "non-updated information" means in §2.1. *)
+type bundle_state = {
+  mutable cycle : int;
+  stale : (Reg.t, Bitset.t) Hashtbl.t;
+}
+
+let stale_locations state view duop =
+  let fresh = view.Policy.src_locations duop in
+  Array.mapi
+    (fun i loc ->
+      let src = duop.Clusteer_trace.Dynuop.suop.Uop.srcs.(i) in
+      match Hashtbl.find_opt state.stale src with
+      | Some old -> old
+      | None -> loc)
+    fresh
+
+let vote_with locations clusters =
+  let votes = Array.make clusters 0 in
+  Array.iter
+    (fun loc ->
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done)
+    locations;
+  let best = Array.fold_left max 0 votes in
+  let candidates = ref [] in
+  for c = clusters - 1 downto 0 do
+    if votes.(c) = best then candidates := c :: !candidates
+  done;
+  !candidates
+
+let least_loaded view candidates =
+  match candidates with
+  | [] -> invalid_arg "Op_parallel.least_loaded: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best c ->
+          if view.Policy.inflight c < view.Policy.inflight best then c else best)
+        first rest
+
+let make ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
+  let state = { cycle = -1; stale = Hashtbl.create 16 } in
+  let decide view duop =
+    if view.Policy.cycle () <> state.cycle then begin
+      state.cycle <- view.Policy.cycle ();
+      Hashtbl.reset state.stale
+    end;
+    let u = duop.Clusteer_trace.Dynuop.suop in
+    let queue = Opcode.queue u.Uop.opcode in
+    let clusters = view.Policy.clusters in
+    let all = List.init clusters Fun.id in
+    let locations = stale_locations state view duop in
+    let preferred = least_loaded view (vote_with locations clusters) in
+    let min_load =
+      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
+    in
+    let preferred =
+      if view.Policy.inflight preferred - min_load > imbalance_limit then
+        least_loaded view all
+      else preferred
+    in
+    let decision =
+      if view.Policy.queue_free preferred queue > 0 then
+        Policy.Dispatch_to preferred
+      else begin
+        let alternatives =
+          List.filter
+            (fun c ->
+              c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
+            all
+        in
+        match alternatives with
+        | [] -> Policy.Stall
+        | cs -> Policy.Dispatch_to (least_loaded view cs)
+      end
+    in
+    (match decision with
+    | Policy.Dispatch_to _ ->
+        (* Record the overwritten value's pre-bundle location so later
+           micro-ops of this bundle keep seeing the stale mapping. *)
+        Option.iter
+          (fun dst ->
+            if not (Hashtbl.mem state.stale dst) then
+              Hashtbl.add state.stale dst (view.Policy.reg_location dst))
+          u.Uop.dst
+    | Policy.Stall -> ());
+    decision
+  in
+  {
+    Policy.name = "op-parallel";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }

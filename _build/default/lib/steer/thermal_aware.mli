@@ -1,0 +1,17 @@
+(** Thermal-aware steering (after the paper's [7], Chaparro et al.):
+    activity migration by steering.
+
+    The policy keeps a per-cluster exponentially-decaying activity
+    accumulator (a proxy for temperature the hardware could implement
+    with one counter per cluster) and steers each micro-op to the
+    cluster minimizing [inflight + weight * heat]. Over short windows
+    it behaves like load balancing; over long windows the decay makes
+    it rotate work away from persistently hot clusters — trading
+    communication for a lower thermal spread, which
+    {!Clusteer_uarch.Thermal.estimate} can quantify. *)
+
+val make :
+  ?decay:float -> ?weight:float -> unit -> Clusteer_uarch.Policy.t
+(** [decay] (default 0.999) is the per-decision retention of the heat
+    accumulator; [weight] (default 0.5) scales heat against the
+    in-flight count. *)

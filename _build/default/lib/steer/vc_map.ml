@@ -1,0 +1,44 @@
+open Clusteer_isa
+open Clusteer_uarch
+open Clusteer_trace
+
+let least_loaded view =
+  let best = ref 0 in
+  for c = 1 to view.Policy.clusters - 1 do
+    if view.Policy.inflight c < view.Policy.inflight !best then best := c
+  done;
+  !best
+
+let make ?(remap_threshold = 8) ~annot ~clusters () =
+  if annot.Annot.virtual_clusters <= 0 then
+    invalid_arg "Vc_map.make: annotation has no virtual clusters";
+  let table =
+    Array.init annot.Annot.virtual_clusters (fun v -> v mod clusters)
+  in
+  let decide view duop =
+    let id = Dynuop.static_id duop in
+    let vc = annot.Annot.vc_of.(id) in
+    if vc < 0 then Policy.Dispatch_to (least_loaded view)
+    else begin
+      (* At a chain leader the workload counters are consulted; the VC
+         is remapped only when its current cluster is ahead of the
+         least-loaded one by more than the threshold — the hysteresis
+         keeps consecutive chains of a VC together unless the
+         imbalance is worth a remap. *)
+      if annot.Annot.leader.(id) then begin
+        let best = least_loaded view in
+        let cur = table.(vc) in
+        if
+          view.Policy.inflight cur - view.Policy.inflight best
+          > remap_threshold
+        then table.(vc) <- best
+      end;
+      Policy.Dispatch_to table.(vc)
+    end
+  in
+  {
+    Policy.name = "vc";
+    decide;
+    uses_dependence_check = false;
+    uses_vote_unit = false;
+  }

@@ -1,0 +1,28 @@
+(** The hardware half of the paper's hybrid scheme (Figure 4): map
+    virtual clusters to physical clusters at run time.
+
+    The only state is a small table with one entry per virtual cluster
+    and the per-cluster workload counters the engine already keeps.
+    When a chain-leader mark is decoded, the counters are consulted
+    and the leader's virtual cluster is remapped to the least-loaded
+    physical cluster; every non-leader micro-op simply follows the
+    current table entry. No dependence checking, no voting — the two
+    components §4.3/Table 1 remove from the hardware-only design. *)
+
+open Clusteer_isa
+
+val make :
+  ?remap_threshold:int ->
+  annot:Annot.t ->
+  clusters:int ->
+  unit ->
+  Clusteer_uarch.Policy.t
+(** [annot] must be a virtual-cluster annotation (scheme ["vc"]).
+    The initial table maps virtual cluster [v] to physical cluster
+    [v mod clusters]. A leader remaps its VC only when the current
+    cluster leads the least-loaded one by more than [remap_threshold]
+    in-flight micro-ops. The default 0 is the paper's semantics
+    (always move to the least-loaded cluster); positive values add
+    hysteresis that trades balance for fewer remap-induced copies —
+    an extension evaluated by the ablation bench. Micro-ops without a
+    VC assignment go to the least-loaded cluster. *)

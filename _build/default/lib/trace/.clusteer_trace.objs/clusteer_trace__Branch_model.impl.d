@@ -1,0 +1,1 @@
+lib/trace/branch_model.ml: Array Clusteer_util Printf

@@ -1,0 +1,1 @@
+lib/trace/dynuop.ml: Clusteer_isa Format Printf Uop

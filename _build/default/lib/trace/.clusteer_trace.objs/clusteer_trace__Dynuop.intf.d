@@ -1,0 +1,1 @@
+lib/trace/dynuop.mli: Clusteer_isa Format Uop

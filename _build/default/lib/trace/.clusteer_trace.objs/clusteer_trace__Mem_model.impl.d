@@ -1,0 +1,1 @@
+lib/trace/mem_model.ml: Array Clusteer_util Printf

@@ -1,0 +1,1 @@
+lib/trace/mem_model.mli:

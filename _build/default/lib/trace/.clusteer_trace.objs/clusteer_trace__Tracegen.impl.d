@@ -1,0 +1,1 @@
+lib/trace/tracegen.ml: Array Block Branch_model Clusteer_isa Dynuop Mem_model Program Uop

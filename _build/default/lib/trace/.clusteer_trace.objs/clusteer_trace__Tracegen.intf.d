@@ -1,0 +1,1 @@
+lib/trace/tracegen.mli: Branch_model Clusteer_isa Dynuop Mem_model Program

@@ -1,0 +1,56 @@
+type t =
+  | Bernoulli of float
+  | Loop of int
+  | Pattern of bool array
+
+type state = {
+  models : t array;
+  counters : int array;  (* loop iteration / pattern position *)
+  mutable rng : Clusteer_util.Rng.t;
+  seed : int;
+}
+
+let validate = function
+  | Bernoulli p ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Branch_model: probability range"
+  | Loop n -> if n < 1 then invalid_arg "Branch_model: loop trip count >= 1"
+  | Pattern a ->
+      if Array.length a = 0 then invalid_arg "Branch_model: empty pattern"
+
+let make_state models ~seed =
+  Array.iter validate models;
+  {
+    models;
+    counters = Array.make (Array.length models) 0;
+    rng = Clusteer_util.Rng.create seed;
+    seed;
+  }
+
+(* Reseeding keeps a wrapped walk identical to the first one, which
+   makes traces deterministic functions of (program, seed, length). *)
+let reset st =
+  Array.fill st.counters 0 (Array.length st.counters) 0;
+  st.rng <- Clusteer_util.Rng.create st.seed
+
+let outcome st id =
+  match st.models.(id) with
+  | Bernoulli p -> Clusteer_util.Rng.bernoulli st.rng p
+  | Loop n ->
+      let c = st.counters.(id) in
+      if c = n - 1 then begin
+        st.counters.(id) <- 0;
+        false
+      end
+      else begin
+        st.counters.(id) <- c + 1;
+        true
+      end
+  | Pattern a ->
+      let c = st.counters.(id) in
+      st.counters.(id) <- (c + 1) mod Array.length a;
+      a.(c)
+
+let describe = function
+  | Bernoulli p -> Printf.sprintf "bernoulli(%.2f)" p
+  | Loop n -> Printf.sprintf "loop(%d)" n
+  | Pattern a -> Printf.sprintf "pattern(%d)" (Array.length a)

@@ -1,0 +1,31 @@
+(** Branch behaviour models.
+
+    Each [Branch] micro-op in a program names one model by id; the
+    trace generator keeps per-model mutable state and asks the model
+    for an outcome at every dynamic instance. Outcome [true] (taken)
+    selects successor 1 of the block, [false] selects successor 0.
+
+    Predictability varies by constructor, which is what drives the
+    front-end stall behaviour of the simulated machine: [Loop] branches
+    are almost perfectly predictable, [Bernoulli] branches near
+    [p = 0.5] are hard. *)
+
+type t =
+  | Bernoulli of float  (** independently taken with this probability *)
+  | Loop of int
+      (** taken [n-1] consecutive times, then not taken once (a loop
+          back-edge with trip count [n]); [n >= 1] *)
+  | Pattern of bool array  (** repeating fixed outcome sequence *)
+
+type state
+
+val make_state : t array -> seed:int -> state
+(** Fresh per-model state for one trace walk. *)
+
+val reset : state -> unit
+(** Restart all models (used when a trace wraps back to the entry). *)
+
+val outcome : state -> int -> bool
+(** [outcome st id] draws the next outcome of model [id]. *)
+
+val describe : t -> string

@@ -1,0 +1,10 @@
+open Clusteer_isa
+
+type t = { seq : int; suop : Uop.t; addr : int; taken : bool }
+
+let static_id t = t.suop.Uop.id
+
+let pp ppf t =
+  Format.fprintf ppf "@[%d:%a%s%s@]" t.seq Uop.pp t.suop
+    (if t.addr >= 0 then Printf.sprintf " @0x%x" t.addr else "")
+    (if Uop.is_branch t.suop then if t.taken then " T" else " N" else "")

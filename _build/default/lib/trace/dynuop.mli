@@ -1,0 +1,16 @@
+(** Dynamic micro-op instances: one element of a trace. *)
+
+open Clusteer_isa
+
+type t = {
+  seq : int;  (** dynamic sequence number, dense from 0 *)
+  suop : Uop.t;  (** the static micro-op this instantiates *)
+  addr : int;  (** byte address for loads/stores, [-1] otherwise *)
+  taken : bool;  (** branch outcome; [false] for non-branches *)
+}
+
+val static_id : t -> int
+(** Shorthand for [t.suop.id] — the key into {!Clusteer_isa.Annot}
+    side tables and the branch predictor's PC surrogate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Memory address stream models.
+
+    Each load/store micro-op names a stream id; the trace generator
+    materialises concrete byte addresses from the stream's model. The
+    models cover the behaviours that matter for the cache hierarchy:
+    sequential array walks (high spatial locality), uniform accesses
+    inside a working set (locality controlled by the set size vs the
+    cache size), and serially-dependent pointer chases. *)
+
+type t =
+  | Strided of { base : int; stride : int; footprint : int }
+      (** walks [base, base+stride, ...] wrapping every [footprint]
+          bytes; [stride <> 0], [footprint > 0] *)
+  | Uniform of { base : int; footprint : int; granule : int }
+      (** [granule]-aligned accesses over [footprint] bytes with 80/20
+          temporal locality: 80% of draws fall in a hot subset (a
+          sixteenth of the footprint, at least 4KB) *)
+  | Chase of { base : int; footprint : int }
+      (** pointer chase: pseudo-random 8-byte-aligned walk inside the
+          footprint where each address depends on the previous one *)
+
+type state
+
+val make_state : t array -> seed:int -> state
+val reset : state -> unit
+val next_address : state -> int -> int
+(** [next_address st id] draws the next byte address of stream [id]. *)
+
+val extent : t -> int * int
+(** [(base, bytes)] address range the stream can touch — used to
+    pre-warm simulated caches the way checkpointed simulation points
+    restore cache state. *)
+
+val describe : t -> string

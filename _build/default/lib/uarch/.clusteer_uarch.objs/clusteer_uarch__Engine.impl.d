@@ -1,0 +1,1 @@
+lib/uarch/engine.ml: Annot Array Bpred Clusteer_isa Clusteer_trace Clusteer_util Config Dynuop Hashtbl List Memsys Opcode Option Policy Printf Reg Stats Tracecache Uop

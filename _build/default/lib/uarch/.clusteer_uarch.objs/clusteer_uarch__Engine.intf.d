@@ -1,0 +1,1 @@
+lib/uarch/engine.mli: Annot Clusteer_isa Clusteer_trace Config Dynuop Policy Stats

@@ -1,0 +1,1 @@
+lib/uarch/memsys.mli: Config

@@ -1,0 +1,1 @@
+lib/uarch/policy.ml: Annot Clusteer_isa Clusteer_trace Clusteer_util Dynuop Opcode Reg

@@ -1,0 +1,1 @@
+lib/uarch/thermal.ml: Array Energy Stats

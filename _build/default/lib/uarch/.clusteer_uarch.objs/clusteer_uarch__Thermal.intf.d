@@ -1,0 +1,1 @@
+lib/uarch/thermal.mli: Energy Stats

@@ -1,0 +1,22 @@
+(** Gshare branch predictor.
+
+    The paper does not specify its predictor; any reasonable one works
+    because all configurations share the front-end. We use gshare with
+    a 2-bit-counter table indexed by global history xor the static
+    micro-op id (the PC surrogate of a trace-driven model). *)
+
+type t
+
+val create : bits:int -> t
+(** [bits] sets both history length and table index width. *)
+
+val predict : t -> pc:int -> bool
+(** Taken/not-taken prediction; does not update state. *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Train the counter and shift the history with the real outcome. *)
+
+val lookups : t -> int
+val mispredicts : t -> int
+val accuracy : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,91 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_shift : int;
+  tags : int array;  (* sets * ways; -1 = invalid *)
+  recency : int array;  (* higher = more recently used *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type outcome = Hit | Miss
+
+let log2 n =
+  let rec loop acc v = if v <= 1 then acc else loop (acc + 1) (v lsr 1) in
+  loop 0 n
+
+let create (c : Config.cache) =
+  let sets = c.Config.size_bytes / (c.Config.ways * c.Config.line_bytes) in
+  if sets <= 0 then invalid_arg "Cache.create: zero sets";
+  if sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    sets;
+    ways = c.Config.ways;
+    line_shift = log2 c.Config.line_bytes;
+    tags = Array.make (sets * c.Config.ways) (-1);
+    recency = Array.make (sets * c.Config.ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let tag = line lsr (log2 t.sets) in
+  (set, tag)
+
+let find_way t set tag =
+  let base = set * t.ways in
+  let rec loop w =
+    if w = t.ways then None
+    else if t.tags.(base + w) = tag then Some w
+    else loop (w + 1)
+  in
+  loop 0
+
+let access t ~addr ~write:_ =
+  let set, tag = locate t addr in
+  let base = set * t.ways in
+  t.clock <- t.clock + 1;
+  match find_way t set tag with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      t.recency.(base + w) <- t.clock;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Fill into the LRU (or an invalid) way. *)
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if t.recency.(base + w) < t.recency.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- tag;
+      t.recency.(base + !victim) <- t.clock;
+      Miss
+
+let touch t ~addr =
+  let hits = t.hits and misses = t.misses in
+  (match access t ~addr ~write:false with Hit | Miss -> ());
+  t.hits <- hits;
+  t.misses <- misses
+
+let probe t ~addr =
+  let set, tag = locate t addr in
+  find_way t set tag <> None
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.recency 0 (Array.length t.recency) 0
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

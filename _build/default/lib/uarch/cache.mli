@@ -1,0 +1,31 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Tracks tags only (the reproduction never needs data values). Used
+    for both L1D and L2. *)
+
+type t
+
+type outcome = Hit | Miss
+
+val create : Config.cache -> t
+val sets : t -> int
+val ways : t -> int
+
+val access : t -> addr:int -> write:bool -> outcome
+(** Look up the line containing [addr]; on a miss the line is filled
+    (allocate-on-write as well) and the LRU line evicted. Updates
+    recency on hits. *)
+
+val probe : t -> addr:int -> bool
+(** Non-mutating lookup. *)
+
+val touch : t -> addr:int -> unit
+(** Fill / refresh the line without counting statistics (prefetches
+    and warmup are not demand accesses). *)
+
+val invalidate_all : t -> unit
+
+(* Statistics *)
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

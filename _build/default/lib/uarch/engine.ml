@@ -1,0 +1,729 @@
+open Clusteer_isa
+open Clusteer_trace
+module Bitset = Clusteer_util.Bitset
+module Pqueue = Clusteer_util.Pqueue
+module Ring = Clusteer_util.Ring
+module Vec = Clusteer_util.Vec
+
+type kind =
+  | Op of Dynuop.t
+  | Copy_op of { tag : int; to_cluster : int }
+
+type inst = {
+  iseq : int;  (* global age, used as select priority *)
+  kind : kind;
+  cluster : int;  (* where it is queued / executes *)
+  queue : Opcode.queue;
+  dst_tag : int;  (* -1 = none *)
+  src_tags : int array;
+  mutable waiting : int;  (* outstanding operands *)
+  mutable completed : bool;
+  mutable took_mshr : bool;  (* load in flight past the L1 *)
+  mutable store_waiters : inst list;  (* loads blocked on this store *)
+  mispredicted : bool;
+}
+
+type event =
+  | Ev_complete of inst
+  | Ev_copy_arrive of inst
+
+type fetch_slot = { duop : Dynuop.t; ready_at : int; misp : bool }
+
+let never = max_int
+
+type t = {
+  cfg : Config.t;
+  annot : Annot.t;
+  policy : Policy.t;
+  frontend_depth : int;  (* fetch-to-dispatch + serialized-steer stages *)
+  stats : Stats.t;
+  memsys : Memsys.t;
+  bpred : Bpred.t;
+  tcache : Tracecache.t;
+  (* time *)
+  mutable cycle : int;
+  mutable next_iseq : int;
+  (* front-end *)
+  fetchq : fetch_slot Ring.t;
+  mutable fetch_resume : int;  (* no fetch before this cycle; [never] while
+                                   a mispredicted branch is unresolved *)
+  (* rename: architectural register code -> value tag *)
+  rename : int array;
+  (* per-tag state *)
+  tag_loc : Vec.t;  (* cluster mask: where the value is or will be *)
+  tag_ready : Vec.t;  (* cluster mask: where the value has been produced *)
+  tag_origin : Vec.t;  (* producing cluster *)
+  waiters : (int, inst list ref) Hashtbl.t;  (* (tag, cluster) key *)
+  (* back-end *)
+  rob : inst Ring.t;
+  occupancy : int array array;  (* cluster -> queue index -> used slots *)
+  inflight : int array;  (* cluster -> dispatched, not yet completed *)
+  ready_q : inst Pqueue.t array array;  (* cluster -> queue index *)
+  unit_free : int array array;  (* cluster -> fu index -> next free cycle *)
+  link_free : int array array;  (* from -> to -> next free cycle *)
+  mutable lsq_used : int;
+  regs_used : int array array;  (* cluster -> class (0 int, 1 fp) -> live dests *)
+  mutable misses_outstanding : int;  (* in-flight L1 misses (MSHR usage) *)
+  pending_store : (int, inst) Hashtbl.t;  (* 8-byte-aligned addr -> store *)
+  events : event Pqueue.t;
+  (* per-cycle port counters *)
+  mutable loads_this_cycle : int;
+  mutable stores_this_cycle : int;
+  view : Policy.view;
+}
+
+let queue_index = function
+  | Opcode.Int_queue -> 0
+  | Opcode.Fp_queue -> 1
+  | Opcode.Copy_queue -> 2
+
+let queue_size cfg = function
+  | Opcode.Int_queue -> cfg.Config.int_iq_size
+  | Opcode.Fp_queue -> cfg.Config.fp_iq_size
+  | Opcode.Copy_queue -> cfg.Config.copy_q_size
+
+let queue_width cfg = function
+  | Opcode.Int_queue -> cfg.Config.int_issue_width
+  | Opcode.Fp_queue -> cfg.Config.fp_issue_width
+  | Opcode.Copy_queue -> cfg.Config.copy_issue_width
+
+let fu_index = function
+  | Opcode.Fu_alu -> 0
+  | Opcode.Fu_imul -> 1
+  | Opcode.Fu_fp -> 2
+  | Opcode.Fu_copy -> 3
+
+let reg_code cfg_nregs (r : Reg.t) = Reg.encode ~nregs_per_class:cfg_nregs r
+
+(* The engine supports any register budget; the rename table is sized
+   for the largest budget the workloads use. *)
+let max_nregs_per_class = 64
+
+let create ~config ~annot ~policy ?(prewarm = []) () =
+  Config.validate config;
+  let clusters = config.Config.clusters in
+  let stats = Stats.create ~clusters in
+  let tag_loc = Vec.create ~default:0 () in
+  let tag_ready = Vec.create ~default:0 () in
+  let tag_origin = Vec.create ~default:0 () in
+  let rename = Array.make (2 * max_nregs_per_class) (-1) in
+  let all_mask = (Bitset.full clusters :> int) in
+  (* Initial architectural values live in every cluster: machine state
+     that predates the trace is assumed resident everywhere. *)
+  Array.iteri
+    (fun code _ ->
+      let tag = Vec.push tag_loc all_mask in
+      ignore (Vec.push tag_ready all_mask);
+      ignore (Vec.push tag_origin 0);
+      rename.(code) <- tag)
+    rename;
+  let rec t =
+    {
+      cfg = config;
+      annot;
+      policy;
+      (* Policies using the serialized dependence-check/vote hardware
+         pay the extra decode stages of 2.1. *)
+      frontend_depth =
+        (config.Config.fetch_to_dispatch
+        +
+        if policy.Policy.uses_vote_unit then config.Config.steer_serial_stages
+        else 0);
+      stats;
+      memsys = Memsys.create config;
+      bpred = Bpred.create ~bits:config.Config.bpred_bits;
+      tcache =
+        Tracecache.create ~size_uops:config.Config.tc_size_uops
+          ~line_uops:config.Config.tc_line_uops ~ways:config.Config.tc_ways;
+      cycle = 0;
+      next_iseq = 0;
+      fetchq =
+        Ring.create
+          ~capacity:
+            (config.Config.fetch_width * (config.Config.fetch_to_dispatch + 2));
+      fetch_resume = 0;
+      rename;
+      tag_loc;
+      tag_ready;
+      tag_origin;
+      waiters = Hashtbl.create 1024;
+      rob = Ring.create ~capacity:config.Config.rob_size;
+      occupancy = Array.init clusters (fun _ -> Array.make 3 0);
+      inflight = Array.make clusters 0;
+      ready_q =
+        Array.init clusters (fun _ -> Array.init 3 (fun _ -> Pqueue.create ()));
+      unit_free = Array.init clusters (fun _ -> Array.make 4 0);
+      link_free = Array.init clusters (fun _ -> Array.make clusters 0);
+      lsq_used = 0;
+      regs_used = Array.init clusters (fun _ -> Array.make 2 0);
+      misses_outstanding = 0;
+      pending_store = Hashtbl.create 64;
+      events = Pqueue.create ();
+      loads_this_cycle = 0;
+      stores_this_cycle = 0;
+      view =
+        {
+          Policy.clusters;
+          cycle = (fun () -> t.cycle);
+          inflight = (fun c -> t.inflight.(c));
+          queue_free =
+            (fun c q -> queue_size t.cfg q - t.occupancy.(c).(queue_index q));
+          src_locations =
+            (fun duop ->
+              Array.map
+                (fun src ->
+                  let tag = t.rename.(reg_code max_nregs_per_class src) in
+                  Bitset.of_mask (Vec.get t.tag_loc tag))
+                duop.Dynuop.suop.Uop.srcs);
+          reg_location =
+            (fun r ->
+              let tag = t.rename.(reg_code max_nregs_per_class r) in
+              Bitset.of_mask (Vec.get t.tag_loc tag));
+          annot;
+        };
+    }
+  in
+  List.iter (fun (base, bytes) -> Memsys.prewarm t.memsys ~base ~bytes) prewarm;
+  t
+
+let stats t = t.stats
+
+(* ---- tag / wakeup machinery ------------------------------------- *)
+
+let waiter_key t tag cluster = (tag * t.cfg.Config.clusters) + cluster
+
+let enqueue_ready t inst =
+  Pqueue.add t.ready_q.(inst.cluster).(queue_index inst.queue) inst.iseq inst
+
+let add_waiter t inst tag cluster =
+  inst.waiting <- inst.waiting + 1;
+  let key = waiter_key t tag cluster in
+  match Hashtbl.find_opt t.waiters key with
+  | Some l -> l := inst :: !l
+  | None -> Hashtbl.add t.waiters key (ref [ inst ])
+
+let wake inst t =
+  inst.waiting <- inst.waiting - 1;
+  if inst.waiting = 0 then enqueue_ready t inst
+
+let broadcast t tag cluster =
+  Vec.set t.tag_ready tag (Vec.get t.tag_ready tag lor (1 lsl cluster));
+  let key = waiter_key t tag cluster in
+  match Hashtbl.find_opt t.waiters key with
+  | Some l ->
+      Hashtbl.remove t.waiters key;
+      List.iter (fun inst -> wake inst t) !l
+  | None -> ()
+
+let tag_ready_in t tag cluster = Vec.get t.tag_ready tag land (1 lsl cluster) <> 0
+let tag_located_in t tag cluster = Vec.get t.tag_loc tag land (1 lsl cluster) <> 0
+
+let new_tag t ~cluster =
+  let tag = Vec.push t.tag_loc (1 lsl cluster) in
+  ignore (Vec.push t.tag_ready 0);
+  ignore (Vec.push t.tag_origin cluster);
+  tag
+
+(* ---- events ------------------------------------------------------ *)
+
+let on_complete t inst =
+  inst.completed <- true;
+  if inst.took_mshr then begin
+    inst.took_mshr <- false;
+    t.misses_outstanding <- t.misses_outstanding - 1
+  end;
+  t.inflight.(inst.cluster) <- t.inflight.(inst.cluster) - 1;
+  if inst.dst_tag >= 0 then broadcast t inst.dst_tag inst.cluster;
+  (match inst.kind with
+  | Op duop ->
+      let u = duop.Dynuop.suop in
+      (match u.Uop.opcode with
+      | Opcode.Store ->
+          List.iter (fun load -> wake load t) inst.store_waiters;
+          inst.store_waiters <- []
+      | Opcode.Branch ->
+          if inst.mispredicted then
+            t.fetch_resume <- t.cycle + t.cfg.Config.redirect_penalty
+      | _ -> ())
+  | Copy_op _ -> ())
+
+let on_copy_arrive t inst =
+  match inst.kind with
+  | Copy_op { tag; to_cluster } ->
+      t.stats.Stats.copies_executed <- t.stats.Stats.copies_executed + 1;
+      broadcast t tag to_cluster
+  | Op _ -> assert false
+
+let process_events t =
+  let due = Pqueue.pop_while t.events (fun cyc -> cyc <= t.cycle) in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Ev_complete inst -> on_complete t inst
+      | Ev_copy_arrive inst -> on_copy_arrive t inst)
+    due
+
+(* ---- commit ------------------------------------------------------ *)
+
+(* Micro-op class for the "3+3" dispatch/commit width split: the FP
+   pipe handles FP-queue micro-ops, the INT pipe everything else. *)
+let is_fp_class (u : Uop.t) =
+  match Opcode.queue u.Uop.opcode with
+  | Opcode.Fp_queue -> true
+  | Opcode.Int_queue | Opcode.Copy_queue -> false
+
+let commit t =
+  let budget = ref t.cfg.Config.commit_width in
+  let int_budget = ref t.cfg.Config.commit_class_width in
+  let fp_budget = ref t.cfg.Config.commit_class_width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    match Ring.peek t.rob with
+    | Some inst when inst.completed -> (
+        match inst.kind with
+        | Op duop ->
+            let u = duop.Dynuop.suop in
+            let class_budget = if is_fp_class u then fp_budget else int_budget in
+            let is_store =
+              match u.Uop.opcode with Opcode.Store -> true | _ -> false
+            in
+            if !class_budget <= 0 then continue_ := false
+            else if is_store && t.stores_this_cycle >= t.cfg.Config.l1_write_ports
+            then continue_ := false
+            else begin
+              decr class_budget;
+              ignore (Ring.pop t.rob);
+              if is_store then begin
+                t.stores_this_cycle <- t.stores_this_cycle + 1;
+                Memsys.store t.memsys ~addr:duop.Dynuop.addr;
+                let key = duop.Dynuop.addr land lnot 7 in
+                (match Hashtbl.find_opt t.pending_store key with
+                | Some s when s == inst -> Hashtbl.remove t.pending_store key
+                | Some _ | None -> ())
+              end;
+              if Uop.is_mem u then t.lsq_used <- t.lsq_used - 1;
+              (match u.Uop.dst with
+              | Some dst ->
+                  let k =
+                    match dst.Reg.cls with
+                    | Reg.Int_class -> 0
+                    | Reg.Fp_class -> 1
+                  in
+                  t.regs_used.(inst.cluster).(k) <-
+                    t.regs_used.(inst.cluster).(k) - 1
+              | None -> ());
+              t.stats.Stats.committed <- t.stats.Stats.committed + 1;
+              decr budget
+            end
+        | Copy_op _ -> assert false)
+    | Some _ | None -> continue_ := false
+  done
+
+(* ---- issue ------------------------------------------------------- *)
+
+let exec_latency t inst =
+  match inst.kind with
+  | Copy_op _ -> 1
+  | Op duop -> (
+      let u = duop.Dynuop.suop in
+      match u.Uop.opcode with
+      | Opcode.Load ->
+          let mem = Memsys.load_latency t.memsys ~addr:duop.Dynuop.addr in
+          Opcode.latency Opcode.Load + mem
+      | op -> Opcode.latency op)
+
+(* Interconnect model: which resource a transfer occupies and how long
+   it travels, by topology. Point-to-point uses the dedicated
+   per-direction link; a bus is a single shared slot (modelled as the
+   [0][0] entry); a ring charges one hop per step of the shorter
+   direction and occupies the first hop's link. *)
+let transfer_route t ~from ~to_cluster =
+  match t.cfg.Config.topology with
+  | Config.Point_to_point -> (from, to_cluster, t.cfg.Config.link_latency)
+  | Config.Bus -> (0, 0, t.cfg.Config.link_latency)
+  | Config.Ring ->
+      let n = t.cfg.Config.clusters in
+      let fwd = (to_cluster - from + n) mod n in
+      let bwd = (from - to_cluster + n) mod n in
+      let hops = max 1 (min fwd bwd) in
+      let first_hop =
+        if fwd <= bwd then (from + 1) mod n else (from + n - 1) mod n
+      in
+      (from, first_hop, t.cfg.Config.link_latency * hops)
+
+(* Try to start one ready instruction; returns [true] on success,
+   [false] when a structural hazard blocks it this cycle. *)
+let try_start t inst =
+  match inst.kind with
+  | Copy_op { to_cluster; _ } ->
+      let from = inst.cluster in
+      let res_a, res_b, latency = transfer_route t ~from ~to_cluster in
+      if t.link_free.(res_a).(res_b) > t.cycle then false
+      else begin
+        t.link_free.(res_a).(res_b) <- t.cycle + 1;
+        t.stats.Stats.link_transfers <- t.stats.Stats.link_transfers + 1;
+        Pqueue.add t.events (t.cycle + latency) (Ev_copy_arrive inst);
+        (* The copy has left the copy queue; completion frees the
+           in-flight counter. *)
+        Pqueue.add t.events (t.cycle + 1) (Ev_complete inst);
+        true
+      end
+  | Op duop ->
+      let u = duop.Dynuop.suop in
+      let op = u.Uop.opcode in
+      let is_load = match op with Opcode.Load -> true | _ -> false in
+      if is_load && t.loads_this_cycle >= t.cfg.Config.l1_read_ports then false
+      else begin
+        (* MSHR check: a load that will miss the L1 needs a free miss
+           register; without one it retries next cycle. *)
+        let needs_mshr =
+          is_load
+          && not
+               (Memsys.l1_resident t.memsys
+                  ~addr:
+                    (match inst.kind with
+                    | Op d -> d.Dynuop.addr
+                    | Copy_op _ -> assert false))
+        in
+        if needs_mshr && t.misses_outstanding >= t.cfg.Config.mshrs then false
+        else
+        let fu = fu_index (Opcode.fu op) in
+        if
+          (not (Opcode.pipelined op))
+          && t.unit_free.(inst.cluster).(fu) > t.cycle
+        then false
+        else begin
+          if is_load then t.loads_this_cycle <- t.loads_this_cycle + 1;
+          if needs_mshr then begin
+            inst.took_mshr <- true;
+            t.misses_outstanding <- t.misses_outstanding + 1
+          end;
+          let lat = exec_latency t inst in
+          if not (Opcode.pipelined op) then
+            t.unit_free.(inst.cluster).(fu) <- t.cycle + lat;
+          Pqueue.add t.events (t.cycle + lat) (Ev_complete inst);
+          true
+        end
+      end
+
+let issue_queue t cluster qidx queue =
+  let width = queue_width t.cfg queue in
+  let q = t.ready_q.(cluster).(qidx) in
+  let blocked = ref [] in
+  let started = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !started < width do
+    match Pqueue.pop q with
+    | None -> continue_ := false
+    | Some (_, inst) ->
+        if try_start t inst then begin
+          t.occupancy.(cluster).(qidx) <- t.occupancy.(cluster).(qidx) - 1;
+          incr started
+        end
+        else blocked := inst :: !blocked
+  done;
+  List.iter (fun inst -> Pqueue.add q inst.iseq inst) !blocked
+
+let issue t =
+  for c = 0 to t.cfg.Config.clusters - 1 do
+    issue_queue t c 2 Opcode.Copy_queue;
+    issue_queue t c 0 Opcode.Int_queue;
+    issue_queue t c 1 Opcode.Fp_queue
+  done
+
+(* ---- dispatch ---------------------------------------------------- *)
+
+type dispatch_block =
+  | Blk_none
+  | Blk_width  (* per-cluster steer bandwidth exhausted this cycle *)
+  | Blk_empty
+  | Blk_rob
+  | Blk_lsq
+  | Blk_reg  (* destination register file exhausted in the target cluster *)
+  | Blk_policy
+  | Blk_iq
+  | Blk_copyq
+
+let fresh_iseq t =
+  let s = t.next_iseq in
+  t.next_iseq <- s + 1;
+  s
+
+(* Copies needed to bring every source of [u] to [cluster]: the list of
+   tags whose location mask misses the target cluster. *)
+let copies_needed t (u : Uop.t) cluster =
+  Array.to_list u.Uop.srcs
+  |> List.filter_map (fun src ->
+         let tag = t.rename.(reg_code max_nregs_per_class src) in
+         if tag_located_in t tag cluster then None else Some tag)
+  |> List.sort_uniq compare
+
+let insert_copy t tag ~to_cluster =
+  let from = Vec.get t.tag_origin tag in
+  let inst =
+    {
+      iseq = fresh_iseq t;
+      kind = Copy_op { tag; to_cluster };
+      cluster = from;
+      queue = Opcode.Copy_queue;
+      dst_tag = -1;
+      src_tags = [| tag |];
+      waiting = 0;
+      completed = false;
+      took_mshr = false;
+      store_waiters = [];
+      mispredicted = false;
+    }
+  in
+  t.occupancy.(from).(2) <- t.occupancy.(from).(2) + 1;
+  t.inflight.(from) <- t.inflight.(from) + 1;
+  Vec.set t.tag_loc tag (Vec.get t.tag_loc tag lor (1 lsl to_cluster));
+  t.stats.Stats.copies_generated <- t.stats.Stats.copies_generated + 1;
+  if tag_ready_in t tag from then enqueue_ready t inst
+  else add_waiter t inst tag from
+
+let dispatch_one t (slot : fetch_slot) ~per_cluster =
+  let duop = slot.duop in
+  let u = duop.Dynuop.suop in
+  (* Structural preconditions outside the clusters. *)
+  if Ring.is_full t.rob then Blk_rob
+  else if Uop.is_mem u && t.lsq_used >= t.cfg.Config.lsq_size then Blk_lsq
+  else
+    match t.policy.Policy.decide t.view duop with
+    | Policy.Stall -> Blk_policy
+    | Policy.Dispatch_to cluster ->
+        if cluster < 0 || cluster >= t.cfg.Config.clusters then
+          invalid_arg
+            (Printf.sprintf
+               "Engine: policy %s steered micro-op %d to invalid cluster %d"
+               t.policy.Policy.name (Dynuop.static_id duop) cluster);
+        if per_cluster.(cluster) >= t.cfg.Config.dispatch_per_cluster then
+          Blk_width
+        else
+        let qidx = queue_index (Opcode.queue u.Uop.opcode) in
+        let reg_class_of dst =
+          match dst.Reg.cls with Reg.Int_class -> 0 | Reg.Fp_class -> 1
+        in
+        let regfile_full =
+          match u.Uop.dst with
+          | Some dst ->
+              let k = reg_class_of dst in
+              let cap =
+                if k = 0 then t.cfg.Config.int_regfile
+                else t.cfg.Config.fp_regfile
+              in
+              t.regs_used.(cluster).(k) >= cap
+          | None -> false
+        in
+        if
+          t.occupancy.(cluster).(qidx)
+          >= queue_size t.cfg (Opcode.queue u.Uop.opcode)
+        then Blk_iq
+        else if regfile_full then Blk_reg
+        else begin
+          let needed = copies_needed t u cluster in
+          (* Copy queue capacity check in every source cluster. *)
+          let extra = Hashtbl.create 4 in
+          let fits =
+            List.for_all
+              (fun tag ->
+                let from = Vec.get t.tag_origin tag in
+                let pending =
+                  Option.value ~default:0 (Hashtbl.find_opt extra from)
+                in
+                Hashtbl.replace extra from (pending + 1);
+                t.occupancy.(from).(2) + pending < t.cfg.Config.copy_q_size)
+              needed
+          in
+          if not fits then Blk_copyq
+          else begin
+            List.iter (fun tag -> insert_copy t tag ~to_cluster:cluster) needed;
+            (* Rename sources (wait for readiness in [cluster]). *)
+            let src_tags =
+              Array.map
+                (fun src -> t.rename.(reg_code max_nregs_per_class src))
+                u.Uop.srcs
+            in
+            let dst_tag =
+              match u.Uop.dst with
+              | Some dst ->
+                  let tag = new_tag t ~cluster in
+                  t.rename.(reg_code max_nregs_per_class dst) <- tag;
+                  let k = reg_class_of dst in
+                  t.regs_used.(cluster).(k) <- t.regs_used.(cluster).(k) + 1;
+                  tag
+              | None -> -1
+            in
+            let inst =
+              {
+                iseq = fresh_iseq t;
+                kind = Op duop;
+                cluster;
+                queue = Opcode.queue u.Uop.opcode;
+                dst_tag;
+                src_tags;
+                waiting = 0;
+                completed = false;
+                took_mshr = false;
+                store_waiters = [];
+                mispredicted = slot.misp;
+              }
+            in
+            Array.iter
+              (fun tag ->
+                if not (tag_ready_in t tag cluster) then
+                  add_waiter t inst tag cluster)
+              src_tags;
+            (* Memory bookkeeping: LSQ slot, store table, store-to-load
+               dependences through the unified LSQ (exact 8-byte
+               disambiguation; forwarding needs no inter-cluster copy). *)
+            if Uop.is_mem u then begin
+              t.lsq_used <- t.lsq_used + 1;
+              let key = duop.Dynuop.addr land lnot 7 in
+              match u.Uop.opcode with
+              | Opcode.Store ->
+                  Hashtbl.replace t.pending_store key inst;
+                  t.stats.Stats.stores <- t.stats.Stats.stores + 1
+              | Opcode.Load ->
+                  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+                  (match Hashtbl.find_opt t.pending_store key with
+                  | Some store when not store.completed ->
+                      inst.waiting <- inst.waiting + 1;
+                      store.store_waiters <- inst :: store.store_waiters
+                  | Some _ | None -> ())
+              | _ -> ()
+            end;
+            t.occupancy.(cluster).(qidx) <- t.occupancy.(cluster).(qidx) + 1;
+            t.inflight.(cluster) <- t.inflight.(cluster) + 1;
+            per_cluster.(cluster) <- per_cluster.(cluster) + 1;
+            let pushed = Ring.push t.rob inst in
+            assert pushed;
+            t.stats.Stats.dispatched <- t.stats.Stats.dispatched + 1;
+            t.stats.Stats.per_cluster_dispatched.(cluster) <-
+              t.stats.Stats.per_cluster_dispatched.(cluster) + 1;
+            if inst.waiting = 0 then enqueue_ready t inst;
+            Blk_none
+          end
+        end
+
+let dispatch t =
+  let budget = ref t.cfg.Config.dispatch_width in
+  (* "3+3": the steer stage can deliver at most [dispatch_per_cluster]
+     micro-ops into any one cluster per cycle. *)
+  let per_cluster = Array.make t.cfg.Config.clusters 0 in
+  let block = ref Blk_none in
+  let width_exhausted = ref false in
+  while (not !width_exhausted) && !block = Blk_none && !budget > 0 do
+    match Ring.peek t.fetchq with
+    | Some slot when slot.ready_at <= t.cycle -> (
+        match dispatch_one t slot ~per_cluster with
+        | Blk_none -> (
+            match Ring.pop t.fetchq with
+            | Some _ -> decr budget
+            | None -> assert false)
+        | Blk_width ->
+            (* width limit of the target cluster's steer port, not an
+               allocation stall *)
+            width_exhausted := true
+        | blk -> block := blk)
+    | Some _ | None -> block := Blk_empty
+  done;
+  (* Attribute at most one stall reason per cycle, and only when the
+     dispatch stage did not fill its full width. *)
+  if !budget > 0 then begin
+    let s = t.stats in
+    match !block with
+    | Blk_none | Blk_width -> ()
+    | Blk_empty -> s.Stats.stall_empty <- s.Stats.stall_empty + 1
+    | Blk_rob -> s.Stats.stall_rob_full <- s.Stats.stall_rob_full + 1
+    | Blk_lsq -> s.Stats.stall_lsq_full <- s.Stats.stall_lsq_full + 1
+    | Blk_reg -> s.Stats.stall_regfile <- s.Stats.stall_regfile + 1
+    | Blk_policy -> s.Stats.stall_policy <- s.Stats.stall_policy + 1
+    | Blk_iq -> s.Stats.stall_iq_full <- s.Stats.stall_iq_full + 1
+    | Blk_copyq -> s.Stats.stall_copyq_full <- s.Stats.stall_copyq_full + 1
+  end
+
+(* ---- fetch ------------------------------------------------------- *)
+
+let fetch t ~source =
+  if t.cycle >= t.fetch_resume then begin
+    let budget = ref t.cfg.Config.fetch_width in
+    let blocked = ref false in
+    while (not !blocked) && !budget > 0 && not (Ring.is_full t.fetchq) do
+      let duop = source () in
+      let misp =
+        if Uop.is_branch duop.Dynuop.suop then begin
+          let pc = Dynuop.static_id duop in
+          let predicted = Bpred.predict t.bpred ~pc in
+          Bpred.update t.bpred ~pc ~taken:duop.Dynuop.taken;
+          predicted <> duop.Dynuop.taken
+        end
+        else false
+      in
+      (* Trace cache: a miss charges the line-rebuild penalty and stops
+         fetch for the rest of the miss window. *)
+      let tc_hit =
+        Tracecache.lookup t.tcache ~static_id:(Dynuop.static_id duop)
+      in
+      if tc_hit then t.stats.Stats.tc_hits <- t.stats.Stats.tc_hits + 1
+      else t.stats.Stats.tc_misses <- t.stats.Stats.tc_misses + 1;
+      let tc_extra = if tc_hit then 0 else t.cfg.Config.tc_miss_penalty in
+      let slot =
+        { duop; ready_at = t.cycle + tc_extra + t.frontend_depth; misp }
+      in
+      let pushed = Ring.push t.fetchq slot in
+      assert pushed;
+      decr budget;
+      if misp then begin
+        (* Trace-driven wrong-path model: stop fetching until the
+           branch resolves. *)
+        t.fetch_resume <- never;
+        blocked := true
+      end
+      else if not tc_hit then begin
+        t.fetch_resume <- t.cycle + tc_extra;
+        blocked := true
+      end
+    done
+  end
+
+(* ---- main loop --------------------------------------------------- *)
+
+let step t ~source =
+  process_events t;
+  t.loads_this_cycle <- 0;
+  t.stores_this_cycle <- 0;
+  commit t;
+  issue t;
+  dispatch t;
+  fetch t ~source;
+  t.cycle <- t.cycle + 1;
+  t.stats.Stats.cycles <- t.stats.Stats.cycles + 1
+
+let run ?(warmup = 0) t ~source ~uops =
+  if uops <= 0 then invalid_arg "Engine.run: uops must be positive";
+  if warmup < 0 then invalid_arg "Engine.run: negative warmup";
+  let max_cycles = ((warmup + uops) * 1000) + 100_000 in
+  if warmup > 0 then begin
+    while t.stats.Stats.committed < warmup do
+      if t.cycle > max_cycles then
+        failwith "Engine.run: no forward progress during warmup";
+      step t ~source
+    done;
+    Stats.reset t.stats;
+    Memsys.reset_stats t.memsys;
+    Bpred.reset_stats t.bpred
+  end;
+  while t.stats.Stats.committed < uops do
+    if t.cycle > max_cycles then
+      failwith "Engine.run: no forward progress (cycle bound exceeded)";
+    step t ~source
+  done;
+  (* Fold memory / branch counters into the run statistics. *)
+  t.stats.Stats.l1_hits <- Memsys.l1_hits t.memsys;
+  t.stats.Stats.l1_misses <- Memsys.l1_misses t.memsys;
+  t.stats.Stats.l2_hits <- Memsys.l2_hits t.memsys;
+  t.stats.Stats.l2_misses <- Memsys.l2_misses t.memsys;
+  t.stats.Stats.branch_lookups <- Bpred.lookups t.bpred;
+  t.stats.Stats.branch_mispredicts <- Bpred.mispredicts t.bpred;
+  t.stats

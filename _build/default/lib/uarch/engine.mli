@@ -1,0 +1,46 @@
+(** The cycle-level clustered out-of-order engine.
+
+    Models the baseline of paper §2 (Figure 1): a monolithic front-end
+    (fetch pipeline, gshare predictor, in-order decode/rename/steer)
+    feeding [clusters] back-end clusters, each with INT/FP/COPY issue
+    queues, age-ordered wakeup-select, and functional units; clusters
+    exchange register values over dedicated 1-cycle point-to-point
+    links via explicit copy micro-ops; a unified LSQ and two-level
+    data-cache hierarchy sit behind the clusters.
+
+    The engine is trace-driven: it consumes a dynamic micro-op stream
+    (all steering schemes see the identical stream) and charges
+    mispredicted branches as front-end redirect stalls.
+
+    Modelling notes (documented deviations): copy micro-ops occupy the
+    24-entry per-cluster COPY queues and link bandwidth but not ROB
+    slots; physical register file capacity (256/cluster, never binding
+    next to a 512-entry ROB) is not enforced. *)
+
+open Clusteer_isa
+open Clusteer_trace
+
+type t
+
+val create :
+  config:Config.t ->
+  annot:Annot.t ->
+  policy:Policy.t ->
+  ?prewarm:(int * int) list ->
+  unit ->
+  t
+(** Fresh machine state. [annot] is the compiler side-channel the
+    policy may consult. [prewarm] lists [(base, bytes)] data ranges to
+    pre-load into the cache hierarchy, restoring the warmed state a
+    checkpointed simulation point starts from. *)
+
+val run : ?warmup:int -> t -> source:(unit -> Dynuop.t) -> uops:int -> Stats.t
+(** Execute until [uops] program micro-ops have committed after a
+    [warmup] phase (default 0) whose purpose is to warm the caches and
+    the branch predictor; all statistics are reset when the warmup
+    ends, mirroring the standard simulation-point methodology.
+    [source] supplies the dynamic stream (see
+    {!Clusteer_trace.Tracegen.next}). Raises [Failure] if the machine
+    stops making progress (an engine bug, surfaced for the tests). *)
+
+val stats : t -> Stats.t

@@ -1,0 +1,21 @@
+open Clusteer_isa
+open Clusteer_trace
+
+type decision = Dispatch_to of int | Stall
+
+type view = {
+  clusters : int;
+  cycle : unit -> int;
+  inflight : int -> int;
+  queue_free : int -> Opcode.queue -> int;
+  src_locations : Dynuop.t -> Clusteer_util.Bitset.t array;
+  reg_location : Reg.t -> Clusteer_util.Bitset.t;
+  annot : Annot.t;
+}
+
+type t = {
+  name : string;
+  decide : view -> Dynuop.t -> decision;
+  uses_dependence_check : bool;
+  uses_vote_unit : bool;
+}

@@ -1,0 +1,52 @@
+(** The runtime steering interface.
+
+    The engine consults a policy once per micro-op at the decode/
+    rename/steer stage, in program order (sequential steering — the
+    engine gives each decision the up-to-date machine state, which is
+    the expensive hardware behaviour hardware-only schemes must pay
+    for and the hybrid scheme avoids needing). The [view] exposes
+    exactly the information the paper's schemes use:
+
+    - {b workload balance counters} — in-flight micro-ops per cluster;
+    - {b dependence check} — per-source value location masks, read from
+      the renaming table (used by OP; unused by the hybrid);
+    - {b issue-queue occupancy} — free slots per cluster/queue (used by
+      occupancy-aware stalling);
+    - {b compiler annotations} — the {!Clusteer_isa.Annot.t} side
+      channel (used by static and hybrid schemes).
+
+    Policy implementations live in [clusteer_steer]; the engine only
+    knows this record type. *)
+
+open Clusteer_isa
+open Clusteer_trace
+
+type decision =
+  | Dispatch_to of int  (** steer to this physical cluster *)
+  | Stall  (** stall the front-end this cycle (stall-over-steer) *)
+
+type view = {
+  clusters : int;
+  cycle : unit -> int;
+  inflight : int -> int;
+      (** per-cluster in-flight count (dispatched, not yet completed) *)
+  queue_free : int -> Opcode.queue -> int;
+      (** free slots of a queue in a cluster *)
+  src_locations : Dynuop.t -> Clusteer_util.Bitset.t array;
+      (** per source operand, the clusters where its value is (or will
+          be) present — the rename-table location logic *)
+  reg_location : Reg.t -> Clusteer_util.Bitset.t;
+      (** same lookup for an arbitrary architectural register *)
+  annot : Annot.t;
+}
+
+type t = {
+  name : string;
+  decide : view -> Dynuop.t -> decision;
+  uses_dependence_check : bool;
+      (** complexity accounting for Table 1: does the scheme read
+          source locations at steer time? *)
+  uses_vote_unit : bool;
+      (** does it combine per-source locations with occupancy in a
+          voting step? *)
+}

@@ -1,0 +1,125 @@
+type t = {
+  mutable cycles : int;
+  mutable committed : int;
+  mutable dispatched : int;
+  mutable copies_generated : int;
+  mutable copies_executed : int;
+  mutable link_transfers : int;
+  mutable stall_iq_full : int;
+  mutable stall_copyq_full : int;
+  mutable stall_rob_full : int;
+  mutable stall_lsq_full : int;
+  mutable stall_regfile : int;
+  mutable stall_policy : int;
+  mutable stall_empty : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branch_lookups : int;
+  mutable branch_mispredicts : int;
+  mutable tc_hits : int;
+  mutable tc_misses : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  per_cluster_dispatched : int array;
+}
+
+let create ~clusters =
+  {
+    cycles = 0;
+    committed = 0;
+    dispatched = 0;
+    copies_generated = 0;
+    copies_executed = 0;
+    link_transfers = 0;
+    stall_iq_full = 0;
+    stall_copyq_full = 0;
+    stall_rob_full = 0;
+    stall_lsq_full = 0;
+    stall_regfile = 0;
+    stall_policy = 0;
+    stall_empty = 0;
+    loads = 0;
+    stores = 0;
+    branch_lookups = 0;
+    branch_mispredicts = 0;
+    tc_hits = 0;
+    tc_misses = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    per_cluster_dispatched = Array.make clusters 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.committed <- 0;
+  t.dispatched <- 0;
+  t.copies_generated <- 0;
+  t.copies_executed <- 0;
+  t.link_transfers <- 0;
+  t.stall_iq_full <- 0;
+  t.stall_copyq_full <- 0;
+  t.stall_rob_full <- 0;
+  t.stall_lsq_full <- 0;
+  t.stall_regfile <- 0;
+  t.stall_policy <- 0;
+  t.stall_empty <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.branch_lookups <- 0;
+  t.branch_mispredicts <- 0;
+  t.tc_hits <- 0;
+  t.tc_misses <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0;
+  Array.fill t.per_cluster_dispatched 0
+    (Array.length t.per_cluster_dispatched)
+    0
+
+let ipc t =
+  if t.cycles = 0 then 0.0 else float_of_int t.committed /. float_of_int t.cycles
+
+let allocation_stalls t = t.stall_iq_full + t.stall_copyq_full + t.stall_policy
+
+let copy_rate t =
+  if t.committed = 0 then 0.0
+  else float_of_int t.copies_generated /. float_of_int t.committed
+
+let balance_entropy t =
+  let total = Array.fold_left ( + ) 0 t.per_cluster_dispatched in
+  let k = Array.length t.per_cluster_dispatched in
+  if total = 0 || k <= 1 then 1.0
+  else begin
+    let h =
+      Array.fold_left
+        (fun acc n ->
+          if n = 0 then acc
+          else
+            let p = float_of_int n /. float_of_int total in
+            acc -. (p *. log p))
+        0.0 t.per_cluster_dispatched
+    in
+    h /. log (float_of_int k)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles %d  committed %d  ipc %.3f@,\
+     copies %d (executed %d)  link transfers %d@,\
+     stalls: iq %d  copyq %d  rob %d  lsq %d  regfile %d  policy %d  empty %d@,\
+     loads %d  stores %d  l1 %d/%d  l2 %d/%d@,\
+     branches %d  mispredicts %d  tc %d/%d@,\
+     per-cluster dispatch %a@]"
+    t.cycles t.committed (ipc t) t.copies_generated t.copies_executed
+    t.link_transfers t.stall_iq_full t.stall_copyq_full t.stall_rob_full
+    t.stall_lsq_full t.stall_regfile t.stall_policy t.stall_empty t.loads
+    t.stores t.l1_hits
+    t.l1_misses t.l2_hits t.l2_misses t.branch_lookups t.branch_mispredicts
+    t.tc_hits t.tc_misses
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (Array.to_list t.per_cluster_dispatched)

@@ -1,0 +1,56 @@
+(** Run statistics collected by the engine.
+
+    These are the quantities the paper evaluates on: execution cycles
+    (hence IPC and slowdown), copy micro-ops generated, and allocation
+    stalls — "workload balance improvement is computed as the total
+    reduction of the allocation stalls in the issue queues" (§5.3). *)
+
+type t = {
+  mutable cycles : int;
+  mutable committed : int;  (** program micro-ops committed (copies excluded) *)
+  mutable dispatched : int;
+  mutable copies_generated : int;
+  mutable copies_executed : int;
+  mutable link_transfers : int;
+  (* Dispatch (allocation) stall cycles, by blocking reason. A cycle
+     counts at most once, attributed to the first blocked micro-op. *)
+  mutable stall_iq_full : int;
+  mutable stall_copyq_full : int;
+  mutable stall_rob_full : int;
+  mutable stall_lsq_full : int;
+  mutable stall_regfile : int;  (** destination register file exhausted *)
+  mutable stall_policy : int;  (** steering policy chose to stall *)
+  mutable stall_empty : int;  (** front-end starved (mispredict redirects) *)
+  (* Memory / branches *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable branch_lookups : int;
+  mutable branch_mispredicts : int;
+  mutable tc_hits : int;  (** trace cache *)
+  mutable tc_misses : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  per_cluster_dispatched : int array;
+}
+
+val create : clusters:int -> t
+
+val reset : t -> unit
+(** Zero every counter (used at the end of the warmup phase). *)
+
+val ipc : t -> float
+
+val allocation_stalls : t -> int
+(** Issue-queue allocation stalls: [stall_iq_full + stall_copyq_full +
+    stall_policy] — the paper's workload-balance metric. *)
+
+val copy_rate : t -> float
+(** Copies generated per committed program micro-op. *)
+
+val balance_entropy : t -> float
+(** Normalised entropy of the per-cluster dispatch distribution in
+    [0, 1]; 1.0 = perfectly even. Diagnostic only. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = {
+  ambient : float;
+  per_cluster : float array;
+  hottest : int;
+  spread : float;
+}
+
+let estimate ?(ambient = 45.0) ?(resistance = 2.0) ?costs ~clusters
+    (s : Stats.t) =
+  if clusters <= 0 then invalid_arg "Thermal.estimate: clusters";
+  let e = Energy.estimate ?costs ~clusters s in
+  let total_dispatched =
+    max 1 (Array.fold_left ( + ) 0 s.Stats.per_cluster_dispatched)
+  in
+  let cycles = float_of_int (max 1 s.Stats.cycles) in
+  let per_cluster =
+    Array.init clusters (fun c ->
+        let share =
+          float_of_int s.Stats.per_cluster_dispatched.(c)
+          /. float_of_int total_dispatched
+        in
+        let power =
+          ((share *. e.Energy.dynamic)
+          +. (e.Energy.static_ /. float_of_int clusters))
+          /. cycles
+        in
+        ambient +. (resistance *. power))
+  in
+  let hottest = ref 0 and coolest = ref 0 in
+  Array.iteri
+    (fun c temp ->
+      if temp > per_cluster.(!hottest) then hottest := c;
+      if temp < per_cluster.(!coolest) then coolest := c)
+    per_cluster;
+  {
+    ambient;
+    per_cluster;
+    hottest = !hottest;
+    spread = per_cluster.(!hottest) -. per_cluster.(!coolest);
+  }

@@ -1,0 +1,29 @@
+(** First-order steady-state thermal estimate.
+
+    Clustering is motivated by "power, thermal and complexity" (§1,
+    citing Chaparro et al.'s thermal-aware clustered
+    microarchitectures — [7] in the paper). This model turns a run's
+    per-cluster activity into steady-state temperatures with the usual
+    lumped-RC abstraction: each cluster dissipates its share of dynamic
+    plus static power, and temperature is ambient plus thermal
+    resistance times power. Units are normalized (energy units per
+    cycle × K per unit), adequate for comparing steering schemes'
+    hot-spot behaviour, not for absolute silicon numbers. *)
+
+type t = {
+  ambient : float;
+  per_cluster : float array;  (** steady-state temperature per cluster *)
+  hottest : int;
+  spread : float;  (** hottest - coolest *)
+}
+
+val estimate :
+  ?ambient:float ->
+  ?resistance:float ->
+  ?costs:Energy.costs ->
+  clusters:int ->
+  Stats.t ->
+  t
+(** Per-cluster power = (its dispatch share of dynamic energy + its
+    share of static energy) / cycles. [ambient] defaults to 45.0,
+    [resistance] to 2.0. *)

@@ -1,0 +1,29 @@
+(** Trace cache model (Table 2: "24K micro-op trace cache, 6
+    micro-ops/cycle").
+
+    The front-end fetches up to six micro-ops per cycle from trace
+    lines. A line holds [line_uops] consecutive static micro-ops,
+    indexed by static micro-op id; 4-way set-associative with LRU.
+    A miss stalls fetch for [miss_penalty] cycles while the line is
+    rebuilt from the instruction cache and fills the trace cache.
+
+    For the synthetic SPEC stand-ins the static footprint is far below
+    24K micro-ops, so after the first touches the trace cache always
+    hits — matching the paper's front-end, which is never presented as
+    a bottleneck. The model still matters for large static footprints
+    (see the icache-stress tests) and exposes its statistics. *)
+
+type t
+
+val create : size_uops:int -> line_uops:int -> ways:int -> t
+(** [size_uops] and [line_uops] must be positive; lines = size/line
+    rounded down must be a positive multiple of [ways] with a
+    power-of-two set count. *)
+
+val lookup : t -> static_id:int -> bool
+(** [lookup t ~static_id] is [true] on a hit. A miss fills the line
+    (the caller charges the rebuild penalty). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,71 @@
+type t = int
+
+let max_member = Sys.int_size - 2
+
+let check i =
+  if i < 0 || i > max_member then invalid_arg "Bitset: member out of range"
+
+let empty = 0
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let full n =
+  if n < 0 || n > max_member + 1 then invalid_arg "Bitset.full: out of range";
+  (1 lsl n) - 1
+
+let of_mask m =
+  if m < 0 then invalid_arg "Bitset.of_mask: negative mask";
+  m
+
+let add t i =
+  check i;
+  t lor (1 lsl i)
+
+let remove t i =
+  check i;
+  t land lnot (1 lsl i)
+
+let mem t i =
+  check i;
+  t land (1 lsl i) <> 0
+
+let union a b = a lor b
+let inter a b = a land b
+
+let cardinal t =
+  let rec loop acc v = if v = 0 then acc else loop (acc + (v land 1)) (v lsr 1) in
+  loop 0 t
+
+let is_empty t = t = 0
+
+let iter f t =
+  let rec loop i v =
+    if v <> 0 then begin
+      if v land 1 <> 0 then f i;
+      loop (i + 1) (v lsr 1)
+    end
+  in
+  loop 0 t
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+let of_list l = List.fold_left add empty l
+
+let choose t =
+  if t = 0 then None
+  else
+    let rec loop i v = if v land 1 <> 0 then Some i else loop (i + 1) (v lsr 1) in
+    loop 0 t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,32 @@
+(** Small immutable bitsets backed by a native [int].
+
+    Used for cluster masks: which physical clusters currently hold a copy
+    of a given register value. Supports at most [Sys.int_size - 1] = 62
+    members, far above any realistic cluster count. *)
+
+type t = private int
+
+val empty : t
+val singleton : int -> t
+
+val full : int -> t
+(** [full n] contains [0 .. n-1]. *)
+
+val of_mask : int -> t
+(** Reinterpret a raw bit mask (must be non-negative). *)
+
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int list
+val of_list : int list -> t
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if domains <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              (* First failure wins; others are dropped. *)
+              ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         results)
+  end

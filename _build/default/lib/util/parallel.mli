@@ -1,0 +1,17 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    Experiment sweeps run hundreds of independent simulations; this
+    fans them out across domains while keeping results in input order,
+    so a parallel sweep is bit-identical to a sequential one. Work is
+    distributed dynamically (an atomic cursor), which balances the very
+    uneven per-benchmark simulation times. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] applies [f] to every element, using up to
+    [domains] domains (default {!Domain.recommended_domain_count}; 1 or
+    a short list degrades to [List.map]). [f] must be safe to run
+    concurrently with itself on distinct elements; exceptions raised by
+    [f] are re-raised in the caller. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)

@@ -1,0 +1,49 @@
+let scatter ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
+    points =
+  if points = [] then ""
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let min_list = List.fold_left Float.min infinity in
+    let max_list = List.fold_left Float.max neg_infinity in
+    (* Always include the origin so the zero lines are visible. *)
+    let x_lo = Float.min 0.0 (min_list xs) and x_hi = Float.max 0.0 (max_list xs) in
+    let y_lo = Float.min 0.0 (min_list ys) and y_hi = Float.max 0.0 (max_list ys) in
+    let pad v = if v = 0.0 then 1.0 else v in
+    let x_span = pad (x_hi -. x_lo) and y_span = pad (y_hi -. y_lo) in
+    let col x =
+      let c =
+        int_of_float ((x -. x_lo) /. x_span *. float_of_int (width - 1))
+      in
+      max 0 (min (width - 1) c)
+    in
+    let row y =
+      let r =
+        int_of_float ((y -. y_lo) /. y_span *. float_of_int (height - 1))
+      in
+      (height - 1) - max 0 (min (height - 1) r)
+    in
+    let grid = Array.make_matrix height width ' ' in
+    (* zero lines *)
+    let zc = col 0.0 and zr = row 0.0 in
+    for r = 0 to height - 1 do
+      grid.(r).(zc) <- '|'
+    done;
+    for c = 0 to width - 1 do
+      grid.(zr).(c) <- (if c = zc then '+' else '-')
+    done;
+    List.iter
+      (fun (x, y) ->
+        let r = row y and c = col x in
+        grid.(r).(c) <- (match grid.(r).(c) with '*' | '@' -> '@' | _ -> '*'))
+      points;
+    let buf = Buffer.create (height * (width + 1)) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s (vertical, %.1f .. %.1f) vs %s (horizontal, %.1f .. %.1f)\n"
+         y_label y_lo y_hi x_label x_lo x_hi);
+    Array.iter
+      (fun line ->
+        Buffer.add_string buf (String.init width (Array.get line));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.contents buf
+  end

@@ -1,0 +1,15 @@
+(** Plain-text scatter plots, for rendering the paper's Figure 6
+    panels directly in terminal output. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) list ->
+  string
+(** [scatter points] renders an ASCII scatter plot (default 64x20
+    characters). Axes are scaled to the data (always including the
+    origin), zero lines are drawn with ['-'] / ['|'], points with
+    ['*'] (['@'] where several points coincide). Returns [""] for an
+    empty point list. *)

@@ -1,0 +1,87 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* [a] comes before [b] when its priority is smaller, or on equal
+   priority when it was inserted earlier. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let ensure_capacity t =
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * Array.length t.heap) in
+    let dummy = if t.size > 0 then t.heap.(0) else Obj.magic 0 in
+    let heap = Array.make cap dummy in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t prio value =
+  ensure_capacity t;
+  t.heap.(t.size) <- { prio; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.heap.(0) in
+    Some (e.prio, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (e.prio, e.value)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let pop_while t keep =
+  let rec loop acc =
+    match peek t with
+    | Some (prio, _) when keep prio -> (
+        match pop t with
+        | Some pair -> loop (pair :: acc)
+        | None -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  loop []

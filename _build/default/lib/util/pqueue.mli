@@ -1,0 +1,23 @@
+(** Mutable binary min-heap keyed by integer priority.
+
+    Used for event ordering and for select logic where the oldest /
+    cheapest candidate wins. Ties are broken by insertion order (FIFO),
+    which matters for age-ordered instruction select. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> int -> 'a -> unit
+(** [add t priority v] inserts [v]. Smaller priorities pop first; equal
+    priorities pop in insertion order. *)
+
+val peek : 'a t -> (int * 'a) option
+val pop : 'a t -> (int * 'a) option
+val clear : 'a t -> unit
+
+val pop_while : 'a t -> (int -> bool) -> (int * 'a) list
+(** [pop_while t keep] pops, in order, every minimum whose priority
+    satisfies [keep] and returns them oldest-first. *)

@@ -1,0 +1,57 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.buf
+let free_slots t = Array.length t.buf - t.len
+
+let push t v =
+  if is_full t then false
+  else begin
+    let tail = (t.head + t.len) mod Array.length t.buf in
+    t.buf.(tail) <- Some v;
+    t.len <- t.len + 1;
+    true
+  end
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let v = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    v
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of range";
+  match t.buf.((t.head + i) mod Array.length t.buf) with
+  | Some v -> v
+  | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

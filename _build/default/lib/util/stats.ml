@@ -1,0 +1,77 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let m = mean xs in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  let stddev = if n < 2 then 0.0 else sqrt (sq /. float_of_int (n - 1)) in
+  let min = Array.fold_left Float.min xs.(0) xs in
+  let max = Array.fold_left Float.max xs.(0) xs in
+  { count = n; mean = m; stddev; min; max }
+
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty";
+  let logsum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive input";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (logsum /. float_of_int (Array.length xs))
+
+let weighted_mean pairs =
+  let num, den =
+    Array.fold_left
+      (fun (num, den) (x, w) -> (num +. (x *. w), den +. w))
+      (0.0, 0.0) pairs
+  in
+  if den = 0.0 then invalid_arg "Stats.weighted_mean: zero total weight";
+  num /. den
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let ratio_percent base x =
+  if base = 0.0 then invalid_arg "Stats.ratio_percent: zero base";
+  (x -. base) /. base *. 100.0
+
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+
+  let stddev t =
+    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+end

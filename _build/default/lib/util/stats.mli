@@ -1,0 +1,39 @@
+(** Descriptive statistics used by the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Sample statistics; [stddev] is the corrected sample deviation
+    (0 for fewer than two samples). Raises [Invalid_argument] on []. *)
+
+val mean : float array -> float
+val geomean : float array -> float
+(** Geometric mean; inputs must be positive. *)
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean [| (x, w); ... |]]; weights must not all be zero. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation between
+    order statistics. The input is not modified. *)
+
+val ratio_percent : float -> float -> float
+(** [ratio_percent base x] is [(x -. base) /. base *. 100.], i.e. the
+    percentage by which [x] exceeds [base]. *)
+
+(** Online accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end

@@ -1,0 +1,49 @@
+type align = Left | Right
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_percent ?(decimals = 2) x = fmt_float ~decimals x ^ "%"
+
+let render ?align ~header rows =
+  let cols = Array.length header in
+  List.iteri
+    (fun i row ->
+      if Array.length row <> cols then
+        invalid_arg (Printf.sprintf "Table.render: row %d has wrong arity" i))
+    rows;
+  let align =
+    match align with
+    | Some a ->
+        if Array.length a <> cols then
+          invalid_arg "Table.render: align has wrong arity";
+        a
+    | None -> Array.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.map String.length header in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    match align.(i) with
+    | Left -> Printf.sprintf "%-*s" w cell
+    | Right -> Printf.sprintf "%*s" w cell
+  in
+  let line row =
+    String.concat "  " (Array.to_list (Array.mapi pad row))
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array ->
+  header:string array ->
+  string array list ->
+  string
+(** [render ~header rows] lays out rows under [header] with columns
+    padded to their widest cell and a rule under the header. All rows
+    must have the same arity as the header. Default alignment: first
+    column left, remaining columns right. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 2 decimals. *)
+
+val fmt_percent : ?decimals:int -> float -> string
+(** [fmt_float] followed by a ["%"] sign. *)

@@ -1,0 +1,35 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  default : int;
+}
+
+let create ?(initial = 64) ~default () =
+  { data = Array.make (max 1 initial) default; len = 0; default }
+
+let length t = t.len
+
+let grow t needed =
+  let cap = max needed (2 * Array.length t.data) in
+  let data = Array.make cap t.default in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let get t i =
+  if i < 0 then invalid_arg "Vec.get: negative index";
+  if i < Array.length t.data then t.data.(i) else t.default
+
+let set t i v =
+  if i < 0 then invalid_arg "Vec.set: negative index";
+  if i >= Array.length t.data then grow t (i + 1);
+  t.data.(i) <- v;
+  if i >= t.len then t.len <- i + 1
+
+let push t v =
+  let i = t.len in
+  set t i v;
+  i
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) t.default;
+  t.len <- 0

@@ -1,0 +1,26 @@
+(** Growable integer arrays.
+
+    The simulator allocates a fresh value tag per dispatched micro-op
+    and keeps per-tag side information (location masks, origin
+    cluster); a dense auto-growing int vector is the cheapest store
+    for that. *)
+
+type t
+
+val create : ?initial:int -> default:int -> unit -> t
+(** [default] fills newly exposed slots. *)
+
+val length : t -> int
+(** One past the highest index ever written or [push]ed. *)
+
+val get : t -> int -> int
+(** [get t i] returns the default for indexes never written (but still
+    raises on negative indexes). *)
+
+val set : t -> int -> int -> unit
+(** Auto-grows. *)
+
+val push : t -> int -> int
+(** Append and return the new element's index. *)
+
+val clear : t -> unit

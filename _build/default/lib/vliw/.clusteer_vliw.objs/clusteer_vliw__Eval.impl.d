@@ -1,0 +1,1 @@
+lib/vliw/eval.ml: Clusteer_ddg Ddg List List_sched Region Schedule

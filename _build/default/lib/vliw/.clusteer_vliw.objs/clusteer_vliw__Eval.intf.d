@@ -1,0 +1,1 @@
+lib/vliw/eval.mli: Clusteer_ddg Clusteer_isa Machine Program

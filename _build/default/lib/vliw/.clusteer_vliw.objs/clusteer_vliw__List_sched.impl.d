@@ -1,0 +1,1 @@
+lib/vliw/list_sched.ml: Array Clusteer_ddg Clusteer_isa Critical Ddg List Machine Schedule

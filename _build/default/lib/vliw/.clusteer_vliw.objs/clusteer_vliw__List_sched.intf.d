@@ -1,0 +1,1 @@
+lib/vliw/list_sched.mli: Clusteer_ddg Machine Schedule

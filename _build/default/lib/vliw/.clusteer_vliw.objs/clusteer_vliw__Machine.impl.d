@@ -1,0 +1,1 @@
+lib/vliw/machine.ml: Clusteer_isa Printf

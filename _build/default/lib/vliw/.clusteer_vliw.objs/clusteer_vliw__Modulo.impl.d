@@ -1,0 +1,1 @@
+lib/vliw/modulo.ml: Array Clusteer_ddg Clusteer_isa Hashtbl List Machine Opcode Printf Reg Uop

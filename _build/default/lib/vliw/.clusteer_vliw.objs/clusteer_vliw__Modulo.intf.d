@@ -1,0 +1,1 @@
+lib/vliw/modulo.mli: Clusteer_isa Machine Uop

@@ -1,0 +1,1 @@
+lib/vliw/schedule.ml: Array Clusteer_ddg Clusteer_util Ddg List Machine Printf

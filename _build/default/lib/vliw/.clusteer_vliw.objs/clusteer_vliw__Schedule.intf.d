@@ -1,0 +1,1 @@
+lib/vliw/schedule.mli: Clusteer_ddg Machine

@@ -1,0 +1,21 @@
+(** Cluster-aware list scheduling for the VLIW substrate.
+
+    Height-priority list scheduling with explicit inter-cluster moves:
+    a value consumed on another cluster needs a move operation booked
+    on the producer cluster's move slot, arriving [comm_latency]
+    cycles later; once moved, the value is reused by later consumers
+    on that cluster (like the rename-table location tracking of the
+    dynamic machine).
+
+    Two modes:
+    - {!with_assignment}: cluster per node fixed beforehand (evaluating
+      OB / RHOP / VC partitions on the static machine);
+    - {!unified}: cluster chosen during scheduling, per node, for the
+      earliest achievable issue — the "unified assign-and-schedule"
+      family ([21] in the paper's bibliography), the VLIW-native
+      baseline. *)
+
+val with_assignment :
+  Machine.t -> Clusteer_ddg.Ddg.t -> assignment:int array -> Schedule.t
+
+val unified : Machine.t -> Clusteer_ddg.Ddg.t -> Schedule.t

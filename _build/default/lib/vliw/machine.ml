@@ -1,0 +1,49 @@
+type t = {
+  clusters : int;
+  int_slots : int;
+  fp_slots : int;
+  mem_slots : int;
+  move_slots : int;
+  comm_latency : int;
+}
+
+let default ~clusters =
+  {
+    clusters;
+    int_slots = 2;
+    fp_slots = 1;
+    mem_slots = 1;
+    move_slots = 1;
+    comm_latency = 1;
+  }
+
+let validate t =
+  let pos name v =
+    if v <= 0 then
+      invalid_arg (Printf.sprintf "Vliw.Machine: %s must be positive" name)
+  in
+  pos "clusters" t.clusters;
+  pos "int_slots" t.int_slots;
+  pos "fp_slots" t.fp_slots;
+  pos "mem_slots" t.mem_slots;
+  pos "move_slots" t.move_slots;
+  pos "comm_latency" t.comm_latency
+
+type slot_class = Slot_int | Slot_fp | Slot_mem | Slot_move
+
+let slot_class_of (op : Clusteer_isa.Opcode.t) =
+  match op with
+  | Clusteer_isa.Opcode.Load | Clusteer_isa.Opcode.Store -> Slot_mem
+  | Clusteer_isa.Opcode.Fp_add | Clusteer_isa.Opcode.Fp_mul
+  | Clusteer_isa.Opcode.Fp_div ->
+      Slot_fp
+  | Clusteer_isa.Opcode.Copy -> Slot_move
+  | Clusteer_isa.Opcode.Int_alu | Clusteer_isa.Opcode.Int_mul
+  | Clusteer_isa.Opcode.Int_div | Clusteer_isa.Opcode.Branch ->
+      Slot_int
+
+let slots t = function
+  | Slot_int -> t.int_slots
+  | Slot_fp -> t.fp_slots
+  | Slot_mem -> t.mem_slots
+  | Slot_move -> t.move_slots

@@ -1,0 +1,38 @@
+(** Clustered VLIW machine description.
+
+    The paper's §3.3 reviews software-only steering in its native
+    habitat: statically-scheduled clustered processors, where the
+    compiler controls both cluster assignment and issue cycles. This
+    substrate lets the repository reproduce that context — RHOP is
+    originally a VLIW algorithm — and demonstrate the paper's point
+    that compile-time workload estimates are accurate there and
+    inaccurate on out-of-order machines.
+
+    Each cluster issues one VLIW instruction per cycle containing at
+    most [int_slots] integer, [fp_slots] floating-point, [mem_slots]
+    memory and [move_slots] inter-cluster move operations. Latencies
+    are the static ones of {!Clusteer_ddg.Ddg.static_latency};
+    inter-cluster moves take [comm_latency] cycles on top of the move
+    slot. *)
+
+type t = {
+  clusters : int;
+  int_slots : int;
+  fp_slots : int;
+  mem_slots : int;
+  move_slots : int;
+  comm_latency : int;
+}
+
+val default : clusters:int -> t
+(** 2 INT + 1 FP + 1 MEM + 1 MOVE slot per cluster, 1-cycle moves —
+    a per-cluster issue budget comparable to the paper's OOO clusters. *)
+
+val validate : t -> unit
+
+type slot_class = Slot_int | Slot_fp | Slot_mem | Slot_move
+
+val slot_class_of : Clusteer_isa.Opcode.t -> slot_class
+(** Which slot an operation occupies ([Slot_move] only for [Copy]). *)
+
+val slots : t -> slot_class -> int

@@ -1,0 +1,59 @@
+(** Iterative modulo scheduling (software pipelining) for single-block
+    loops on the clustered VLIW substrate.
+
+    The paper's §3.3 splits VLIW steering work into modulo-scheduled
+    loop code ([9], [20], [23], [25] in its bibliography) and general
+    acyclic scheduling; this module covers the first category with
+    Rau-style iterative modulo scheduling: compute the minimum
+    initiation interval (the larger of the resource bound {!res_mii}
+    and the recurrence bound {!rec_mii}), then place operations into a
+    modulo reservation table, evicting and retrying on conflicts, and
+    increase the II until a schedule fits.
+
+    Inter-cluster communication: a cross-cluster dependence adds the
+    machine's communication latency, and each required move counts
+    against the producer cluster's move-slot capacity per II
+    (aggregate accounting — moves are not placed into individual
+    reservation slots). *)
+
+open Clusteer_isa
+
+(** Loop dependence graphs: intra-iteration edges (distance 0) plus
+    loop-carried edges (distance ≥ 1) through registers. *)
+type edge = { src : int; dst : int; latency : int; distance : int }
+
+type loop_ddg = { uops : Uop.t array; edges : edge list }
+
+val loop_ddg_of_body : Uop.t array -> loop_ddg
+(** Build the cyclic dependence graph of a loop body: program-order
+    register/memory dependences at distance 0 ({!Clusteer_ddg.Ddg})
+    plus distance-1 edges from each definition to the uses that read
+    it in the next iteration. *)
+
+val res_mii : Machine.t -> loop_ddg -> assignment:int array -> int
+(** Resource-constrained minimum II: per cluster and slot class,
+    [ceil(uses / slots)], counting the move operations the assignment
+    implies. *)
+
+val rec_mii : loop_ddg -> int
+(** Recurrence-constrained minimum II: the smallest [II] such that no
+    dependence cycle requires more latency than [II * distance]
+    (binary search with positive-cycle detection). 1 for acyclic
+    bodies. *)
+
+type result = {
+  ii : int;  (** achieved initiation interval *)
+  mii : int;  (** the lower bound max(res_mii, rec_mii) *)
+  times : int array;  (** issue cycle per operation (flat schedule) *)
+  moves : int;  (** inter-cluster moves per iteration *)
+}
+
+val schedule :
+  Machine.t -> loop_ddg -> assignment:int array -> ?max_ii:int -> unit -> result
+(** Modulo-schedule the body with a fixed cluster assignment. Raises
+    [Failure] if no schedule is found up to [max_ii] (default
+    [4 * mii + 16] — generous; real failures indicate a bug). *)
+
+val validate : Machine.t -> loop_ddg -> assignment:int array -> result -> unit
+(** Check dependence (modulo-aware) and resource feasibility of a
+    result. Raises [Invalid_argument] on violation. *)

@@ -1,0 +1,35 @@
+(** Reservation tables and schedules for the clustered VLIW substrate. *)
+
+type reservation
+(** Mutable slot-usage table: (cycle, cluster, slot class) -> used. *)
+
+val create_reservation : Machine.t -> reservation
+
+val earliest_free :
+  reservation -> cluster:int -> cls:Machine.slot_class -> from:int -> int
+(** First cycle at or after [from] with a free slot of the class in the
+    cluster. *)
+
+val reserve :
+  reservation -> cluster:int -> cls:Machine.slot_class -> cycle:int -> unit
+(** Consume one slot; raises [Invalid_argument] when none is free. *)
+
+type entry = {
+  node : int;  (** DDG node index *)
+  cluster : int;
+  cycle : int;  (** issue cycle *)
+  finish : int;  (** cycle the result is available in [cluster] *)
+}
+
+type t = {
+  entries : entry array;  (** indexed by DDG node *)
+  moves : int;  (** inter-cluster moves scheduled *)
+  length : int;  (** makespan: 1 + the last finish cycle *)
+}
+
+val ipc : t -> float
+(** Operations (excluding moves) per cycle of the schedule. *)
+
+val validate : t -> Clusteer_ddg.Ddg.t -> Machine.t -> unit
+(** Check that the schedule respects dependences (with communication
+    delay for cross-cluster edges). Raises [Invalid_argument]. *)

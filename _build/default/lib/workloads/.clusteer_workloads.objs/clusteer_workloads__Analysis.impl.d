@@ -1,0 +1,1 @@
+lib/workloads/analysis.ml: Clusteer_isa Clusteer_trace Dynuop Format Hashtbl Opcode Synth Tracegen Uop

@@ -1,0 +1,1 @@
+lib/workloads/analysis.mli: Format Synth

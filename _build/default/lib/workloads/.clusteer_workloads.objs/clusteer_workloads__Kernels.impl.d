@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Branch_model Clusteer_isa Clusteer_trace List Mem_model Opcode Profile Program Reg Synth

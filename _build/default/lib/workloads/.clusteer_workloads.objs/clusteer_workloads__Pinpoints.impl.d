@@ -1,0 +1,1 @@
+lib/workloads/pinpoints.ml: Clusteer_util Float List Profile

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Branch_model Clusteer_isa Clusteer_trace Clusteer_util Float Hashtbl List Mem_model Opcode Profile Program Reg Tracegen

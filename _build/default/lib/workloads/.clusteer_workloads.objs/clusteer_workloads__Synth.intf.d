@@ -1,0 +1,1 @@
+lib/workloads/synth.mli: Branch_model Clusteer_isa Clusteer_trace Mem_model Profile Program Tracegen

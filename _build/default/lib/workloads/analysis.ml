@@ -1,0 +1,64 @@
+open Clusteer_isa
+open Clusteer_trace
+
+type mix = {
+  uops : int;
+  mem_frac : float;
+  load_frac : float;
+  store_frac : float;
+  fp_frac : float;
+  branch_frac : float;
+  taken_frac : float;
+  distinct_static : int;
+  distinct_lines : int;
+}
+
+let measure workload ~uops ~seed =
+  if uops <= 0 then invalid_arg "Analysis.measure: uops must be positive";
+  let gen = Synth.trace workload ~seed in
+  let loads = ref 0 and stores = ref 0 and fp = ref 0 in
+  let branches = ref 0 and taken = ref 0 in
+  let statics = Hashtbl.create 256 and lines = Hashtbl.create 1024 in
+  for _ = 1 to uops do
+    let d = Tracegen.next gen in
+    let u = d.Dynuop.suop in
+    Hashtbl.replace statics u.Uop.id ();
+    (match u.Uop.opcode with
+    | Opcode.Load ->
+        incr loads;
+        Hashtbl.replace lines (d.Dynuop.addr lsr 6) ()
+    | Opcode.Store ->
+        incr stores;
+        Hashtbl.replace lines (d.Dynuop.addr lsr 6) ()
+    | Opcode.Branch ->
+        incr branches;
+        if d.Dynuop.taken then incr taken
+    | _ -> ());
+    match Opcode.queue u.Uop.opcode with
+    | Opcode.Fp_queue -> incr fp
+    | Opcode.Int_queue | Opcode.Copy_queue -> ()
+  done;
+  let f n = float_of_int n /. float_of_int uops in
+  {
+    uops;
+    mem_frac = f (!loads + !stores);
+    load_frac = f !loads;
+    store_frac = f !stores;
+    fp_frac = f !fp;
+    branch_frac = f !branches;
+    taken_frac =
+      (if !branches = 0 then 0.0
+       else float_of_int !taken /. float_of_int !branches);
+    distinct_static = Hashtbl.length statics;
+    distinct_lines = Hashtbl.length lines;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>%d micro-ops: %.1f%% mem (%.1f%% loads, %.1f%% stores), %.1f%% fp, \
+     %.1f%% branches (%.1f%% taken)@,\
+     static footprint %d micro-ops, data footprint %d lines (%.0f KB)@]"
+    m.uops (100. *. m.mem_frac) (100. *. m.load_frac) (100. *. m.store_frac)
+    (100. *. m.fp_frac) (100. *. m.branch_frac) (100. *. m.taken_frac)
+    m.distinct_static m.distinct_lines
+    (float_of_int (m.distinct_lines * 64) /. 1024.)

@@ -1,0 +1,22 @@
+(** Dynamic workload characterisation.
+
+    Measures, over a trace prefix, the quantities the profiles promise
+    (instruction mix, branch behaviour, footprint coverage) — used by
+    `csteer stats`, by the test suite to validate the generators, and
+    when calibrating new profiles against published benchmark data. *)
+
+type mix = {
+  uops : int;
+  mem_frac : float;  (** loads + stores *)
+  load_frac : float;
+  store_frac : float;
+  fp_frac : float;  (** micro-ops going to the FP issue queues *)
+  branch_frac : float;
+  taken_frac : float;  (** of branches *)
+  distinct_static : int;  (** static micro-ops touched *)
+  distinct_lines : int;  (** distinct 64B memory lines touched *)
+}
+
+val measure : Synth.t -> uops:int -> seed:int -> mix
+
+val pp : Format.formatter -> mix -> unit

@@ -1,0 +1,325 @@
+open Clusteer_isa
+open Clusteer_trace
+
+type t = Synth.t
+
+(* Descriptive profile metadata for a kernel (not used for synthesis). *)
+let meta name ~fp ~mem ~ilp ~chain ~fkb =
+  {
+    Profile.name;
+    suite = (if fp > 0.3 then Profile.Spec_fp else Profile.Spec_int);
+    seed = 1;
+    fp_ratio = fp;
+    mem_ratio = mem;
+    ilp;
+    chain_len = chain;
+    footprint_kb = fkb;
+    stride_frac = 0.5;
+    chase_frac = 0.0;
+    loops = 1;
+    block_size = 8;
+    loop_trip = 32;
+    hard_branch_frac = 0.0;
+    phases = 1;
+  }
+
+(* Common scaffolding: one loop body built by [body], iterating [iters]
+   times per outer wrap, with a 1-cycle induction counter driving the
+   back-edge. *)
+let loop_kernel ~name ~meta:profile ~streams ~iters ~body =
+  let b = Program.Builder.create ~name ~nregs_per_class:64 () in
+  let stream_ids = Array.map (fun _ -> Program.Builder.stream b) streams in
+  let loop_model = Program.Builder.branch_model b in
+  let blk = Program.Builder.reserve_block b in
+  let exit_ = Program.Builder.reserve_block b in
+  let ctr = Reg.int 32 in
+  let ctr_update =
+    Program.Builder.uop b Opcode.Int_alu ~dst:ctr ~srcs:[| ctr |] ()
+  in
+  let branch =
+    Program.Builder.uop b Opcode.Branch ~srcs:[| ctr |] ~branch_ref:loop_model
+      ()
+  in
+  let uops = (ctr_update :: body b stream_ids) @ [ branch ] in
+  Program.Builder.define_block b blk uops ~succs:[ exit_; blk ];
+  Program.Builder.define_block b exit_ [] ~succs:[];
+  let program = Program.Builder.finish b ~entry:blk in
+  {
+    Synth.profile;
+    program;
+    branches = [| Branch_model.Loop iters |];
+    streams;
+    likely = (fun id -> if id = blk then Some 1 else None);
+  }
+
+let daxpy ?(iters = 256) () =
+  let footprint = 64 * 1024 in
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint };
+      Mem_model.Strided { base = 1 lsl 24; stride = 8; footprint };
+    |]
+  in
+  loop_kernel ~name:"daxpy"
+    ~meta:(meta "kernel.daxpy" ~fp:0.4 ~mem:0.5 ~ilp:2 ~chain:3 ~fkb:128)
+    ~streams ~iters
+    ~body:(fun b s ->
+      (* f0 = a (loop invariant, register 0); x in f1, y in f2 *)
+      let ld_x =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.fp 1)
+          ~srcs:[| Reg.int 1 |] ~stream:s.(0) ()
+      in
+      let ld_y =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.fp 2)
+          ~srcs:[| Reg.int 2 |] ~stream:s.(1) ()
+      in
+      let mul =
+        Program.Builder.uop b Opcode.Fp_mul ~dst:(Reg.fp 3)
+          ~srcs:[| Reg.fp 0; Reg.fp 1 |] ()
+      in
+      let add =
+        Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp 4)
+          ~srcs:[| Reg.fp 3; Reg.fp 2 |] ()
+      in
+      let st =
+        Program.Builder.uop b Opcode.Store ~srcs:[| Reg.fp 4; Reg.int 2 |]
+          ~stream:s.(1) ()
+      in
+      [ ld_x; ld_y; mul; add; st ])
+
+let dot_product ?(iters = 256) () =
+  let footprint = 64 * 1024 in
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint };
+      Mem_model.Strided { base = 1 lsl 24; stride = 8; footprint };
+    |]
+  in
+  loop_kernel ~name:"dot"
+    ~meta:(meta "kernel.dot" ~fp:0.5 ~mem:0.4 ~ilp:1 ~chain:64 ~fkb:128)
+    ~streams ~iters
+    ~body:(fun b s ->
+      let ld_x =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.fp 1)
+          ~srcs:[| Reg.int 1 |] ~stream:s.(0) ()
+      in
+      let ld_y =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.fp 2)
+          ~srcs:[| Reg.int 2 |] ~stream:s.(1) ()
+      in
+      let mul =
+        Program.Builder.uop b Opcode.Fp_mul ~dst:(Reg.fp 3)
+          ~srcs:[| Reg.fp 1; Reg.fp 2 |] ()
+      in
+      (* the serial reduction: f0 <- f0 + product *)
+      let acc =
+        Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp 0)
+          ~srcs:[| Reg.fp 0; Reg.fp 3 |] ()
+      in
+      [ ld_x; ld_y; mul; acc ])
+
+let pointer_chase ?(footprint_kb = 512) () =
+  let streams =
+    [| Mem_model.Chase { base = 0; footprint = footprint_kb * 1024 } |]
+  in
+  loop_kernel ~name:"chase"
+    ~meta:
+      (meta "kernel.chase" ~fp:0.0 ~mem:0.6 ~ilp:1 ~chain:64 ~fkb:footprint_kb)
+    ~streams ~iters:1024
+    ~body:(fun b s ->
+      (* r1 <- [r1]: the canonical linked-list walk *)
+      let ld =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.int 1)
+          ~srcs:[| Reg.int 1 |] ~stream:s.(0) ()
+      in
+      let use =
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 2)
+          ~srcs:[| Reg.int 1 |] ()
+      in
+      [ ld; use ])
+
+let fibonacci () =
+  loop_kernel ~name:"fib"
+    ~meta:(meta "kernel.fib" ~fp:0.0 ~mem:0.0 ~ilp:1 ~chain:64 ~fkb:4)
+    ~streams:[||] ~iters:4096
+    ~body:(fun b _ ->
+      (* r1, r2 <- r1+r2, r1 : two-deep serial integer recurrence *)
+      let next =
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 3)
+          ~srcs:[| Reg.int 1; Reg.int 2 |] ()
+      in
+      let shift_a =
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 2)
+          ~srcs:[| Reg.int 1 |] ()
+      in
+      let shift_b =
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 1)
+          ~srcs:[| Reg.int 3 |] ()
+      in
+      [ next; shift_a; shift_b ])
+
+let matmul_inner ?(accumulators = 4) () =
+  if accumulators < 1 || accumulators > 8 then
+    invalid_arg "Kernels.matmul_inner: 1..8 accumulators";
+  let footprint = 128 * 1024 in
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint };
+      Mem_model.Strided { base = 1 lsl 24; stride = 64; footprint };
+    |]
+  in
+  loop_kernel ~name:"matmul"
+    ~meta:
+      (meta "kernel.matmul" ~fp:0.6 ~mem:0.3 ~ilp:accumulators ~chain:8
+         ~fkb:256)
+    ~streams ~iters:128
+    ~body:(fun b s ->
+      List.concat
+        (List.init accumulators (fun k ->
+             let a = Reg.fp (8 + k) and acc = Reg.fp k in
+             let ld_a =
+               Program.Builder.uop b Opcode.Load ~dst:a ~srcs:[| Reg.int 1 |]
+                 ~stream:s.(0) ()
+             in
+             let ld_b =
+               Program.Builder.uop b Opcode.Load
+                 ~dst:(Reg.fp (16 + k))
+                 ~srcs:[| Reg.int 2 |] ~stream:s.(1) ()
+             in
+             let mul =
+               Program.Builder.uop b Opcode.Fp_mul
+                 ~dst:(Reg.fp (24 + k))
+                 ~srcs:[| a; Reg.fp (16 + k) |]
+                 ()
+             in
+             let fma =
+               Program.Builder.uop b Opcode.Fp_add ~dst:acc
+                 ~srcs:[| acc; Reg.fp (24 + k) |]
+                 ()
+             in
+             [ ld_a; ld_b; mul; fma ])))
+
+let histogram ?(buckets_kb = 64) () =
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint = 256 * 1024 };
+      Mem_model.Uniform
+        { base = 1 lsl 24; footprint = buckets_kb * 1024; granule = 8 };
+    |]
+  in
+  loop_kernel ~name:"histogram"
+    ~meta:
+      (meta "kernel.histogram" ~fp:0.0 ~mem:0.6 ~ilp:2 ~chain:4
+         ~fkb:buckets_kb)
+    ~streams ~iters:512
+    ~body:(fun b s ->
+      let ld_key =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.int 1)
+          ~srcs:[| Reg.int 4 |] ~stream:s.(0) ()
+      in
+      let ld_bucket =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.int 2)
+          ~srcs:[| Reg.int 1 |] ~stream:s.(1) ()
+      in
+      let inc =
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 3)
+          ~srcs:[| Reg.int 2 |] ()
+      in
+      let st =
+        Program.Builder.uop b Opcode.Store ~srcs:[| Reg.int 3; Reg.int 1 |]
+          ~stream:s.(1) ()
+      in
+      [ ld_key; ld_bucket; inc; st ])
+
+let stencil3 ?(iters = 256) () =
+  (* 1-D 3-point stencil: out[i] = a*(x[i-1] + x[i] + x[i+1]); three
+     staggered reads of the same array, one write — spatial locality
+     plus a wide, shallow DDG. *)
+  let footprint = 96 * 1024 in
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint };
+      Mem_model.Strided { base = 8; stride = 8; footprint };
+      Mem_model.Strided { base = 16; stride = 8; footprint };
+      Mem_model.Strided { base = 1 lsl 24; stride = 8; footprint };
+    |]
+  in
+  loop_kernel ~name:"stencil3"
+    ~meta:(meta "kernel.stencil3" ~fp:0.4 ~mem:0.5 ~ilp:3 ~chain:4 ~fkb:192)
+    ~streams ~iters
+    ~body:(fun b s ->
+      let ld k stream =
+        Program.Builder.uop b Opcode.Load ~dst:(Reg.fp k)
+          ~srcs:[| Reg.int 1 |] ~stream ()
+      in
+      let l0 = ld 1 s.(0) and l1 = ld 2 s.(1) and l2 = ld 3 s.(2) in
+      let a01 =
+        Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp 4)
+          ~srcs:[| Reg.fp 1; Reg.fp 2 |] ()
+      in
+      let a012 =
+        Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp 5)
+          ~srcs:[| Reg.fp 4; Reg.fp 3 |] ()
+      in
+      let scaled =
+        Program.Builder.uop b Opcode.Fp_mul ~dst:(Reg.fp 6)
+          ~srcs:[| Reg.fp 0; Reg.fp 5 |] ()
+      in
+      let st =
+        Program.Builder.uop b Opcode.Store ~srcs:[| Reg.fp 6; Reg.int 2 |]
+          ~stream:s.(3) ()
+      in
+      [ l0; l1; l2; a01; a012; scaled; st ])
+
+let reduction_tree ?(width = 8) () =
+  if width < 2 || width > 16 then
+    invalid_arg "Kernels.reduction_tree: width 2..16";
+  (* Pairwise tree reduction of [width] independent accumulators: a
+     log-depth DDG per iteration — between daxpy's flat parallelism
+     and dot's serial chain. *)
+  loop_kernel ~name:"reduction"
+    ~meta:
+      (meta "kernel.reduction" ~fp:0.8 ~mem:0.0 ~ilp:(width / 2) ~chain:4
+         ~fkb:4)
+    ~streams:[||] ~iters:512
+    ~body:(fun b _ ->
+      (* refresh the leaves (independent), then reduce pairwise *)
+      let leaves =
+        List.init width (fun k ->
+            Program.Builder.uop b Opcode.Fp_add
+              ~dst:(Reg.fp (8 + k))
+              ~srcs:[| Reg.fp (8 + k) |]
+              ())
+      in
+      let rec reduce level regs ops =
+        match regs with
+        | [] | [ _ ] -> List.rev ops
+        | _ ->
+            let rec pair acc out = function
+              | a :: c :: rest ->
+                  let dst = Reg.fp (24 + level + List.length out) in
+                  let op =
+                    Program.Builder.uop b Opcode.Fp_add ~dst
+                      ~srcs:[| a; c |] ()
+                  in
+                  pair (op :: acc) (dst :: out) rest
+              | [ last ] -> (acc, last :: out)
+              | [] -> (acc, out)
+            in
+            let ops', next = pair ops [] regs in
+            reduce (level + 4) (List.rev next) ops'
+      in
+      let leaf_regs = List.init width (fun k -> Reg.fp (8 + k)) in
+      leaves @ reduce 0 leaf_regs [])
+
+let all =
+  [
+    ("daxpy", daxpy ());
+    ("dot", dot_product ());
+    ("chase", pointer_chase ());
+    ("fib", fibonacci ());
+    ("matmul", matmul_inner ());
+    ("histogram", histogram ());
+    ("stencil3", stencil3 ());
+    ("reduction", reduction_tree ());
+  ]

@@ -1,0 +1,38 @@
+(** Hand-written micro-kernels.
+
+    Unlike the profile-driven SPEC stand-ins ({!Synth.build}), these are
+    explicit programs built with {!Clusteer_isa.Program.Builder} — the
+    classic kernels whose steering behaviour is understood analytically,
+    useful as ground truth for the policies and as API examples:
+
+    - {!daxpy}: [y[i] <- a*x[i] + y[i]] — two parallel load streams
+      feeding an FP multiply-add, fully parallel across iterations.
+    - {!dot_product}: a serial FP reduction — one long dependence
+      chain; steering can do nothing except keep it in one cluster.
+    - {!pointer_chase}: serial load-to-load chain, memory-latency bound.
+    - {!fibonacci}: serial 1-cycle integer recurrence.
+    - {!matmul_inner}: a blocked matrix-multiply inner loop, several
+      independent FP accumulators — the ILP showcase.
+    - {!histogram}: data-dependent scattered updates (load-add-store to
+      pseudo-random addresses);
+    - {!stencil3}: a 1-D 3-point stencil — staggered reads, wide
+      shallow DDG;
+    - {!reduction_tree}: pairwise tree reduction — log-depth DDG,
+      between daxpy's flat parallelism and dot's serial chain. *)
+
+type t = Synth.t
+(** Kernels reuse the workload record: program + behaviour models +
+    profile feedback. The [profile] field carries descriptive metadata
+    only (kernels are not re-synthesizable from it). *)
+
+val daxpy : ?iters:int -> unit -> t
+val dot_product : ?iters:int -> unit -> t
+val pointer_chase : ?footprint_kb:int -> unit -> t
+val fibonacci : unit -> t
+val matmul_inner : ?accumulators:int -> unit -> t
+val histogram : ?buckets_kb:int -> unit -> t
+val stencil3 : ?iters:int -> unit -> t
+val reduction_tree : ?width:int -> unit -> t
+
+val all : (string * t) list
+(** Every kernel under its name, default parameters. *)

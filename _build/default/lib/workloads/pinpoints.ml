@@ -1,0 +1,51 @@
+module Rng = Clusteer_util.Rng
+
+type point = {
+  benchmark : string;
+  index : int;
+  weight : float;
+  profile : Profile.t;
+}
+
+let jitter rng (p : Profile.t) index =
+  let scale_choices = [| 0.5; 0.75; 1.0; 1.0; 1.5; 2.0 |] in
+  let fscale = Rng.pick rng scale_choices in
+  let hb =
+    Float.min 1.0
+      (Float.max 0.0
+         (p.Profile.hard_branch_frac *. (0.7 +. Rng.float rng 0.6)))
+  in
+  let mem =
+    Float.min 0.9
+      (Float.max 0.02 (p.Profile.mem_ratio *. (0.8 +. Rng.float rng 0.4)))
+  in
+  {
+    p with
+    Profile.seed = (p.Profile.seed * 1009) + (index * 7919) + 13;
+    footprint_kb =
+      max 4 (int_of_float (float_of_int p.Profile.footprint_kb *. fscale));
+    hard_branch_frac = hb;
+    mem_ratio = mem;
+  }
+
+let points (p : Profile.t) =
+  Profile.validate p;
+  let rng = Rng.create (p.Profile.seed lxor 0x9E3779B9) in
+  let raw =
+    List.init p.Profile.phases (fun i ->
+        let w = 0.5 +. Rng.float rng 1.0 in
+        (i, w, jitter rng p i))
+  in
+  let total = List.fold_left (fun acc (_, w, _) -> acc +. w) 0.0 raw in
+  List.map
+    (fun (i, w, prof) ->
+      {
+        benchmark = p.Profile.name;
+        index = i;
+        weight = w /. total;
+        profile = prof;
+      })
+    raw
+
+let weighted points ~f =
+  List.fold_left (fun acc pt -> acc +. (pt.weight *. f pt)) 0.0 points

@@ -1,0 +1,23 @@
+(** PinPoints stand-in: representative simulation points with weights.
+
+    The paper selects up to 10 weighted simulation points per SPEC
+    benchmark with the PinPoints tool and reports weighted results. We
+    reproduce the structure: each benchmark exposes [profile.phases]
+    points; each point is the benchmark's profile with deterministic
+    per-phase jitter (working-set scale, branch hardness, a fresh
+    seed), modelling program phases with different behaviour. Weights
+    are drawn deterministically and normalised to 1. *)
+
+type point = {
+  benchmark : string;
+  index : int;  (** phase number, from 0 *)
+  weight : float;  (** normalised; all points of a benchmark sum to 1 *)
+  profile : Profile.t;  (** jittered per-phase profile *)
+}
+
+val points : Profile.t -> point list
+(** The benchmark's simulation points, in phase order. *)
+
+val weighted :
+  point list -> f:(point -> float) -> float
+(** Phase-weight-averaged metric over a benchmark's points. *)

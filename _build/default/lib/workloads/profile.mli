@@ -1,0 +1,38 @@
+(** Benchmark profiles: the parameter vector from which a synthetic
+    SPEC CPU2000 stand-in is generated.
+
+    The real benchmarks are unavailable (proprietary binaries, traced
+    with Intel tooling); what steering behaviour actually depends on is
+    the *shape* of the dynamic instruction stream — instruction mix,
+    dependence-chain structure (ILP), memory footprint and regularity,
+    and branch predictability. Each profile pins those per benchmark,
+    from the well-documented character of the suite (e.g. mcf =
+    pointer-chasing and memory-bound, swim = long regular FP loop
+    nests, gcc = branchy with a large footprint). *)
+
+type suite = Spec_int | Spec_fp
+
+type t = {
+  name : string;  (** paper's trace-point name, e.g. ["164.gzip-1"] *)
+  suite : suite;
+  seed : int;  (** master seed; all phases derive from it *)
+  (* Instruction mix *)
+  fp_ratio : float;  (** fraction of compute micro-ops that are FP *)
+  mem_ratio : float;  (** fraction of all micro-ops that are loads/stores *)
+  (* Dependence structure *)
+  ilp : int;  (** number of independent dependence chains (DDG width) *)
+  chain_len : int;  (** micro-ops before a chain is restarted *)
+  (* Memory behaviour *)
+  footprint_kb : int;  (** working-set size *)
+  stride_frac : float;  (** fraction of streams that are sequential *)
+  chase_frac : float;  (** fraction of streams that are pointer chases *)
+  (* Control behaviour *)
+  loops : int;  (** number of loop nests in the CFG *)
+  block_size : int;  (** average micro-ops per basic block *)
+  loop_trip : int;  (** typical inner-loop trip count *)
+  hard_branch_frac : float;  (** fraction of data-dependent 50/50 branches *)
+  phases : int;  (** PinPoints-style simulation points, <= 10 *)
+}
+
+val validate : t -> unit
+val suite_name : suite -> string

@@ -1,0 +1,153 @@
+open Profile
+
+let mk name suite seed ~fp ~mem ~ilp ~chain ~fkb ~stride ~chase ~loops ~bs
+    ~trip ~hard ~phases =
+  {
+    name;
+    suite;
+    seed;
+    fp_ratio = fp;
+    mem_ratio = mem;
+    ilp;
+    chain_len = chain;
+    footprint_kb = fkb;
+    stride_frac = stride;
+    chase_frac = chase;
+    loops;
+    block_size = bs;
+    loop_trip = trip;
+    hard_branch_frac = hard;
+    phases;
+  }
+
+let int_point name seed ~mem ~ilp ~chain ~fkb ~stride ~chase ~bs ~trip ~hard
+    ~phases ?(fp = 0.02) ?(loops = 3) () =
+  mk name Spec_int seed ~fp ~mem ~ilp ~chain ~fkb ~stride ~chase ~loops ~bs
+    ~trip ~hard ~phases
+
+let fp_point name seed ~fp ~mem ~ilp ~chain ~fkb ~stride ~chase ~bs ~trip
+    ~hard ~phases ?(loops = 3) () =
+  mk name Spec_fp seed ~fp ~mem ~ilp ~chain ~fkb ~stride ~chase ~loops ~bs
+    ~trip ~hard ~phases
+
+let gzip i =
+  int_point
+    (Printf.sprintf "164.gzip-%d" i)
+    (1640 + i) ~mem:0.25 ~ilp:4 ~chain:5 ~fkb:(160 + (i * 24)) ~stride:0.5
+    ~chase:0.0 ~bs:8 ~trip:20 ~hard:0.12 ~phases:2 ()
+
+let vpr i =
+  int_point
+    (Printf.sprintf "175.vpr-%d" i)
+    (1750 + i) ~mem:0.30 ~ilp:3 ~chain:7 ~fkb:256 ~stride:0.2 ~chase:0.2 ~bs:7
+    ~trip:10 ~hard:0.25 ~phases:2 ()
+
+let gcc i =
+  int_point
+    (Printf.sprintf "176.gcc-%d" i)
+    (1760 + i) ~mem:0.30 ~ilp:3 ~chain:5 ~fkb:512 ~stride:0.2 ~chase:0.1
+    ~bs:6 ~trip:6 ~hard:0.30 ~phases:2 ~loops:4 ()
+
+let eon i =
+  int_point
+    (Printf.sprintf "252.eon-%d" i)
+    (2520 + i) ~mem:0.30 ~ilp:4 ~chain:6 ~fkb:128 ~stride:0.4 ~chase:0.0 ~bs:9
+    ~trip:12 ~hard:0.10 ~phases:2 ~fp:0.20 ()
+
+let vortex i =
+  int_point
+    (Printf.sprintf "255.vortex-%d" i)
+    (2550 + i) ~mem:0.40 ~ilp:3 ~chain:6 ~fkb:512 ~stride:0.3 ~chase:0.1
+    ~bs:7 ~trip:10 ~hard:0.18 ~phases:2 ()
+
+let bzip2 i =
+  int_point
+    (Printf.sprintf "256.bzip2-%d" i)
+    (2560 + i) ~mem:0.30 ~ilp:4 ~chain:6 ~fkb:512 ~stride:0.5 ~chase:0.0
+    ~bs:8 ~trip:16 ~hard:0.15 ~phases:2 ()
+
+let art i =
+  fp_point
+    (Printf.sprintf "179.art-%d" i)
+    (1790 + i) ~fp:0.50 ~mem:0.40 ~ilp:2 ~chain:10 ~fkb:1024 ~stride:0.7
+    ~chase:0.0 ~bs:10 ~trip:30 ~hard:0.08 ~phases:2 ()
+
+let spec_int =
+  List.concat
+    [
+      List.init 5 (fun i -> gzip (i + 1));
+      List.init 2 (fun i -> vpr (i + 1));
+      List.init 5 (fun i -> gcc (i + 1));
+      [
+        int_point "181.mcf" 181 ~mem:0.45 ~ilp:3 ~chain:8 ~fkb:4096 ~stride:0.1
+          ~chase:0.35 ~bs:7 ~trip:8 ~hard:0.25 ~phases:3 ();
+        int_point "186.crafty" 186 ~mem:0.25 ~ilp:5 ~chain:5 ~fkb:256
+          ~stride:0.3 ~chase:0.0 ~bs:7 ~trip:10 ~hard:0.20 ~phases:3 ();
+        int_point "197.parser" 197 ~mem:0.35 ~ilp:3 ~chain:6 ~fkb:384
+          ~stride:0.2 ~chase:0.2 ~bs:6 ~trip:8 ~hard:0.28 ~phases:3 ();
+      ];
+      List.init 3 (fun i -> eon (i + 1));
+      [
+        int_point "253.perlbmk" 253 ~mem:0.35 ~ilp:3 ~chain:6 ~fkb:384
+          ~stride:0.25 ~chase:0.15 ~bs:6 ~trip:6 ~hard:0.30 ~phases:3 ();
+        int_point "254.gap" 254 ~mem:0.30 ~ilp:4 ~chain:6 ~fkb:384 ~stride:0.4
+          ~chase:0.0 ~bs:8 ~trip:14 ~hard:0.15 ~phases:3 ();
+      ];
+      List.init 2 (fun i -> vortex (i + 1));
+      List.init 3 (fun i -> bzip2 (i + 1));
+      [
+        int_point "300.twolf" 300 ~mem:0.35 ~ilp:3 ~chain:7 ~fkb:256
+          ~stride:0.2 ~chase:0.2 ~bs:7 ~trip:10 ~hard:0.25 ~phases:3 ();
+      ];
+    ]
+
+let spec_fp =
+  List.concat
+    [
+      [
+        fp_point "168.wupwise" 168 ~fp:0.55 ~mem:0.30 ~ilp:5 ~chain:9 ~fkb:768
+          ~stride:0.8 ~chase:0.0 ~bs:12 ~trip:40 ~hard:0.03 ~phases:3 ();
+        fp_point "171.swim" 171 ~fp:0.60 ~mem:0.35 ~ilp:6 ~chain:8 ~fkb:1024
+          ~stride:0.9 ~chase:0.0 ~bs:14 ~trip:50 ~hard:0.02 ~phases:3 ();
+        fp_point "173.applu" 173 ~fp:0.60 ~mem:0.35 ~ilp:5 ~chain:10 ~fkb:1024
+          ~stride:0.85 ~chase:0.0 ~bs:12 ~trip:40 ~hard:0.03 ~phases:3 ();
+        fp_point "177.mesa" 177 ~fp:0.40 ~mem:0.30 ~ilp:4 ~chain:7 ~fkb:256
+          ~stride:0.5 ~chase:0.0 ~bs:9 ~trip:15 ~hard:0.12 ~phases:3 ();
+        fp_point "178.galgel" 178 ~fp:0.65 ~mem:0.30 ~ilp:6 ~chain:12 ~fkb:192
+          ~stride:0.9 ~chase:0.0 ~bs:12 ~trip:30 ~hard:0.04 ~phases:3 ();
+      ];
+      List.init 2 (fun i -> art (i + 1));
+      [
+        fp_point "187.facerec" 187 ~fp:0.55 ~mem:0.30 ~ilp:4 ~chain:8 ~fkb:768
+          ~stride:0.7 ~chase:0.0 ~bs:10 ~trip:25 ~hard:0.06 ~phases:3 ();
+        fp_point "183.equake" 183 ~fp:0.50 ~mem:0.40 ~ilp:3 ~chain:8 ~fkb:1024
+          ~stride:0.4 ~chase:0.2 ~bs:10 ~trip:20 ~hard:0.08 ~phases:3 ();
+        fp_point "188.ammp" 188 ~fp:0.50 ~mem:0.40 ~ilp:3 ~chain:9 ~fkb:768
+          ~stride:0.3 ~chase:0.2 ~bs:10 ~trip:20 ~hard:0.10 ~phases:3 ();
+        fp_point "189.lucas" 189 ~fp:0.60 ~mem:0.30 ~ilp:4 ~chain:10 ~fkb:1024
+          ~stride:0.8 ~chase:0.0 ~bs:12 ~trip:40 ~hard:0.03 ~phases:3 ();
+        fp_point "191.fma3d" 191 ~fp:0.55 ~mem:0.35 ~ilp:4 ~chain:9 ~fkb:768
+          ~stride:0.6 ~chase:0.0 ~bs:11 ~trip:25 ~hard:0.07 ~phases:3 ();
+        fp_point "200.sixtrack" 200 ~fp:0.60 ~mem:0.25 ~ilp:5 ~chain:11
+          ~fkb:512 ~stride:0.7 ~chase:0.0 ~bs:12 ~trip:30 ~hard:0.05 ~phases:3
+          ();
+        fp_point "301.apsi" 301 ~fp:0.55 ~mem:0.30 ~ilp:5 ~chain:9 ~fkb:512
+          ~stride:0.7 ~chase:0.0 ~bs:11 ~trip:25 ~hard:0.05 ~phases:3 ();
+      ];
+    ]
+
+let all = spec_int @ spec_fp
+
+let find name =
+  let matches (p : Profile.t) =
+    String.equal p.Profile.name name
+    || String.length p.Profile.name > String.length name
+       && String.equal
+            (String.sub p.Profile.name
+               (String.length p.Profile.name - String.length name)
+               (String.length name))
+            name
+  in
+  match List.find_opt matches all with
+  | Some p -> p
+  | None -> raise Not_found

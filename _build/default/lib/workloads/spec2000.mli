@@ -1,0 +1,21 @@
+(** Profiles for every SPEC CPU2000 trace point named in the paper's
+    Figures 5 and 7: 26 SPECint points (164.gzip-1 … 300.twolf) and 14
+    SPECfp points (168.wupwise … 301.apsi; 173.applu appears in Fig. 5
+    only).
+
+    Parameter choices encode each benchmark's published character —
+    e.g. 181.mcf is memory-bound pointer-chasing with a large
+    footprint and low ILP; 178.galgel (the paper's best case for VC)
+    has long regular FP dependence chains; 176.gcc is branchy with a
+    big working set. See DESIGN.md for the substitution argument. *)
+
+val spec_int : Profile.t list
+(** The 26 integer trace points, in the paper's Figure 5(a) order. *)
+
+val spec_fp : Profile.t list
+(** The 14 floating-point trace points, Figure 5(b) order. *)
+
+val all : Profile.t list
+
+val find : string -> Profile.t
+(** Lookup by name ("181.mcf") or suffix ("mcf"). Raises [Not_found]. *)

@@ -1,0 +1,293 @@
+open Clusteer_isa
+open Clusteer_trace
+module Rng = Clusteer_util.Rng
+
+type t = {
+  profile : Profile.t;
+  program : Program.t;
+  branches : Branch_model.t array;
+  streams : Mem_model.t array;
+  likely : int -> int option;
+}
+
+(* Register plan (64 per class, see Engine's budget): int chains at
+   0..ilp-1, fp chains at fp 0..ilp-1, one stable base register per
+   memory stream from 48 up. *)
+let base_reg_first = 48
+let max_streams = 8
+
+type gen_state = {
+  prof : Profile.t;
+  rng : Rng.t;
+  builder : Program.Builder.b;
+  stream_ids : int array;
+  stream_is_chase : bool array;
+  int_len : int array;  (* current chain lengths *)
+  fp_len : int array;
+  branch_info : (int, int option) Hashtbl.t;  (* block id -> likely succ *)
+  mutable branch_models : Branch_model.t list;  (* reversed *)
+}
+
+let stream_count prof =
+  let by_footprint = 2 + (prof.Profile.footprint_kb / 256) in
+  max 3 (min max_streams by_footprint)
+
+let make_streams prof =
+  let n = stream_count prof in
+  let per_stream =
+    max 256 (prof.Profile.footprint_kb * 1024 / n)
+  in
+  let n_stride =
+    int_of_float (Float.round (prof.Profile.stride_frac *. float_of_int n))
+  in
+  let n_chase =
+    int_of_float (Float.round (prof.Profile.chase_frac *. float_of_int n))
+  in
+  Array.init n (fun i ->
+      let base = (i + 1) * 16 * 1024 * 1024 in
+      if i < n_stride then
+        Mem_model.Strided { base; stride = 8; footprint = per_stream }
+      else if i < n_stride + n_chase then
+        Mem_model.Chase { base; footprint = max 64 per_stream }
+      else Mem_model.Uniform { base; footprint = per_stream; granule = 8 })
+
+(* Allocate a fresh branch model, returning its id. *)
+let new_branch st model =
+  st.branch_models <- model :: st.branch_models;
+  Program.Builder.branch_model st.builder
+
+let pick_chain st = Rng.int st.rng st.prof.Profile.ilp
+
+let cross_chain st k =
+  let n = st.prof.Profile.ilp in
+  if n = 1 then k else (k + 1 + Rng.int st.rng (n - 1)) mod n
+
+(* One compute micro-op extending (or restarting) a dependence chain. *)
+let gen_compute st ~fp ~k =
+  let b = st.builder in
+  if fp then begin
+    let opcode =
+      let r = Rng.float st.rng 1.0 in
+      if r < 0.70 then Opcode.Fp_add
+      else if r < 0.97 then Opcode.Fp_mul
+      else Opcode.Fp_div
+    in
+    let restart = st.fp_len.(k) >= st.prof.Profile.chain_len in
+    let srcs =
+      (* Restarts often seed from another chain (a reduction feeding a
+         new expression), keeping the DDG connected like real code. *)
+      if restart then
+        if Rng.bernoulli st.rng 0.4 then [| Reg.fp (cross_chain st k) |]
+        else [||]
+      else if Rng.bernoulli st.rng 0.3 then
+        [| Reg.fp k; Reg.fp (cross_chain st k) |]
+      else [| Reg.fp k |]
+    in
+    st.fp_len.(k) <- (if restart then 1 else st.fp_len.(k) + 1);
+    Program.Builder.uop b opcode ~dst:(Reg.fp k) ~srcs ()
+  end
+  else begin
+    let opcode =
+      let r = Rng.float st.rng 1.0 in
+      if r < 0.90 then Opcode.Int_alu
+      else if r < 0.99 then Opcode.Int_mul
+      else Opcode.Int_div
+    in
+    let restart = st.int_len.(k) >= st.prof.Profile.chain_len in
+    let srcs =
+      if restart then
+        if Rng.bernoulli st.rng 0.4 then [| Reg.int (cross_chain st k) |]
+        else [||]
+      else if Rng.bernoulli st.rng 0.25 then
+        [| Reg.int k; Reg.int (cross_chain st k) |]
+      else [| Reg.int k |]
+    in
+    st.int_len.(k) <- (if restart then 1 else st.int_len.(k) + 1);
+    Program.Builder.uop b opcode ~dst:(Reg.int k) ~srcs ()
+  end
+
+let gen_mem st ~fp ~k =
+  let b = st.builder in
+  let si = Rng.int st.rng (Array.length st.stream_ids) in
+  let stream = st.stream_ids.(si) in
+  let base = Reg.int (base_reg_first + si) in
+  if Rng.bernoulli st.rng 0.65 then begin
+    (* Load. Chase streams form serial load-load chains through the
+       base register; others feed the current compute chain, with the
+       address either loop-invariant (base) or chain-dependent. *)
+    if st.stream_is_chase.(si) then
+      Program.Builder.uop b Opcode.Load ~dst:base ~srcs:[| base |] ~stream ()
+    else begin
+      let dst = if fp then Reg.fp k else Reg.int k in
+      let srcs =
+        if Rng.bernoulli st.rng 0.5 then [| base |] else [| base; Reg.int k |]
+      in
+      if fp then st.fp_len.(k) <- st.fp_len.(k) + 1
+      else st.int_len.(k) <- 1 (* load restarts the int chain it feeds *);
+      Program.Builder.uop b Opcode.Load ~dst ~srcs ~stream ()
+    end
+  end
+  else begin
+    let data = if fp then Reg.fp k else Reg.int k in
+    Program.Builder.uop b Opcode.Store ~srcs:[| data; base |] ~stream ()
+  end
+
+(* Micro-ops are emitted in short program-order runs that stay on one
+   dependence chain, the layout an instruction scheduler produces
+   (dependent operations near each other). This is what gives the VC
+   partitioner's chains their length. *)
+let gen_body st ~slots =
+  let out = ref [] in
+  let remaining = ref slots in
+  while !remaining > 0 do
+    let k = pick_chain st in
+    let fp = Rng.bernoulli st.rng st.prof.Profile.fp_ratio in
+    let run = min !remaining (2 + Rng.int st.rng 3) in
+    for _ = 1 to run do
+      let u =
+        if Rng.bernoulli st.rng st.prof.Profile.mem_ratio then
+          gen_mem st ~fp ~k
+        else gen_compute st ~fp ~k
+      in
+      out := u :: !out
+    done;
+    remaining := !remaining - run
+  done;
+  List.rev !out
+
+let block_slots st =
+  let base = st.prof.Profile.block_size in
+  max 2 (base - 1 + Rng.int st.rng 3)
+
+(* Conditional branch micro-op reading a chain register. *)
+let gen_cond_branch st ~model =
+  let k = pick_chain st in
+  Program.Builder.uop st.builder Opcode.Branch ~srcs:[| Reg.int k |]
+    ~branch_ref:model ()
+
+let diamond_model st =
+  if Rng.bernoulli st.rng st.prof.Profile.hard_branch_frac then
+    let p = 0.4 +. Rng.float st.rng 0.2 in
+    (Branch_model.Bernoulli p, None)
+  else
+    let taken = Rng.bool st.rng in
+    let p = if taken then 0.85 +. Rng.float st.rng 0.1 else 0.05 +. Rng.float st.rng 0.1 in
+    (Branch_model.Bernoulli p, Some (if taken then 1 else 0))
+
+let build prof =
+  Profile.validate prof;
+  let builder = Program.Builder.create ~name:prof.Profile.name ~nregs_per_class:64 () in
+  let stream_models = make_streams prof in
+  let stream_ids = Array.map (fun _ -> Program.Builder.stream builder) stream_models in
+  let stream_is_chase =
+    Array.map
+      (fun m -> match m with Mem_model.Chase _ -> true | _ -> false)
+      stream_models
+  in
+  let st =
+    {
+      prof;
+      rng = Rng.create prof.Profile.seed;
+      builder;
+      stream_ids;
+      stream_is_chase;
+      int_len = Array.make prof.Profile.ilp 0;
+      fp_len = Array.make prof.Profile.ilp 0;
+      branch_info = Hashtbl.create 16;
+      branch_models = [];
+    }
+  in
+  let b = builder in
+  (* Entry block: initialise chain and base registers. *)
+  let init_uops =
+    List.concat
+      [
+        List.init prof.Profile.ilp (fun k ->
+            Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int k) ());
+        List.init prof.Profile.ilp (fun k ->
+            Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp k) ());
+        List.init (Array.length stream_ids) (fun s ->
+            Program.Builder.uop b Opcode.Int_alu
+              ~dst:(Reg.int (base_reg_first + s))
+              ());
+      ]
+  in
+  let entry = Program.Builder.reserve_block b in
+  let exit_block = Program.Builder.reserve_block b in
+  Program.Builder.define_block b exit_block [] ~succs:[];
+  (* Loop nests, last one falling through to [exit_block]. *)
+  let rec make_loops i next =
+    if i < 0 then next
+    else begin
+      let head = Program.Builder.reserve_block b in
+      let cond = Program.Builder.reserve_block b in
+      let then_b = Program.Builder.reserve_block b in
+      let else_b = Program.Builder.reserve_block b in
+      let latch = Program.Builder.reserve_block b in
+      (* head: plain body, falls into cond. *)
+      Program.Builder.define_block b head
+        (gen_body st ~slots:(block_slots st))
+        ~succs:[ cond ];
+      (* cond: diamond branch. Most conditions are freshly computed
+         1-cycle tests (fast to resolve after a mispredict); a minority
+         read a live dependence chain directly, modelling truly
+         data-dependent branches whose redirects are expensive. *)
+      let model, bias = diamond_model st in
+      let mid = new_branch st model in
+      let bcond = Reg.int (16 + (i mod 16)) in
+      let cond_uops =
+        let body = gen_body st ~slots:(max 1 (block_slots st / 2)) in
+        if Rng.bernoulli st.rng 0.3 then body @ [ gen_cond_branch st ~model:mid ]
+        else
+          let test =
+            Program.Builder.uop b Opcode.Int_alu ~dst:bcond ~srcs:[| bcond |] ()
+          in
+          let br =
+            Program.Builder.uop b Opcode.Branch ~srcs:[| bcond |]
+              ~branch_ref:mid ()
+          in
+          (test :: body) @ [ br ]
+      in
+      Program.Builder.define_block b cond cond_uops ~succs:[ then_b; else_b ];
+      Hashtbl.replace st.branch_info cond bias;
+      (* arms fall through to latch. *)
+      Program.Builder.define_block b then_b
+        (gen_body st ~slots:(block_slots st))
+        ~succs:[ latch ];
+      Program.Builder.define_block b else_b
+        (gen_body st ~slots:(block_slots st))
+        ~succs:[ latch ];
+      (* latch: loop back-edge (taken = repeat). The branch tests a
+         dedicated induction register updated by a 1-cycle op, so loop
+         exits resolve quickly — like a real loop counter, and unlike
+         the data-dependent diamond branches. *)
+      let trip = max 2 (prof.Profile.loop_trip - 2 + Rng.int st.rng 5) in
+      let lid = new_branch st (Branch_model.Loop trip) in
+      let ctr = Reg.int (32 + (i mod 16)) in
+      let ctr_update =
+        Program.Builder.uop b Opcode.Int_alu ~dst:ctr ~srcs:[| ctr |] ()
+      in
+      let latch_branch =
+        Program.Builder.uop b Opcode.Branch ~srcs:[| ctr |] ~branch_ref:lid ()
+      in
+      Program.Builder.define_block b latch
+        ((ctr_update :: gen_body st ~slots:(block_slots st)) @ [ latch_branch ])
+        ~succs:[ next; head ];
+      Hashtbl.replace st.branch_info latch (Some 1);
+      make_loops (i - 1) head
+    end
+  in
+  let first_loop = make_loops (prof.Profile.loops - 1) exit_block in
+  Program.Builder.define_block b entry init_uops ~succs:[ first_loop ];
+  let program = Program.Builder.finish b ~entry in
+  let branches = Array.of_list (List.rev st.branch_models) in
+  let likely blk =
+    match Hashtbl.find_opt st.branch_info blk with
+    | Some bias -> bias
+    | None -> None
+  in
+  { profile = prof; program; branches; streams = stream_models; likely }
+
+let trace t ~seed =
+  Tracegen.create ~program:t.program ~branches:t.branches ~streams:t.streams
+    ~seed

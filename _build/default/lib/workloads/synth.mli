@@ -1,0 +1,31 @@
+(** Program synthesis: turn a {!Profile.t} into a runnable workload.
+
+    The generated CFG is a chain of loop nests — head block, an
+    if/else diamond, and a latch with a back-edge — preceded by an
+    initialisation block. Micro-op operands are wired to form
+    [profile.ilp] independent dependence chains that restart every
+    [chain_len] operations, which fixes the width and depth of the
+    dynamic DDG. Memory micro-ops draw addresses from per-benchmark
+    stream models (strided / uniform / pointer-chase over the
+    footprint); conditional branches are biased or hard per
+    [hard_branch_frac]; loop back-edges use the profile trip count.
+
+    Everything is a deterministic function of the profile (including
+    its seed). *)
+
+open Clusteer_isa
+open Clusteer_trace
+
+type t = {
+  profile : Profile.t;
+  program : Program.t;
+  branches : Branch_model.t array;
+  streams : Mem_model.t array;
+  likely : int -> int option;
+      (** profile feedback for the compiler's region builder *)
+}
+
+val build : Profile.t -> t
+
+val trace : t -> seed:int -> Tracegen.t
+(** Fresh trace generator over the workload's program and models. *)

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Clusteer_isa Filename List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Block Clusteer_ddg Clusteer_isa Critical Ddg Hashtbl List Opcode Program QCheck QCheck_alcotest Reg Region Uop

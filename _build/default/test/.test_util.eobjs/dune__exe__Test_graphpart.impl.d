@@ -1,0 +1,1 @@
+test/test_graphpart.ml: Alcotest Array Clusteer_graphpart Coarsen List Multilevel Partition QCheck QCheck_alcotest Refine Wgraph

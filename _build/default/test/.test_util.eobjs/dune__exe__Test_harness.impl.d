@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Clusteer Clusteer_harness Clusteer_uarch Clusteer_workloads Config Filename Lazy List Pinpoints Profile Spec2000 Stats String Sys

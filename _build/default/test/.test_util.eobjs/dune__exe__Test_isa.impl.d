@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Annot Annot_io Array Block Clusteer_isa Filename Format Fun Opcode Program Reg String Sys Uop

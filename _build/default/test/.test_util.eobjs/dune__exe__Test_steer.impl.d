@@ -1,0 +1,1 @@
+test/test_steer.ml: Alcotest Annot Array Clusteer_isa Clusteer_steer Clusteer_trace Clusteer_uarch Clusteer_util Dynuop Hashtbl List Opcode Option Policy Reg Uop

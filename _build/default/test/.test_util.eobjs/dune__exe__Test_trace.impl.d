@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Branch_model Clusteer_isa Clusteer_trace Dynuop List Mem_model Opcode Program Reg Tracegen Uop

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Clusteer_util Csv Filename Fun Hashtbl List Option Parallel Plot Pqueue QCheck QCheck_alcotest Ring Rng Stats String Sys Table Vec

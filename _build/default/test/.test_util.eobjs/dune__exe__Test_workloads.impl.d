@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analysis Array Block Clusteer_ddg Clusteer_isa Clusteer_trace Clusteer_workloads Kernels List Opcode Pinpoints Profile Program Spec2000 Synth Uop

@@ -1,0 +1,129 @@
+(* End-to-end tests of the csteer command-line interface, run as a
+   subprocess against the built executable. *)
+
+let exe =
+  (* dune runtest runs in _build/default/test; dune exec from the
+     project root. *)
+  let candidates =
+    [ "../bin/csteer.exe"; "_build/default/bin/csteer.exe"; "bin/csteer.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/csteer.exe"
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_capture args =
+  let tmp = Filename.temp_file "csteer_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>/dev/null" (Filename.quote exe) args
+      (Filename.quote tmp)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let out = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  (code, out)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_list () =
+  let code, out = run_capture "list" in
+  check_int "exit 0" 0 code;
+  check_bool "lists mcf" true (contains out "181.mcf");
+  check_bool "lists apsi" true (contains out "301.apsi")
+
+let test_simulate () =
+  let code, out = run_capture "simulate -w gzip-1 -p vc2 -n 3000" in
+  check_int "exit 0" 0 code;
+  check_bool "prints ipc" true (contains out "ipc");
+  check_bool "prints energy" true (contains out "energy")
+
+let test_simulate_unknown_workload () =
+  let code, _ = run_capture "simulate -w not-a-benchmark" in
+  check_bool "nonzero exit" true (code <> 0)
+
+let test_compile_emit_annotation () =
+  let annot = Filename.temp_file "csteer" ".annot" in
+  let code, out =
+    run_capture (Printf.sprintf "compile -w gzip-1 -p vc2 --emit %s" annot)
+  in
+  check_int "exit 0" 0 code;
+  check_bool "reports chains" true (contains out "chains");
+  (* The emitted file parses back through the library. *)
+  let a = Clusteer_isa.Annot_io.load ~path:annot in
+  Sys.remove annot;
+  check_int "two vcs" 2 a.Clusteer_isa.Annot.virtual_clusters
+
+let test_stats () =
+  let code, out = run_capture "stats -w daxpy -n 5000" in
+  check_int "exit 0" 0 code;
+  check_bool "mentions mem" true (contains out "mem")
+
+let test_vliw () =
+  let code, out = run_capture "vliw -w dot" in
+  check_int "exit 0" 0 code;
+  check_bool "prints II" true (contains out "II=")
+
+let test_sweep_csv () =
+  let csv = Filename.temp_file "csteer_sweep" ".csv" in
+  let code, _ = run_capture (Printf.sprintf "sweep -w gzip-1 -n 2000 -o %s" csv) in
+  check_int "exit 0" 0 code;
+  let ic = open_in csv in
+  let header = input_line ic in
+  let rows = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr rows
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove csv;
+  Alcotest.(check string) "header"
+    "clusters,config,cycles,ipc,copies,alloc_stalls" header;
+  (* 3 cluster counts x 9 configurations *)
+  check_int "rows" 27 !rows
+
+let test_experiment_tables () =
+  let code, out = run_capture "experiment tables" in
+  check_int "exit 0" 0 code;
+  check_bool "table 1" true (contains out "hybrid virtual clustering");
+  check_bool "table 2" true (contains out "trace cache");
+  check_bool "table 3" true (contains out "Occupancy-aware")
+
+let test_experiment_sec21 () =
+  let code, out = run_capture "experiment sec21" in
+  check_int "exit 0" 0 code;
+  check_bool "paper delta" true (contains out "(paper: 2)")
+
+let test_unknown_experiment () =
+  let code, _ = run_capture "experiment not-a-figure" in
+  check_bool "nonzero exit" true (code <> 0)
+
+let () =
+  Alcotest.run "clusteer_cli"
+    [
+      ( "csteer",
+        [
+          Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "simulate" `Slow test_simulate;
+          Alcotest.test_case "unknown workload" `Quick test_simulate_unknown_workload;
+          Alcotest.test_case "compile --emit" `Quick test_compile_emit_annotation;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "vliw" `Quick test_vliw;
+          Alcotest.test_case "sweep csv" `Slow test_sweep_csv;
+          Alcotest.test_case "experiment tables" `Quick test_experiment_tables;
+          Alcotest.test_case "experiment sec21" `Quick test_experiment_sec21;
+          Alcotest.test_case "unknown experiment" `Quick test_unknown_experiment;
+        ] );
+    ]

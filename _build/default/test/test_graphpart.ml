@@ -1,0 +1,244 @@
+(* Tests for the multilevel graph-partitioning substrate. *)
+
+open Clusteer_graphpart
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let path_graph n =
+  (* 0 - 1 - ... - n-1 with unit weights. *)
+  Wgraph.create ~nv:n
+    ~vwgt:(Array.make n 1.0)
+    ~edges:(List.init (n - 1) (fun i -> (i, i + 1, 1.0)))
+
+(* Two unit-weight cliques joined by a light bridge. *)
+let two_cliques () =
+  let clique base = [ (base, base + 1, 5.0); (base, base + 2, 5.0); (base + 1, base + 2, 5.0) ] in
+  Wgraph.create ~nv:6
+    ~vwgt:(Array.make 6 1.0)
+    ~edges:(clique 0 @ clique 3 @ [ (2, 3, 0.5) ])
+
+(* ---- Wgraph ------------------------------------------------------------ *)
+
+let test_wgraph_merges_parallel_edges () =
+  let g =
+    Wgraph.create ~nv:2 ~vwgt:[| 1.0; 1.0 |]
+      ~edges:[ (0, 1, 1.0); (1, 0, 2.0) ]
+  in
+  check_float "merged weight" 3.0 (Wgraph.edge_weight g 0 1);
+  check_int "degree" 1 (Wgraph.degree g 0)
+
+let test_wgraph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Wgraph.create: self loop")
+    (fun () ->
+      ignore (Wgraph.create ~nv:1 ~vwgt:[| 1.0 |] ~edges:[ (0, 0, 1.0) ]))
+
+let test_wgraph_fold_edges_once () =
+  let g = two_cliques () in
+  let count = Wgraph.fold_edges (fun _ _ _ acc -> acc + 1) g 0 in
+  check_int "edge count" 7 count
+
+let test_wgraph_total_weight () =
+  check_float "total" 6.0 (Wgraph.total_weight (two_cliques ()))
+
+(* ---- Partition metrics --------------------------------------------------- *)
+
+let test_partition_edge_cut () =
+  let g = two_cliques () in
+  let ideal = [| 0; 0; 0; 1; 1; 1 |] in
+  check_float "bridge only" 0.5 (Partition.edge_cut g ideal);
+  let bad = [| 0; 1; 0; 1; 0; 1 |] in
+  check_bool "worse cut" true (Partition.edge_cut g bad > 0.5)
+
+let test_partition_weights_imbalance () =
+  let g = two_cliques () in
+  let part = [| 0; 0; 0; 0; 1; 1 |] in
+  Alcotest.(check (array (float 1e-9))) "weights" [| 4.0; 2.0 |]
+    (Partition.part_weights g part ~k:2);
+  check_bool "imbalance" true
+    (abs_float (Partition.imbalance g part ~k:2 -. (4.0 /. 3.0)) < 1e-9)
+
+let test_partition_validate () =
+  Alcotest.check_raises "part out of range"
+    (Invalid_argument "Partition.validate: node 1 in part 2") (fun () ->
+      Partition.validate [| 0; 2 |] ~k:2)
+
+(* ---- Coarsening ----------------------------------------------------------- *)
+
+let test_coarsen_preserves_total_weight () =
+  let g = two_cliques () in
+  let level = Coarsen.step g in
+  check_float "weight preserved"
+    (Wgraph.total_weight g)
+    (Wgraph.total_weight level.Coarsen.graph)
+
+let test_coarsen_shrinks () =
+  let g = path_graph 10 in
+  let level = Coarsen.step g in
+  check_bool "shrinks" true (Wgraph.node_count level.Coarsen.graph < 10)
+
+let test_coarsen_heavy_edges_first () =
+  (* With one heavy edge, that pair must be matched. *)
+  let g =
+    Wgraph.create ~nv:4
+      ~vwgt:(Array.make 4 1.0)
+      ~edges:[ (0, 1, 100.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let level = Coarsen.step ~seed:3 g in
+  check_int "0 and 1 merged" level.Coarsen.map.(0) level.Coarsen.map.(1)
+
+let test_coarsen_respects_max_node_weight () =
+  let g =
+    Wgraph.create ~nv:2 ~vwgt:[| 3.0; 3.0 |] ~edges:[ (0, 1, 10.0) ]
+  in
+  let level = Coarsen.step ~max_node_weight:4.0 g in
+  check_int "no merge over cap" 2 (Wgraph.node_count level.Coarsen.graph)
+
+let test_coarsen_project () =
+  let g = path_graph 4 in
+  let level = Coarsen.step g in
+  let coarse_part = Array.make (Wgraph.node_count level.Coarsen.graph) 0 in
+  coarse_part.(0) <- 1;
+  let fine = Coarsen.project level coarse_part in
+  Array.iteri
+    (fun v p -> check_int "projected" coarse_part.(level.Coarsen.map.(v)) p)
+    fine
+
+(* ---- Refinement ------------------------------------------------------------ *)
+
+let test_refine_improves_cut () =
+  let g = two_cliques () in
+  let part = [| 0; 1; 0; 1; 0; 1 |] in
+  let before = Partition.edge_cut g part in
+  (* 1.4 allows the transient 4/2 imbalance the move sequence passes
+     through; the final partition is balanced again. *)
+  Refine.run g part ~k:2 ~max_imbalance:1.4 ~passes:8;
+  let after = Partition.edge_cut g part in
+  check_bool "cut improved" true (after < before);
+  check_float "reaches optimum" 0.5 after
+
+let test_refine_rebalance_enforces_cap () =
+  let g = path_graph 8 in
+  let part = Array.make 8 0 in
+  (* everything in part 0: rebalance must move ~half to part 1 *)
+  Refine.rebalance g part ~k:2 ~max_imbalance:1.1;
+  let w = Partition.part_weights g part ~k:2 in
+  check_bool "part 0 within cap" true (w.(0) <= 1.1 *. 4.0 +. 1e-9);
+  check_bool "part 1 nonempty" true (w.(1) > 0.0)
+
+(* ---- Multilevel -------------------------------------------------------------- *)
+
+let test_multilevel_two_cliques () =
+  let g = two_cliques () in
+  let part = Multilevel.partition g ~k:2 in
+  Partition.validate part ~k:2;
+  (* The natural split puts each clique in one part. *)
+  check_float "optimal cut" 0.5 (Partition.edge_cut g part);
+  check_bool "cliques intact" true
+    (part.(0) = part.(1) && part.(1) = part.(2) && part.(3) = part.(4)
+   && part.(4) = part.(5) && part.(0) <> part.(3))
+
+let test_multilevel_k1 () =
+  let g = path_graph 5 in
+  let part = Multilevel.partition g ~k:1 in
+  check_bool "all in part 0" true (Array.for_all (fun p -> p = 0) part)
+
+let test_multilevel_balance () =
+  let g = path_graph 32 in
+  let part = Multilevel.partition g ~k:4 ~max_imbalance:1.25 in
+  Partition.validate part ~k:4;
+  check_bool "imbalance bounded" true
+    (Partition.imbalance g part ~k:4 <= 1.3)
+
+let test_initial_partition_balances () =
+  let g =
+    Wgraph.create ~nv:4 ~vwgt:[| 4.0; 3.0; 2.0; 1.0 |] ~edges:[]
+  in
+  let part = Multilevel.initial_partition g ~k:2 in
+  let w = Partition.part_weights g part ~k:2 in
+  check_float "balanced split" 5.0 w.(0);
+  check_float "balanced split" 5.0 w.(1)
+
+(* ---- Properties ---------------------------------------------------------------- *)
+
+let arb_graph =
+  QCheck.make
+    QCheck.Gen.(
+      sized (fun size st ->
+          let n = max 2 (min size 30) in
+          let nedges = int_bound (3 * n) st in
+          let edges =
+            List.init nedges (fun _ ->
+                let a = int_bound (n - 1) st and b = int_bound (n - 1) st in
+                (a, b, float_of_int (1 + int_bound 9 st)))
+            |> List.filter (fun (a, b, _) -> a <> b)
+          in
+          let vwgt = Array.init n (fun _ -> float_of_int (1 + int_bound 4 st)) in
+          Wgraph.create ~nv:n ~vwgt ~edges))
+
+let prop_multilevel_valid =
+  QCheck.Test.make ~name:"multilevel returns a valid partition" ~count:150
+    arb_graph (fun g ->
+      let k = 2 + (Wgraph.node_count g mod 3) in
+      let part = Multilevel.partition g ~k in
+      Partition.validate part ~k;
+      Array.length part = Wgraph.node_count g)
+
+let prop_coarsen_weight_conserved =
+  QCheck.Test.make ~name:"coarsening conserves node weight" ~count:150
+    arb_graph (fun g ->
+      let level = Coarsen.step g in
+      abs_float (Wgraph.total_weight g -. Wgraph.total_weight level.Coarsen.graph)
+      < 1e-6)
+
+let prop_refine_never_worsens_cut_much =
+  QCheck.Test.make ~name:"gain pass never increases the cut" ~count:150
+    arb_graph (fun g ->
+      let n = Wgraph.node_count g in
+      let part = Array.init n (fun i -> i mod 2) in
+      let before = Partition.edge_cut g part in
+      ignore (Refine.pass g part ~k:2 ~max_imbalance:4.0);
+      Partition.edge_cut g part <= before +. 1e-6)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "clusteer_graphpart"
+    [
+      ( "wgraph",
+        [
+          Alcotest.test_case "merges parallel edges" `Quick test_wgraph_merges_parallel_edges;
+          Alcotest.test_case "rejects self loop" `Quick test_wgraph_rejects_self_loop;
+          Alcotest.test_case "fold edges once" `Quick test_wgraph_fold_edges_once;
+          Alcotest.test_case "total weight" `Quick test_wgraph_total_weight;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "edge cut" `Quick test_partition_edge_cut;
+          Alcotest.test_case "weights and imbalance" `Quick test_partition_weights_imbalance;
+          Alcotest.test_case "validate" `Quick test_partition_validate;
+        ] );
+      ( "coarsen",
+        [
+          Alcotest.test_case "preserves weight" `Quick test_coarsen_preserves_total_weight;
+          Alcotest.test_case "shrinks" `Quick test_coarsen_shrinks;
+          Alcotest.test_case "heavy edges first" `Quick test_coarsen_heavy_edges_first;
+          Alcotest.test_case "max node weight" `Quick test_coarsen_respects_max_node_weight;
+          Alcotest.test_case "project" `Quick test_coarsen_project;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "improves cut" `Quick test_refine_improves_cut;
+          Alcotest.test_case "rebalance cap" `Quick test_refine_rebalance_enforces_cap;
+        ] );
+      ( "multilevel",
+        [
+          Alcotest.test_case "two cliques" `Quick test_multilevel_two_cliques;
+          Alcotest.test_case "k=1" `Quick test_multilevel_k1;
+          Alcotest.test_case "balance" `Quick test_multilevel_balance;
+          Alcotest.test_case "initial partition" `Quick test_initial_partition_balances;
+          qc prop_multilevel_valid;
+          qc prop_coarsen_weight_conserved;
+          qc prop_refine_never_worsens_cut_much;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the experiment harness: metrics arithmetic, the runner and
+   the per-figure derivations on a miniature suite. *)
+
+open Clusteer_uarch
+open Clusteer_workloads
+module Harness = Clusteer_harness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let stats_with ?(cycles = 100) ?(committed = 100) ?(copies = 0) ?(stalls = 0) ()
+    =
+  let s = Stats.create ~clusters:2 in
+  s.Stats.cycles <- cycles;
+  s.Stats.committed <- committed;
+  s.Stats.copies_generated <- copies;
+  s.Stats.stall_iq_full <- stalls;
+  s
+
+(* ---- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_slowdown () =
+  let base = stats_with ~cycles:100 () in
+  check_float "25% slower" 25.0
+    (Harness.Metrics.slowdown_pct ~baseline:base (stats_with ~cycles:125 ()));
+  check_float "equal" 0.0
+    (Harness.Metrics.slowdown_pct ~baseline:base (stats_with ~cycles:100 ()));
+  check_float "faster is negative" (-10.0)
+    (Harness.Metrics.slowdown_pct ~baseline:base (stats_with ~cycles:90 ()))
+
+let test_metrics_speedup () =
+  check_float "vc 25% faster" 25.0
+    (Harness.Metrics.speedup_pct
+       ~of_:(stats_with ~cycles:100 ())
+       ~over:(stats_with ~cycles:125 ()))
+
+let test_metrics_copy_reduction () =
+  check_float "halved" 50.0
+    (Harness.Metrics.copy_reduction_pct
+       ~of_:(stats_with ~copies:50 ())
+       ~over:(stats_with ~copies:100 ()));
+  check_float "zero base" 0.0
+    (Harness.Metrics.copy_reduction_pct
+       ~of_:(stats_with ~copies:50 ())
+       ~over:(stats_with ~copies:0 ()));
+  check_float "negative when worse" (-100.0)
+    (Harness.Metrics.copy_reduction_pct
+       ~of_:(stats_with ~copies:100 ())
+       ~over:(stats_with ~copies:50 ()))
+
+let test_metrics_balance_improvement () =
+  check_float "fewer stalls" 40.0
+    (Harness.Metrics.balance_improvement_pct
+       ~of_:(stats_with ~stalls:60 ())
+       ~over:(stats_with ~stalls:100 ()))
+
+(* ---- Runner -------------------------------------------------------------- *)
+
+let tiny_profile =
+  { (Spec2000.find "gzip-1") with Profile.name = "tiny"; phases = 2 }
+
+let configs2 = Clusteer.Configuration.table3 ~clusters:2
+
+let test_runner_point_shape () =
+  let point = List.hd (Pinpoints.points tiny_profile) in
+  let result =
+    Harness.Runner.run_point ~machine:Config.default_2c ~configs:configs2
+      ~uops:2000 point
+  in
+  check_int "five configs" 5 (List.length result.Harness.Runner.runs);
+  List.iter
+    (fun (name, stats) ->
+      check_bool "named" true (String.length name > 0);
+      check_bool "committed" true
+        (stats.Stats.committed >= 2000 && stats.Stats.committed < 2008))
+    result.Harness.Runner.runs
+
+let test_runner_same_trace_all_configs () =
+  (* Every configuration must replay the identical dynamic stream: the
+     committed counts and load/store totals agree. *)
+  let point = List.hd (Pinpoints.points tiny_profile) in
+  let result =
+    Harness.Runner.run_point ~machine:Config.default_2c ~configs:configs2
+      ~uops:2000 point
+  in
+  (* loads count at dispatch, so the in-flight tail differs slightly
+     between configurations, but the replayed stream is the same. *)
+  let loads = List.map (fun (_, s) -> s.Stats.loads) result.Harness.Runner.runs in
+  let lo = List.fold_left min max_int loads
+  and hi = List.fold_left max 0 loads in
+  check_bool "loads agree within the in-flight window" true (hi - lo <= 64)
+
+let test_runner_benchmark_covers_phases () =
+  let results =
+    Harness.Runner.run_benchmark ~machine:Config.default_2c
+      ~configs:[ Clusteer.Configuration.Op ] ~uops:1000 tiny_profile
+  in
+  check_int "one result per phase" tiny_profile.Profile.phases
+    (List.length results)
+
+let test_runner_weighted_metric () =
+  let results =
+    Harness.Runner.run_benchmark ~machine:Config.default_2c
+      ~configs:[ Clusteer.Configuration.Op ] ~uops:1000 tiny_profile
+  in
+  let v = Harness.Runner.weighted_metric results ~config:"op" ~f:(fun _ -> 7.0) in
+  check_bool "weighted constant" true (abs_float (v -. 7.0) < 1e-9);
+  Alcotest.check_raises "missing config"
+    (Invalid_argument "Runner: configuration nope missing from results")
+    (fun () ->
+      ignore
+        (Harness.Runner.weighted_metric results ~config:"nope" ~f:(fun _ -> 0.0)))
+
+(* ---- Experiments ------------------------------------------------------------ *)
+
+let mini_suite =
+  [
+    { (Spec2000.find "gzip-1") with Profile.phases = 1 };
+    { (Spec2000.find "galgel") with Profile.phases = 1 };
+  ]
+
+let run2 =
+  lazy
+    (Harness.Experiments.run_2cluster ~uops:3000 ~profiles:mini_suite ())
+
+let test_experiments_figure5_shape () =
+  let fig = Harness.Experiments.figure5_of (Lazy.force run2) in
+  check_int "two rows" 2 (List.length fig.Harness.Experiments.rows);
+  let row = List.hd fig.Harness.Experiments.rows in
+  check_int "four non-baseline configs" 4
+    (List.length row.Harness.Experiments.slowdowns);
+  check_bool "has one-cluster column" true
+    (List.mem_assoc "one-cluster" row.Harness.Experiments.slowdowns);
+  check_int "avgs arity" 4 (List.length fig.Harness.Experiments.cpu_avg)
+
+let test_experiments_figure6_shape () =
+  let fig = Harness.Experiments.figure6_of (Lazy.force run2) in
+  check_int "one point per trace" 2
+    (List.length fig.Harness.Experiments.vs_ob);
+  check_int "three comparisons" 2 (List.length fig.Harness.Experiments.vs_op)
+
+let test_experiments_figure7_runs () =
+  let run =
+    Harness.Experiments.run_4cluster ~uops:3000 ~profiles:mini_suite ()
+  in
+  let fig = Harness.Experiments.figure7_of run in
+  let row = List.hd fig.Harness.Experiments.rows in
+  check_bool "vc4 present" true
+    (List.mem_assoc "vc4" row.Harness.Experiments.slowdowns);
+  check_bool "vc2 present" true
+    (List.mem_assoc "vc2" row.Harness.Experiments.slowdowns);
+  (* §5.4 metric computes without error on the 4-cluster run. *)
+  ignore (Harness.Experiments.copy_inflation run)
+
+let test_experiments_section21 () =
+  let r = Harness.Experiments.section21_example () in
+  (* The sequential implementation places the dependent loads with
+     their producer; the parallel one scatters them, costing exactly
+     the paper's two extra copies. *)
+  check_int "paper's delta" 2
+    (r.Harness.Experiments.parallel_copies
+   - r.Harness.Experiments.sequential_copies);
+  Alcotest.(check (list int)) "sequential placement" [ 1; 1; 1 ]
+    r.Harness.Experiments.sequential_placement
+
+let test_experiments_csv_export () =
+  let fig = Harness.Experiments.figure5_of (Lazy.force run2) in
+  let path = Filename.temp_file "clusteer_fig5" ".csv" in
+  Harness.Experiments.export_slowdowns ~path fig;
+  check_bool "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  check_bool "header mentions benchmark" true
+    (String.length header >= 9 && String.sub header 0 9 = "benchmark");
+  Sys.remove path
+
+let test_report_gnuplot_emission () =
+  let fig = Harness.Experiments.figure5_of (Lazy.force run2) in
+  let dir = Filename.temp_file "clusteer_report" "" in
+  Sys.remove dir;
+  let paths = Harness.Report.write_slowdown_figure ~dir ~name:"fig5" fig in
+  check_int "two files" 2 (List.length paths);
+  List.iter
+    (fun p -> check_bool (p ^ " exists") true (Sys.file_exists p))
+    paths;
+  let gp = List.find (fun p -> Filename.check_suffix p ".gp") paths in
+  let ic = open_in gp in
+  let first = input_line ic in
+  close_in ic;
+  check_bool "gnuplot header" true
+    (String.length first > 0 && first.[0] = '#');
+  let scatter = Harness.Experiments.figure6_of (Lazy.force run2) in
+  let spaths = Harness.Report.write_scatter_figure ~dir scatter in
+  check_int "four files" 4 (List.length spaths);
+  List.iter (fun p -> Sys.remove p) (paths @ spaths);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "clusteer_harness"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "slowdown" `Quick test_metrics_slowdown;
+          Alcotest.test_case "speedup" `Quick test_metrics_speedup;
+          Alcotest.test_case "copy reduction" `Quick test_metrics_copy_reduction;
+          Alcotest.test_case "balance improvement" `Quick test_metrics_balance_improvement;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "point shape" `Slow test_runner_point_shape;
+          Alcotest.test_case "same trace everywhere" `Slow test_runner_same_trace_all_configs;
+          Alcotest.test_case "covers phases" `Slow test_runner_benchmark_covers_phases;
+          Alcotest.test_case "weighted metric" `Slow test_runner_weighted_metric;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "figure5 shape" `Slow test_experiments_figure5_shape;
+          Alcotest.test_case "figure6 shape" `Slow test_experiments_figure6_shape;
+          Alcotest.test_case "figure7 runs" `Slow test_experiments_figure7_runs;
+          Alcotest.test_case "section 2.1" `Quick test_experiments_section21;
+          Alcotest.test_case "csv export" `Slow test_experiments_csv_export;
+          Alcotest.test_case "gnuplot emission" `Slow test_report_gnuplot_emission;
+        ] );
+    ]

@@ -1,0 +1,409 @@
+(* Tests for the runtime steering policies, using hand-built views. *)
+
+open Clusteer_isa
+open Clusteer_trace
+open Clusteer_uarch
+module Steer = Clusteer_steer
+module Bitset = Clusteer_util.Bitset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A malleable fake machine view. *)
+type fake = {
+  inflight : int array;
+  free : int array;  (* per-cluster free slots of every queue *)
+  locs : (Reg.t, Bitset.t) Hashtbl.t;
+  mutable now : int;
+}
+
+let fake_view ?(annot = Annot.none ~uop_count:64) f =
+  let location r =
+    Option.value ~default:(Bitset.full (Array.length f.inflight))
+      (Hashtbl.find_opt f.locs r)
+  in
+  {
+    Policy.clusters = Array.length f.inflight;
+    cycle = (fun () -> f.now);
+    inflight = (fun c -> f.inflight.(c));
+    queue_free = (fun c _ -> f.free.(c));
+    src_locations = (fun d -> Array.map location d.Dynuop.suop.Uop.srcs);
+    reg_location = location;
+    annot;
+  }
+
+let mk_fake ?(clusters = 2) () =
+  {
+    inflight = Array.make clusters 0;
+    free = Array.make clusters 48;
+    locs = Hashtbl.create 8;
+    now = 0;
+  }
+
+let duop ?(seq = 0) suop = { Dynuop.seq; suop; addr = -1; taken = false }
+
+let alu ~id ~dst ~srcs =
+  Uop.make ~id ~opcode:Opcode.Int_alu ~dst:(Reg.int dst)
+    ~srcs:(Array.of_list (List.map Reg.int srcs))
+    ()
+
+let decide policy view d =
+  match policy.Policy.decide view d with
+  | Policy.Dispatch_to c -> c
+  | Policy.Stall -> -1
+
+(* ---- one-cluster -------------------------------------------------------- *)
+
+let test_one_cluster_always_zero () =
+  let f = mk_fake () in
+  let p = Steer.One_cluster.make () in
+  f.inflight.(0) <- 1000;
+  check_int "always 0" 0 (decide p (fake_view f) (duop (alu ~id:0 ~dst:0 ~srcs:[])))
+
+(* ---- OP ------------------------------------------------------------------- *)
+
+let test_op_follows_operands () =
+  let f = mk_fake () in
+  let p = Steer.Op.make () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 1);
+  (* Even though cluster 0 is idle, the operand lives in cluster 1. *)
+  check_int "follows operand" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+let test_op_tie_breaks_least_loaded () =
+  let f = mk_fake () in
+  let p = Steer.Op.make () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  Hashtbl.replace f.locs (Reg.int 2) (Bitset.singleton 1);
+  f.inflight.(0) <- 10;
+  (* One operand in each cluster: the vote ties, the emptier cluster 1
+     wins. *)
+  check_int "tie to least loaded" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:3 ~srcs:[ 1; 2 ])))
+
+let test_op_stall_over_steer () =
+  let f = mk_fake () in
+  let p = Steer.Op.make ~stall_threshold:16 () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  f.free.(0) <- 0;
+  f.free.(1) <- 5;
+  (* Preferred cluster full; the other one is busy too (below the
+     threshold): stall rather than steer away. *)
+  check_int "stalls" (-1)
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])));
+  f.free.(1) <- 40;
+  check_int "steers away when idle" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+let test_op_imbalance_override () =
+  let f = mk_fake () in
+  let p = Steer.Op.make ~imbalance_limit:20 () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  f.inflight.(0) <- 50;
+  f.inflight.(1) <- 0;
+  (* Gross imbalance: balance beats the dependence preference. *)
+  check_int "balance override" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+(* ---- OP parallel (the §2.1 strawman) --------------------------------------- *)
+
+let test_op_parallel_uses_stale_locations () =
+  let f = mk_fake () in
+  let p = Steer.Op_parallel.make () in
+  let view = fake_view f in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  f.inflight.(0) <- 5 (* cluster 1 emptier *);
+  (* First decision of the bundle writes r1 and goes to cluster 1; we
+     mimic the engine updating the location table. *)
+  let d1 = duop ~seq:0 (alu ~id:0 ~dst:1 ~srcs:[ 1 ]) in
+  let c1 = decide p view d1 in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton c1);
+  (* Second decision reads r1 in the same cycle: the parallel scheme
+     still sees the OLD location (cluster 0). *)
+  let d2 = duop ~seq:1 (alu ~id:1 ~dst:2 ~srcs:[ 1 ]) in
+  f.inflight.(0) <- 5;
+  f.inflight.(c1) <- 0;
+  let c2 = decide p view d2 in
+  check_int "stale vote goes to old location" 0 c2;
+  (* The sequential implementation follows the fresh location. *)
+  let seq_policy = Steer.Op.make () in
+  check_int "sequential follows fresh" c1 (decide seq_policy view d2)
+
+let test_op_parallel_resets_each_cycle () =
+  let f = mk_fake () in
+  let p = Steer.Op_parallel.make () in
+  let view = fake_view f in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  let d1 = duop (alu ~id:0 ~dst:1 ~srcs:[ 1 ]) in
+  let c1 = decide p view d1 in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton c1);
+  (* New cycle: the stale table clears, fresh locations apply. *)
+  f.now <- 1;
+  let d2 = duop (alu ~id:1 ~dst:2 ~srcs:[ 1 ]) in
+  check_int "fresh after cycle" c1 (decide p view d2)
+
+(* ---- static ------------------------------------------------------------------ *)
+
+let test_static_obeys_annotation () =
+  let annot = Annot.create_static ~scheme:"ob" ~uop_count:4 in
+  annot.Annot.cluster_of.(0) <- 1;
+  annot.Annot.cluster_of.(1) <- 0;
+  let p = Steer.Static.make ~name:"ob" ~annot in
+  let f = mk_fake () in
+  let view = fake_view ~annot f in
+  check_int "uop 0 -> 1" 1 (decide p view (duop (alu ~id:0 ~dst:0 ~srcs:[])));
+  check_int "uop 1 -> 0" 0 (decide p view (duop (alu ~id:1 ~dst:0 ~srcs:[])))
+
+let test_static_unassigned_defaults_zero () =
+  let annot = Annot.create_static ~scheme:"ob" ~uop_count:4 in
+  let p = Steer.Static.make ~name:"ob" ~annot in
+  let f = mk_fake () in
+  check_int "fallback 0" 0
+    (decide p (fake_view ~annot f) (duop (alu ~id:2 ~dst:0 ~srcs:[])))
+
+let test_static_clamps_foreign_cluster () =
+  (* A 4-cluster annotation replayed on a 2-cluster machine falls back
+     to cluster 0 instead of crashing. *)
+  let annot = Annot.create_static ~scheme:"ob" ~uop_count:1 in
+  annot.Annot.cluster_of.(0) <- 3;
+  let p = Steer.Static.make ~name:"ob" ~annot in
+  let f = mk_fake ~clusters:2 () in
+  check_int "clamped" 0 (decide p (fake_view ~annot f) (duop (alu ~id:0 ~dst:0 ~srcs:[])))
+
+(* ---- VC mapper (Figure 4) ------------------------------------------------------- *)
+
+let vc_annot () =
+  let annot = Annot.create_virtual ~scheme:"vc" ~virtual_clusters:2 ~uop_count:8 in
+  (* uops 0-3 in vc 0 (leader 0), uops 4-7 in vc 1 (leader 4) *)
+  Array.iteri (fun i _ -> annot.Annot.vc_of.(i) <- (if i < 4 then 0 else 1)) annot.Annot.vc_of;
+  annot.Annot.leader.(0) <- true;
+  annot.Annot.leader.(4) <- true;
+  annot
+
+let test_vc_non_leader_follows_table () =
+  let annot = vc_annot () in
+  let p = Steer.Vc_map.make ~annot ~clusters:2 () in
+  let f = mk_fake () in
+  let view = fake_view ~annot f in
+  (* Non-leader uop 1 follows vc 0's initial mapping (cluster 0) even
+     if cluster 0 looks loaded. *)
+  f.inflight.(0) <- 99;
+  check_int "follows table" 0 (decide p view (duop (alu ~id:1 ~dst:0 ~srcs:[])))
+
+let test_vc_leader_remaps_to_least_loaded () =
+  let annot = vc_annot () in
+  let p = Steer.Vc_map.make ~annot ~clusters:2 () in
+  let f = mk_fake () in
+  let view = fake_view ~annot f in
+  f.inflight.(0) <- 99;
+  (* Leader of vc 0 consults the counters and remaps to cluster 1. *)
+  check_int "leader remaps" 1 (decide p view (duop (alu ~id:0 ~dst:0 ~srcs:[])));
+  (* Subsequent non-leaders of vc 0 follow the new mapping. *)
+  check_int "chain follows" 1 (decide p view (duop (alu ~id:2 ~dst:0 ~srcs:[])))
+
+let test_vc_hysteresis_threshold () =
+  let annot = vc_annot () in
+  let p = Steer.Vc_map.make ~remap_threshold:10 ~annot ~clusters:2 () in
+  let f = mk_fake () in
+  let view = fake_view ~annot f in
+  f.inflight.(0) <- 5 (* imbalance 5 < threshold 10: stay *);
+  check_int "no remap under threshold" 0
+    (decide p view (duop (alu ~id:0 ~dst:0 ~srcs:[])));
+  f.inflight.(0) <- 50;
+  check_int "remap over threshold" 1
+    (decide p view (duop (alu ~id:0 ~dst:0 ~srcs:[])))
+
+let test_vc_unassigned_goes_least_loaded () =
+  let annot = Annot.create_virtual ~scheme:"vc" ~virtual_clusters:2 ~uop_count:8 in
+  let p = Steer.Vc_map.make ~annot ~clusters:2 () in
+  let f = mk_fake () in
+  f.inflight.(0) <- 3;
+  check_int "least loaded" 1
+    (decide p (fake_view ~annot f) (duop (alu ~id:0 ~dst:0 ~srcs:[])))
+
+let test_vc_requires_virtual_annotation () =
+  Alcotest.check_raises "no vcs"
+    (Invalid_argument "Vc_map.make: annotation has no virtual clusters")
+    (fun () ->
+      ignore (Steer.Vc_map.make ~annot:(Annot.none ~uop_count:1) ~clusters:2 ()))
+
+(* ---- mod-n (extension baseline) --------------------------------------------------- *)
+
+let test_mod_n_rotation () =
+  let p = Steer.Mod_n.make ~n:2 () in
+  let f = mk_fake () in
+  let view = fake_view f in
+  let d i = duop ~seq:i (alu ~id:i ~dst:0 ~srcs:[]) in
+  let picks = List.init 8 (fun i -> decide p view (d i)) in
+  Alcotest.(check (list int)) "rotates every 2" [ 0; 0; 1; 1; 0; 0; 1; 1 ] picks
+
+let test_mod_n_default_three () =
+  let p = Steer.Mod_n.make () in
+  let f = mk_fake () in
+  let view = fake_view f in
+  let d i = duop ~seq:i (alu ~id:i ~dst:0 ~srcs:[]) in
+  let picks = List.init 6 (fun i -> decide p view (d i)) in
+  Alcotest.(check (list int)) "mod3" [ 0; 0; 0; 1; 1; 1 ] picks
+
+let test_mod_n_rejects_bad_n () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Mod_n.make: n must be positive")
+    (fun () -> ignore (Steer.Mod_n.make ~n:0 ()))
+
+(* ---- dep (extension baseline) ------------------------------------------------------ *)
+
+let test_dep_follows_operands () =
+  let f = mk_fake () in
+  let p = Steer.Dep.make () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 1);
+  check_int "follows operand" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+let test_dep_never_stalls () =
+  let f = mk_fake () in
+  let p = Steer.Dep.make () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 0);
+  f.free.(0) <- 0;
+  f.free.(1) <- 0;
+  (* Queues full everywhere: dep still picks a cluster (the engine
+     will charge the allocation stall). *)
+  check_int "no voluntary stall" 0
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+let test_dep_tie_least_loaded () =
+  let f = mk_fake () in
+  let p = Steer.Dep.make () in
+  f.inflight.(0) <- 7;
+  check_int "no operands -> least loaded" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[])))
+
+(* ---- crit (extension baseline) ----------------------------------------------------- *)
+
+let test_crit_critical_follows_operands () =
+  let critical = [| true; false |] in
+  let p = Steer.Crit.make ~critical () in
+  let f = mk_fake () in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 1);
+  (* uop 0 is critical: chases its operand into cluster 1 *)
+  check_int "critical chases" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])));
+  (* uop 1 is not: goes to the least-loaded cluster (0) *)
+  f.inflight.(1) <- 5;
+  check_int "non-critical balances" 0
+    (decide p (fake_view f) (duop (alu ~id:1 ~dst:2 ~srcs:[ 1 ])))
+
+let test_crit_out_of_table_is_noncritical () =
+  let p = Steer.Crit.make ~critical:[| true |] () in
+  let f = mk_fake () in
+  f.inflight.(0) <- 5;
+  check_int "beyond table balances" 1
+    (decide p (fake_view f) (duop (alu ~id:7 ~dst:2 ~srcs:[])))
+
+(* ---- thermal (extension baseline) -------------------------------------------------- *)
+
+let test_thermal_balances_when_cold () =
+  let p = Steer.Thermal_aware.make () in
+  let f = mk_fake () in
+  f.inflight.(0) <- 9;
+  check_int "prefers lighter cluster" 1
+    (decide p (fake_view f) (duop (alu ~id:0 ~dst:0 ~srcs:[])))
+
+let test_thermal_migrates_under_heat () =
+  (* With equal in-flight load, accumulated heat pushes decisions to
+     alternate clusters instead of sticking to cluster 0. *)
+  let p = Steer.Thermal_aware.make ~weight:2.0 () in
+  let f = mk_fake () in
+  let view = fake_view f in
+  let picks =
+    List.init 10 (fun i -> decide p view (duop ~seq:i (alu ~id:i ~dst:0 ~srcs:[])))
+  in
+  check_bool "uses both clusters" true
+    (List.exists (fun c -> c = 0) picks && List.exists (fun c -> c = 1) picks)
+
+let test_thermal_validates_decay () =
+  Alcotest.check_raises "decay range"
+    (Invalid_argument "Thermal_aware.make: decay must be in (0,1)") (fun () ->
+      ignore (Steer.Thermal_aware.make ~decay:1.5 ()))
+
+(* ---- complexity table ------------------------------------------------------------ *)
+
+let test_complexity_table1 () =
+  let c = Steer.Complexity.op in
+  check_bool "op needs dep check" true c.Steer.Complexity.dependence_check;
+  check_bool "op needs vote" true c.Steer.Complexity.vote_unit;
+  check_bool "op serialized" true c.Steer.Complexity.serialized;
+  let vc = Steer.Complexity.vc in
+  check_bool "vc drops dep check" false vc.Steer.Complexity.dependence_check;
+  check_bool "vc drops vote" false vc.Steer.Complexity.vote_unit;
+  check_bool "vc keeps balance counters" true vc.Steer.Complexity.workload_balance;
+  check_bool "vc keeps copy generator" true vc.Steer.Complexity.copy_generator;
+  check_bool "vc not serialized" false vc.Steer.Complexity.serialized;
+  check_int "five rows" 5 (List.length (Steer.Complexity.table_rows ()))
+
+(* ---- policy flags ------------------------------------------------------------------ *)
+
+let test_policy_flags () =
+  check_bool "op dep check" true (Steer.Op.make ()).Policy.uses_dependence_check;
+  check_bool "vc no dep check" false
+    (Steer.Vc_map.make ~annot:(vc_annot ()) ~clusters:2 ()).Policy.uses_dependence_check;
+  check_bool "static no vote" false
+    (Steer.Static.make ~name:"x" ~annot:(Annot.none ~uop_count:1)).Policy.uses_vote_unit
+
+let () =
+  Alcotest.run "clusteer_steer"
+    [
+      ("one-cluster", [ Alcotest.test_case "always zero" `Quick test_one_cluster_always_zero ]);
+      ( "op",
+        [
+          Alcotest.test_case "follows operands" `Quick test_op_follows_operands;
+          Alcotest.test_case "tie to least loaded" `Quick test_op_tie_breaks_least_loaded;
+          Alcotest.test_case "stall over steer" `Quick test_op_stall_over_steer;
+          Alcotest.test_case "imbalance override" `Quick test_op_imbalance_override;
+        ] );
+      ( "op-parallel",
+        [
+          Alcotest.test_case "stale locations" `Quick test_op_parallel_uses_stale_locations;
+          Alcotest.test_case "cycle reset" `Quick test_op_parallel_resets_each_cycle;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "obeys annotation" `Quick test_static_obeys_annotation;
+          Alcotest.test_case "unassigned default" `Quick test_static_unassigned_defaults_zero;
+          Alcotest.test_case "clamps foreign cluster" `Quick test_static_clamps_foreign_cluster;
+        ] );
+      ( "vc-map",
+        [
+          Alcotest.test_case "non-leader follows" `Quick test_vc_non_leader_follows_table;
+          Alcotest.test_case "leader remaps" `Quick test_vc_leader_remaps_to_least_loaded;
+          Alcotest.test_case "hysteresis" `Quick test_vc_hysteresis_threshold;
+          Alcotest.test_case "unassigned least loaded" `Quick test_vc_unassigned_goes_least_loaded;
+          Alcotest.test_case "requires vcs" `Quick test_vc_requires_virtual_annotation;
+        ] );
+      ( "mod-n",
+        [
+          Alcotest.test_case "rotation" `Quick test_mod_n_rotation;
+          Alcotest.test_case "default n" `Quick test_mod_n_default_three;
+          Alcotest.test_case "rejects bad n" `Quick test_mod_n_rejects_bad_n;
+        ] );
+      ( "dep",
+        [
+          Alcotest.test_case "follows operands" `Quick test_dep_follows_operands;
+          Alcotest.test_case "never stalls" `Quick test_dep_never_stalls;
+          Alcotest.test_case "tie least loaded" `Quick test_dep_tie_least_loaded;
+        ] );
+      ( "crit",
+        [
+          Alcotest.test_case "critical chases" `Quick test_crit_critical_follows_operands;
+          Alcotest.test_case "table bounds" `Quick test_crit_out_of_table_is_noncritical;
+        ] );
+      ( "thermal",
+        [
+          Alcotest.test_case "balances when cold" `Quick test_thermal_balances_when_cold;
+          Alcotest.test_case "migrates under heat" `Quick test_thermal_migrates_under_heat;
+          Alcotest.test_case "validates decay" `Quick test_thermal_validates_decay;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "table 1" `Quick test_complexity_table1;
+          Alcotest.test_case "policy flags" `Quick test_policy_flags;
+        ] );
+    ]

@@ -1,0 +1,695 @@
+(* Tests for the microarchitecture simulator: configuration, caches,
+   memory system, branch predictor, statistics and the engine itself. *)
+
+open Clusteer_isa
+open Clusteer_trace
+open Clusteer_uarch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Config --------------------------------------------------------- *)
+
+let test_config_defaults () =
+  check_int "2c" 2 Config.default_2c.Config.clusters;
+  check_int "4c" 4 Config.default_4c.Config.clusters;
+  Config.validate Config.default_2c;
+  Config.validate Config.default_4c;
+  check_int "iq" 48 Config.default_2c.Config.int_iq_size;
+  check_int "copyq" 24 Config.default_2c.Config.copy_q_size;
+  check_int "mem" 500 Config.default_2c.Config.memory_latency
+
+let test_config_validation () =
+  Alcotest.check_raises "bad clusters"
+    (Invalid_argument "Config: clusters must be positive") (fun () ->
+      Config.validate { Config.default_2c with Config.clusters = 0 })
+
+let test_config_describe () =
+  let rows = Config.describe Config.default_2c in
+  check_bool "non-empty" true (List.length rows >= 8);
+  check_bool "mentions LSQ" true
+    (List.exists (fun (_, v) -> String.length v > 0 && String.length v < 200) rows)
+
+(* ---- Cache ----------------------------------------------------------- *)
+
+let tiny_cache () =
+  (* 2 sets x 2 ways x 64B lines = 256B *)
+  Cache.create
+    { Config.size_bytes = 256; ways = 2; line_bytes = 64; hit_latency = 1 }
+
+let test_cache_geometry () =
+  let c = tiny_cache () in
+  check_int "sets" 2 (Cache.sets c);
+  check_int "ways" 2 (Cache.ways c)
+
+let test_cache_hit_after_fill () =
+  let c = tiny_cache () in
+  check_bool "first miss" true (Cache.access c ~addr:0 ~write:false = Cache.Miss);
+  check_bool "then hit" true (Cache.access c ~addr:0 ~write:false = Cache.Hit);
+  check_bool "same line hit" true (Cache.access c ~addr:63 ~write:false = Cache.Hit);
+  check_bool "next line miss" true (Cache.access c ~addr:64 ~write:false = Cache.Miss)
+
+let test_cache_lru_eviction () =
+  let c = tiny_cache () in
+  (* Set 0 holds lines with addr mod 128 = 0: 0, 128, 256... *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:128 ~write:false);
+  (* Touch 0 so 128 is LRU, then bring in 256: 128 must be evicted. *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:256 ~write:false);
+  check_bool "0 still resident" true (Cache.probe c ~addr:0);
+  check_bool "128 evicted" false (Cache.probe c ~addr:128);
+  check_bool "256 resident" true (Cache.probe c ~addr:256)
+
+let test_cache_stats_and_reset () =
+  let c = tiny_cache () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c);
+  Cache.reset_stats c;
+  check_int "reset" 0 (Cache.hits c + Cache.misses c)
+
+let test_cache_invalidate () =
+  let c = tiny_cache () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  Cache.invalidate_all c;
+  check_bool "gone" false (Cache.probe c ~addr:0)
+
+let test_cache_touch_no_stats () =
+  let c = tiny_cache () in
+  Cache.touch c ~addr:0;
+  check_int "no stats from touch" 0 (Cache.hits c + Cache.misses c);
+  check_bool "line resident" true (Cache.probe c ~addr:0)
+
+let test_cache_power_of_two_required () =
+  Alcotest.check_raises "non power-of-two sets"
+    (Invalid_argument "Cache.create: set count must be a power of two")
+    (fun () ->
+      ignore
+        (Cache.create
+           { Config.size_bytes = 192; ways = 1; line_bytes = 64; hit_latency = 1 }))
+
+(* ---- Tracecache ----------------------------------------------------------- *)
+
+let test_tracecache_hits_after_fill () =
+  let tc = Tracecache.create ~size_uops:48 ~line_uops:6 ~ways:4 in
+  check_bool "first touch misses" false (Tracecache.lookup tc ~static_id:0);
+  check_bool "same line hits" true (Tracecache.lookup tc ~static_id:5);
+  check_bool "next line misses" false (Tracecache.lookup tc ~static_id:6);
+  check_int "stats" 2 (Tracecache.misses tc);
+  check_int "stats" 1 (Tracecache.hits tc)
+
+let test_tracecache_lru () =
+  (* 8 lines, 4 ways, 2 sets: lines 0,2,4,6,8 share set 0. *)
+  let tc = Tracecache.create ~size_uops:48 ~line_uops:6 ~ways:4 in
+  List.iter (fun l -> ignore (Tracecache.lookup tc ~static_id:(l * 6)))
+    [ 0; 2; 4; 6 ];
+  ignore (Tracecache.lookup tc ~static_id:0) (* refresh line 0 *);
+  ignore (Tracecache.lookup tc ~static_id:48) (* line 8 evicts LRU (2) *);
+  check_bool "line 0 kept" true (Tracecache.lookup tc ~static_id:0);
+  check_bool "line 2 evicted" false (Tracecache.lookup tc ~static_id:12)
+
+let test_tracecache_reset () =
+  let tc = Tracecache.create ~size_uops:48 ~line_uops:6 ~ways:4 in
+  ignore (Tracecache.lookup tc ~static_id:0);
+  Tracecache.reset_stats tc;
+  check_int "reset" 0 (Tracecache.hits tc + Tracecache.misses tc)
+
+let test_tracecache_validation () =
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument "Tracecache.create: set count must be a power of two")
+    (fun () -> ignore (Tracecache.create ~size_uops:36 ~line_uops:6 ~ways:2))
+
+(* ---- Memsys ------------------------------------------------------------ *)
+
+let test_memsys_latencies () =
+  let m = Memsys.create Config.default_2c in
+  (* Cold: L1 miss + L2 miss -> memory. *)
+  check_int "cold" (3 + 13 + 500) (Memsys.load_latency m ~addr:0);
+  (* Now resident everywhere. *)
+  check_int "l1 hit" 3 (Memsys.load_latency m ~addr:0)
+
+let test_memsys_l2_hit_after_l1_eviction () =
+  let m = Memsys.create Config.default_2c in
+  (* Fill far beyond L1 (32KB) but within L2 (2MB): early lines are
+     evicted from L1 but still in L2. *)
+  for i = 0 to 2047 do
+    ignore (Memsys.load_latency m ~addr:(i * 64))
+  done;
+  check_int "l2 hit" (3 + 13) (Memsys.load_latency m ~addr:0)
+
+let test_memsys_prewarm () =
+  let m = Memsys.create Config.default_2c in
+  Memsys.prewarm m ~base:0 ~bytes:4096;
+  check_int "prewarmed l1 hit" 3 (Memsys.load_latency m ~addr:64);
+  check_int "stats clean" 0 (Memsys.l1_misses m + Memsys.l1_hits m - 1)
+
+let test_memsys_prefetch_next_line () =
+  let cfg = { Config.default_2c with Config.prefetch_next_line = true } in
+  let m = Memsys.create cfg in
+  (* miss at 0 prefetches line 64: the next sequential access hits *)
+  ignore (Memsys.load_latency m ~addr:0);
+  check_int "next line L1 hit" 3 (Memsys.load_latency m ~addr:64);
+  (* without prefetch the same pattern misses *)
+  let m2 = Memsys.create Config.default_2c in
+  ignore (Memsys.load_latency m2 ~addr:0);
+  check_bool "baseline misses" true (Memsys.load_latency m2 ~addr:64 > 3)
+
+let test_memsys_stats () =
+  let m = Memsys.create Config.default_2c in
+  ignore (Memsys.load_latency m ~addr:0);
+  ignore (Memsys.load_latency m ~addr:0);
+  check_int "l1" 1 (Memsys.l1_hits m);
+  check_int "l1 misses" 1 (Memsys.l1_misses m);
+  check_int "l2 misses" 1 (Memsys.l2_misses m);
+  Memsys.reset_stats m;
+  check_int "reset" 0 (Memsys.l1_hits m)
+
+(* ---- Bpred --------------------------------------------------------------- *)
+
+let test_bpred_learns_bias () =
+  let p = Bpred.create ~bits:10 in
+  for _ = 1 to 200 do
+    Bpred.update p ~pc:5 ~taken:true
+  done;
+  check_bool "predicts taken" true (Bpred.predict p ~pc:5);
+  check_bool "high accuracy" true (Bpred.accuracy p > 0.95)
+
+let test_bpred_learns_alternation () =
+  let p = Bpred.create ~bits:10 in
+  for i = 1 to 400 do
+    Bpred.update p ~pc:5 ~taken:(i mod 2 = 0)
+  done;
+  (* Global history disambiguates the alternating pattern. *)
+  check_bool "learns pattern" true (Bpred.accuracy p > 0.8)
+
+let test_bpred_random_is_hard () =
+  let p = Bpred.create ~bits:10 in
+  let rng = Clusteer_util.Rng.create 77 in
+  Bpred.reset_stats p;
+  for _ = 1 to 2000 do
+    Bpred.update p ~pc:9 ~taken:(Clusteer_util.Rng.bool rng)
+  done;
+  check_bool "near coin flip" true
+    (Bpred.accuracy p > 0.35 && Bpred.accuracy p < 0.65)
+
+let test_bpred_stats_reset () =
+  let p = Bpred.create ~bits:8 in
+  Bpred.update p ~pc:0 ~taken:true;
+  Bpred.reset_stats p;
+  check_int "lookups" 0 (Bpred.lookups p);
+  check_int "mispredicts" 0 (Bpred.mispredicts p)
+
+(* ---- Stats ------------------------------------------------------------------ *)
+
+let test_stats_ipc_and_metrics () =
+  let s = Stats.create ~clusters:2 in
+  s.Stats.cycles <- 100;
+  s.Stats.committed <- 250;
+  Alcotest.(check (float 1e-9)) "ipc" 2.5 (Stats.ipc s);
+  s.Stats.copies_generated <- 50;
+  Alcotest.(check (float 1e-9)) "copy rate" 0.2 (Stats.copy_rate s);
+  s.Stats.stall_iq_full <- 3;
+  s.Stats.stall_policy <- 4;
+  s.Stats.stall_copyq_full <- 5;
+  check_int "allocation stalls" 12 (Stats.allocation_stalls s)
+
+let test_stats_balance_entropy () =
+  let s = Stats.create ~clusters:2 in
+  s.Stats.per_cluster_dispatched.(0) <- 100;
+  s.Stats.per_cluster_dispatched.(1) <- 100;
+  Alcotest.(check (float 1e-9)) "even" 1.0 (Stats.balance_entropy s);
+  s.Stats.per_cluster_dispatched.(1) <- 0;
+  Alcotest.(check (float 1e-9)) "skewed" 0.0 (Stats.balance_entropy s)
+
+let test_stats_reset () =
+  let s = Stats.create ~clusters:2 in
+  s.Stats.cycles <- 10;
+  s.Stats.per_cluster_dispatched.(0) <- 5;
+  Stats.reset s;
+  check_int "cycles" 0 s.Stats.cycles;
+  check_int "per-cluster" 0 s.Stats.per_cluster_dispatched.(0)
+
+(* ---- Engine ------------------------------------------------------------------- *)
+
+(* Single-block program of [n] micro-ops built by [make_uop]. *)
+let straightline n make_uop =
+  let b = Program.Builder.create ~name:"t" ~nregs_per_class:16 () in
+  let uops = List.init n (fun i -> make_uop b i) in
+  let blk = Program.Builder.add_block b uops ~succs:[] in
+  Program.Builder.finish b ~entry:blk
+
+let source_of program ?(branches = [||]) ?(streams = [||]) seed =
+  let gen = Tracegen.create ~program ~branches ~streams ~seed in
+  fun () -> Tracegen.next gen
+
+let run_with ?(config = Config.default_2c) ?annot ~policy program ~uops =
+  let annot =
+    match annot with
+    | Some a -> a
+    | None -> Annot.none ~uop_count:program.Program.uop_count
+  in
+  let engine = Engine.create ~config ~annot ~policy () in
+  Engine.run engine ~source:(source_of program 1) ~uops
+
+let serial_chain_program n =
+  straightline n (fun b _ ->
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 0) ~srcs:[| Reg.int 0 |] ())
+
+let independent_program n =
+  straightline n (fun b i ->
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int (i mod 8)) ())
+
+let test_engine_commits_exactly () =
+  let p = independent_program 16 in
+  let stats = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:500 in
+  check_bool "committed in window" true
+    (stats.Stats.committed >= 500 && stats.Stats.committed < 508)
+
+let test_engine_serial_chain_rate () =
+  (* A serial 1-cycle chain issues at most one per cycle. *)
+  let p = serial_chain_program 16 in
+  let stats = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:400 in
+  check_bool "at least 1 cycle per uop" true (stats.Stats.cycles >= 400);
+  check_bool "no pathological overhead" true (stats.Stats.cycles < 500)
+
+let test_engine_independent_throughput () =
+  (* Independent ALUs on one cluster: bounded by the 2-wide INT issue. *)
+  let p = independent_program 16 in
+  let one = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:2000 in
+  check_bool "about 2 ipc" true
+    (Stats.ipc one > 1.6 && Stats.ipc one <= 2.05);
+  (* OP over two clusters doubles the issue bandwidth. *)
+  let op = run_with ~policy:(Clusteer_steer.Op.make ()) p ~uops:2000 in
+  check_bool "faster with 2 clusters" true (op.Stats.cycles < one.Stats.cycles)
+
+let test_engine_one_cluster_no_copies () =
+  let p = serial_chain_program 32 in
+  let stats = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:1000 in
+  check_int "zero copies" 0 stats.Stats.copies_generated;
+  check_int "one cluster only" 0 stats.Stats.per_cluster_dispatched.(1)
+
+let test_engine_forced_copies () =
+  (* Alternate a serial chain across clusters via a static annotation:
+     every transition needs a copy. *)
+  let n = 16 in
+  let p = serial_chain_program n in
+  let annot = Annot.create_static ~scheme:"alt" ~uop_count:n in
+  Array.iteri (fun i _ -> annot.Annot.cluster_of.(i) <- i mod 2) annot.Annot.cluster_of;
+  let policy = Clusteer_steer.Static.make ~name:"alt" ~annot in
+  let stats = run_with ~annot ~policy p ~uops:400 in
+  check_bool "copies generated" true (stats.Stats.copies_generated > 300);
+  check_bool "copies executed" true
+    (stats.Stats.copies_executed <= stats.Stats.copies_generated);
+  (* Same chain kept on one cluster is faster. *)
+  let mono = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:400 in
+  check_bool "cross-cluster chain slower" true
+    (stats.Stats.cycles > mono.Stats.cycles)
+
+let test_engine_determinism () =
+  let p = independent_program 32 in
+  let s1 = run_with ~policy:(Clusteer_steer.Op.make ()) p ~uops:1000 in
+  let s2 = run_with ~policy:(Clusteer_steer.Op.make ()) p ~uops:1000 in
+  check_int "same cycles" s1.Stats.cycles s2.Stats.cycles;
+  check_int "same copies" s1.Stats.copies_generated s2.Stats.copies_generated
+
+let test_engine_load_latency_counted () =
+  let b = Program.Builder.create ~name:"ld" ~nregs_per_class:16 () in
+  let s = Program.Builder.stream b in
+  let ld =
+    Program.Builder.uop b Opcode.Load ~dst:(Reg.int 0) ~srcs:[| Reg.int 1 |]
+      ~stream:s ()
+  in
+  let blk = Program.Builder.add_block b [ ld ] ~succs:[] in
+  let program = Program.Builder.finish b ~entry:blk in
+  let streams = [| Mem_model.Strided { base = 0; stride = 0o10; footprint = 64 } |] in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:1)
+      ~policy:(Clusteer_steer.One_cluster.make ())
+      ~prewarm:[ (0, 64) ] ()
+  in
+  let stats =
+    Engine.run engine ~source:(source_of program ~streams 1) ~uops:100
+  in
+  (* loads are counted at dispatch, which runs ahead of commit *)
+  check_bool "loads counted" true (stats.Stats.loads >= 100);
+  check_bool "l1 hits dominate" true (stats.Stats.l1_hits >= 99)
+
+let test_engine_branch_mispredict_costs () =
+  let mk_branch_prog () =
+    let b = Program.Builder.create ~name:"br" ~nregs_per_class:16 () in
+    let m = Program.Builder.branch_model b in
+    let blk = Program.Builder.reserve_block b in
+    let exit_ = Program.Builder.reserve_block b in
+    let uops =
+      [
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 0) ();
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 1) ();
+        Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 2) ();
+        Program.Builder.uop b Opcode.Branch ~srcs:[| Reg.int 0 |] ~branch_ref:m ();
+      ]
+    in
+    Program.Builder.define_block b blk uops ~succs:[ exit_; blk ];
+    Program.Builder.define_block b exit_ [] ~succs:[];
+    Program.Builder.finish b ~entry:blk
+  in
+  let run branches =
+    let program = mk_branch_prog () in
+    let engine =
+      Engine.create ~config:Config.default_2c
+        ~annot:(Annot.none ~uop_count:4)
+        ~policy:(Clusteer_steer.One_cluster.make ())
+        ()
+    in
+    Engine.run engine ~source:(source_of program ~branches 1) ~uops:2000
+  in
+  let predictable = run [| Branch_model.Loop 1000 |] in
+  let random = run [| Branch_model.Bernoulli 0.5 |] in
+  check_bool "few mispredicts when predictable" true
+    (predictable.Stats.branch_mispredicts < 50);
+  check_bool "many mispredicts when random" true
+    (random.Stats.branch_mispredicts > 100);
+  check_bool "mispredicts cost cycles" true
+    (random.Stats.cycles > predictable.Stats.cycles)
+
+let test_engine_warmup_resets () =
+  let p = independent_program 16 in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:16)
+      ~policy:(Clusteer_steer.One_cluster.make ())
+      ()
+  in
+  let stats =
+    Engine.run ~warmup:500 engine ~source:(source_of p 1) ~uops:1000
+  in
+  check_bool "only measured committed" true
+    (stats.Stats.committed >= 1000 && stats.Stats.committed < 1008)
+
+let test_engine_rob_stall_on_long_miss () =
+  (* A cold far load at the ROB head with a stream of ALUs behind it
+     must fill the ROB. *)
+  let b = Program.Builder.create ~name:"miss" ~nregs_per_class:16 () in
+  let s = Program.Builder.stream b in
+  let uops =
+    Program.Builder.uop b Opcode.Load ~dst:(Reg.int 8) ~srcs:[| Reg.int 1 |]
+      ~stream:s ()
+    :: List.init 20 (fun i ->
+           Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int (i mod 8)) ())
+  in
+  let blk = Program.Builder.add_block b uops ~succs:[] in
+  let program = Program.Builder.finish b ~entry:blk in
+  let streams =
+    [| Mem_model.Uniform { base = 0; footprint = 64 lsl 20; granule = 8 } |]
+  in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:21)
+      ~policy:(Clusteer_steer.One_cluster.make ())
+      ()
+  in
+  let stats =
+    Engine.run engine ~source:(source_of program ~streams 1) ~uops:3000
+  in
+  (* The 256-entry register file binds before the 512-entry ROB, so
+     back-pressure may surface as either stall. *)
+  check_bool "back-pressure observed" true
+    (stats.Stats.stall_rob_full + stats.Stats.stall_regfile > 0)
+
+let test_engine_regfile_pressure () =
+  (* A tiny register file throttles in-flight destinations. *)
+  let p = independent_program 16 in
+  let config = { Config.default_2c with Config.int_regfile = 8 } in
+  let stats =
+    run_with ~config ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:2000
+  in
+  check_bool "regfile stalls" true (stats.Stats.stall_regfile > 0);
+  check_bool "still commits" true (stats.Stats.committed >= 2000);
+  (* The default 256-entry file never binds on the same workload. *)
+  let free = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:2000 in
+  check_int "no stalls at 256" 0 free.Stats.stall_regfile
+
+let test_engine_rejects_rogue_policy () =
+  (* Fault injection: a policy that steers out of range must fail with
+     a clean diagnostic, not a segfault-ish array error. *)
+  let rogue =
+    {
+      Policy.name = "rogue";
+      decide = (fun _ _ -> Policy.Dispatch_to 7);
+      uses_dependence_check = false;
+      uses_vote_unit = false;
+    }
+  in
+  let p = independent_program 4 in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:4)
+      ~policy:rogue ()
+  in
+  Alcotest.check_raises "clean failure"
+    (Invalid_argument
+       "Engine: policy rogue steered micro-op 0 to invalid cluster 7")
+    (fun () -> ignore (Engine.run engine ~source:(source_of p 1) ~uops:10))
+
+let test_energy_estimate_shape () =
+  let p = independent_program 16 in
+  let one = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:2000 in
+  let e = Energy.estimate ~clusters:2 one in
+  check_bool "total positive" true (e.Energy.total > 0.0);
+  check_bool "total = dynamic + static" true
+    (abs_float (e.Energy.total -. (e.Energy.dynamic +. e.Energy.static_))
+    < 1e-6);
+  check_bool "no copy energy without copies" true (e.Energy.copies = 0.0);
+  (* Forced copies cost energy. *)
+  let n = 16 in
+  let chain = serial_chain_program n in
+  let annot = Annot.create_static ~scheme:"alt" ~uop_count:n in
+  Array.iteri (fun i _ -> annot.Annot.cluster_of.(i) <- i mod 2) annot.Annot.cluster_of;
+  let policy = Clusteer_steer.Static.make ~name:"alt" ~annot in
+  let alt = run_with ~annot ~policy chain ~uops:2000 in
+  let e_alt = Energy.estimate ~clusters:2 alt in
+  check_bool "copy energy positive" true (e_alt.Energy.copies > 0.0)
+
+let test_energy_costs_scale_with_clusters () =
+  let c2 = Energy.default_costs ~clusters:2 in
+  let c4 = Energy.default_costs ~clusters:4 in
+  check_bool "smaller clusters issue cheaper" true
+    (c4.Energy.issue < c2.Energy.issue)
+
+let test_engine_store_load_forwarding () =
+  (* A load to the address of an in-flight older store must wait for
+     the store; to an unrelated address it must not. Compare cycles of
+     a dependent pattern vs an independent one. *)
+  let mk same_addr =
+    let b = Program.Builder.create ~name:"fwd" ~nregs_per_class:16 () in
+    let s0 = Program.Builder.stream b in
+    let s1 = Program.Builder.stream b in
+    (* long-latency producer feeding the store's data *)
+    let slow =
+      Program.Builder.uop b Opcode.Int_div ~dst:(Reg.int 1)
+        ~srcs:[| Reg.int 1 |] ()
+    in
+    let st =
+      Program.Builder.uop b Opcode.Store ~srcs:[| Reg.int 1; Reg.int 2 |]
+        ~stream:s0 ()
+    in
+    let ld =
+      Program.Builder.uop b Opcode.Load ~dst:(Reg.int 3) ~srcs:[| Reg.int 4 |]
+        ~stream:(if same_addr then s0 else s1) ()
+    in
+    let use =
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 5)
+        ~srcs:[| Reg.int 3 |] ()
+    in
+    let blk = Program.Builder.add_block b [ slow; st; ld; use ] ~succs:[] in
+    Program.Builder.finish b ~entry:blk
+  in
+  (* both streams at the same fixed address when same_addr *)
+  let streams =
+    [|
+      Mem_model.Strided { base = 0; stride = 8; footprint = 8 };
+      Mem_model.Strided { base = 4096; stride = 8; footprint = 8 };
+    |]
+  in
+  let run program =
+    let engine =
+      Engine.create ~config:Config.default_2c
+        ~annot:(Annot.none ~uop_count:4)
+        ~policy:(Clusteer_steer.One_cluster.make ())
+        ~prewarm:[ (0, 64); (4096, 64) ] ()
+    in
+    Engine.run engine ~source:(source_of program ~streams 1) ~uops:1000
+  in
+  let dependent = run (mk true) in
+  let independent = run (mk false) in
+  check_bool "aliasing load waits for the slow store" true
+    (dependent.Stats.cycles > independent.Stats.cycles)
+
+let test_engine_lsq_backpressure () =
+  (* More in-flight memory operations than LSQ entries: dispatch must
+     stall on the LSQ, not crash or deadlock. *)
+  let b = Program.Builder.create ~name:"lsq" ~nregs_per_class:16 () in
+  let st = Program.Builder.stream b in
+  (* a serial divide chain at the head keeps commits slow while many
+     independent loads pile into the LSQ *)
+  let div =
+    Program.Builder.uop b Opcode.Int_div ~dst:(Reg.int 1) ~srcs:[| Reg.int 1 |] ()
+  in
+  let loads =
+    List.init 12 (fun i ->
+        Program.Builder.uop b Opcode.Load
+          ~dst:(Reg.int (2 + (i mod 8)))
+          ~srcs:[| Reg.int 0 |] ~stream:st ())
+  in
+  let blk = Program.Builder.add_block b (div :: loads) ~succs:[] in
+  let program = Program.Builder.finish b ~entry:blk in
+  let streams = [| Mem_model.Strided { base = 0; stride = 8; footprint = 4096 } |] in
+  let config = { Config.default_2c with Config.lsq_size = 8 } in
+  let engine =
+    Engine.create ~config
+      ~annot:(Annot.none ~uop_count:13)
+      ~policy:(Clusteer_steer.One_cluster.make ())
+      ~prewarm:[ (0, 4096) ] ()
+  in
+  let stats = Engine.run engine ~source:(source_of program ~streams 1) ~uops:2000 in
+  check_bool "lsq stalls observed" true (stats.Stats.stall_lsq_full > 0);
+  check_bool "still commits" true (stats.Stats.committed >= 2000)
+
+let test_engine_copy_queue_backpressure () =
+  (* A tiny copy queue with a copy-heavy placement: dispatch must stall
+     on the copy queue and still make progress. *)
+  let n = 12 in
+  let p = serial_chain_program n in
+  let annot = Annot.create_static ~scheme:"alt" ~uop_count:n in
+  Array.iteri (fun i _ -> annot.Annot.cluster_of.(i) <- i mod 2) annot.Annot.cluster_of;
+  let config = { Config.default_2c with Config.copy_q_size = 1 } in
+  let stats =
+    run_with ~config ~annot
+      ~policy:(Clusteer_steer.Static.make ~name:"alt" ~annot)
+      p ~uops:500
+  in
+  check_bool "copy-queue stalls observed" true (stats.Stats.stall_copyq_full > 0);
+  check_bool "still commits" true (stats.Stats.committed >= 500)
+
+let test_engine_tracecache_stress () =
+  (* A static footprint far beyond the trace cache forces steady-state
+     misses; shrinking the cache must cost cycles. *)
+  let wide = straightline 4000 (fun b i ->
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int (i mod 8)) ())
+  in
+  let run config =
+    let engine =
+      Engine.create ~config
+        ~annot:(Annot.none ~uop_count:4000)
+        ~policy:(Clusteer_steer.One_cluster.make ())
+        ()
+    in
+    Engine.run engine ~source:(source_of wide 1) ~uops:8000
+  in
+  let big = run Config.default_2c in
+  let tiny = run { Config.default_2c with Config.tc_size_uops = 48 } in
+  check_bool "default cache holds the loop" true
+    (big.Stats.tc_misses <= 4000 / 6 * 3);
+  check_bool "tiny cache misses constantly" true
+    (tiny.Stats.tc_misses > big.Stats.tc_misses);
+  check_bool "misses cost cycles" true (tiny.Stats.cycles > big.Stats.cycles)
+
+let test_thermal_estimate () =
+  let p = independent_program 16 in
+  (* one-cluster concentrates all activity: cluster 0 must be the hot
+     spot with a visible spread *)
+  let mono = run_with ~policy:(Clusteer_steer.One_cluster.make ()) p ~uops:2000 in
+  let t_mono = Thermal.estimate ~clusters:2 mono in
+  check_int "hotspot is cluster 0" 0 t_mono.Thermal.hottest;
+  check_bool "visible spread" true (t_mono.Thermal.spread > 0.0);
+  check_bool "above ambient" true (t_mono.Thermal.per_cluster.(0) > 45.0);
+  (* balanced steering shrinks the spread *)
+  let op = run_with ~policy:(Clusteer_steer.Op.make ()) p ~uops:2000 in
+  let t_op = Thermal.estimate ~clusters:2 op in
+  check_bool "balance cools" true (t_op.Thermal.spread < t_mono.Thermal.spread)
+
+let test_engine_rejects_bad_args () =
+  let p = independent_program 4 in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:4)
+      ~policy:(Clusteer_steer.One_cluster.make ())
+      ()
+  in
+  Alcotest.check_raises "zero uops"
+    (Invalid_argument "Engine.run: uops must be positive") (fun () ->
+      ignore (Engine.run engine ~source:(source_of p 1) ~uops:0))
+
+let () =
+  Alcotest.run "clusteer_uarch"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "describe" `Quick test_config_describe;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "geometry" `Quick test_cache_geometry;
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_cache_stats_and_reset;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+          Alcotest.test_case "touch" `Quick test_cache_touch_no_stats;
+          Alcotest.test_case "power of two" `Quick test_cache_power_of_two_required;
+        ] );
+      ( "tracecache",
+        [
+          Alcotest.test_case "hits after fill" `Quick test_tracecache_hits_after_fill;
+          Alcotest.test_case "lru" `Quick test_tracecache_lru;
+          Alcotest.test_case "reset" `Quick test_tracecache_reset;
+          Alcotest.test_case "validation" `Quick test_tracecache_validation;
+        ] );
+      ( "memsys",
+        [
+          Alcotest.test_case "latencies" `Quick test_memsys_latencies;
+          Alcotest.test_case "l2 hit after l1 eviction" `Quick test_memsys_l2_hit_after_l1_eviction;
+          Alcotest.test_case "prewarm" `Quick test_memsys_prewarm;
+          Alcotest.test_case "stats" `Quick test_memsys_stats;
+          Alcotest.test_case "next-line prefetch" `Quick test_memsys_prefetch_next_line;
+        ] );
+      ( "bpred",
+        [
+          Alcotest.test_case "learns bias" `Quick test_bpred_learns_bias;
+          Alcotest.test_case "learns alternation" `Quick test_bpred_learns_alternation;
+          Alcotest.test_case "random is hard" `Quick test_bpred_random_is_hard;
+          Alcotest.test_case "stats reset" `Quick test_bpred_stats_reset;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "ipc and metrics" `Quick test_stats_ipc_and_metrics;
+          Alcotest.test_case "balance entropy" `Quick test_stats_balance_entropy;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "commits exactly" `Quick test_engine_commits_exactly;
+          Alcotest.test_case "serial chain rate" `Quick test_engine_serial_chain_rate;
+          Alcotest.test_case "independent throughput" `Quick test_engine_independent_throughput;
+          Alcotest.test_case "one-cluster no copies" `Quick test_engine_one_cluster_no_copies;
+          Alcotest.test_case "forced copies" `Quick test_engine_forced_copies;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "load latency" `Quick test_engine_load_latency_counted;
+          Alcotest.test_case "mispredict cost" `Quick test_engine_branch_mispredict_costs;
+          Alcotest.test_case "warmup resets" `Quick test_engine_warmup_resets;
+          Alcotest.test_case "rob stall on miss" `Quick test_engine_rob_stall_on_long_miss;
+          Alcotest.test_case "rejects bad args" `Quick test_engine_rejects_bad_args;
+          Alcotest.test_case "rogue policy fault" `Quick test_engine_rejects_rogue_policy;
+          Alcotest.test_case "regfile pressure" `Quick test_engine_regfile_pressure;
+          Alcotest.test_case "store-load forwarding" `Quick test_engine_store_load_forwarding;
+          Alcotest.test_case "lsq backpressure" `Quick test_engine_lsq_backpressure;
+          Alcotest.test_case "copy queue backpressure" `Quick test_engine_copy_queue_backpressure;
+          Alcotest.test_case "trace cache stress" `Quick test_engine_tracecache_stress;
+          Alcotest.test_case "energy shape" `Quick test_energy_estimate_shape;
+          Alcotest.test_case "energy cluster scaling" `Quick test_energy_costs_scale_with_clusters;
+          Alcotest.test_case "thermal estimate" `Quick test_thermal_estimate;
+        ] );
+    ]

@@ -1,0 +1,529 @@
+(* Unit and property tests for clusteer_util. *)
+
+open Clusteer_util
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+(* ---- Rng ----------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr equal
+  done;
+  check_bool "different seeds diverge" true (!equal < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create 3 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Rng.bernoulli r 0.0);
+    check_bool "p=1 always" true (Rng.bernoulli r 1.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let r = Rng.create 5 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool "close to 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_rng_geometric_mean () =
+  let r = Rng.create 9 in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric r 0.5
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* mean of geometric(0.5) counting failures = 1.0 *)
+  check_bool "geometric mean near 1" true (mean > 0.9 && mean < 1.1)
+
+let test_rng_pick () =
+  let r = Rng.create 13 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    check_bool "member" true (Array.mem (Rng.pick r a) a)
+  done
+
+let test_rng_pick_weighted () =
+  let r = Rng.create 17 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pick_weighted r [| ("a", 1.0); ("b", 0.0); ("c", 3.0) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  check_int "zero weight never drawn" 0
+    (Option.value ~default:0 (Hashtbl.find_opt counts "b"));
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  let c = Option.value ~default:0 (Hashtbl.find_opt counts "c") in
+  check_bool "c ~ 3x a" true (c > 2 * a)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create 31 in
+  let child = Rng.split parent in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 parent = Rng.int64 child then incr equal
+  done;
+  check_bool "split streams diverge" true (!equal < 4)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 37 in
+  let acc = Stats.Online.create () in
+  for _ = 1 to 20_000 do
+    Stats.Online.add acc (Rng.gaussian r ~mean:5.0 ~stddev:2.0)
+  done;
+  check_bool "mean near 5" true (abs_float (Stats.Online.mean acc -. 5.0) < 0.1);
+  check_bool "stddev near 2" true (abs_float (Stats.Online.stddev acc -. 2.0) < 0.1)
+
+(* ---- Stats --------------------------------------------------------- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_int "count" 4 s.Stats.count;
+  check_float "mean" 2.5 s.Stats.mean;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max;
+  check_bool "stddev" true (abs_float (s.Stats.stddev -. 1.2909944487) < 1e-6)
+
+let test_stats_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_weighted_mean () =
+  check_float "weighted" 3.0
+    (Stats.weighted_mean [| (1.0, 1.0); (4.0, 2.0) |])
+
+let test_stats_weighted_mean_zero_weight () =
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Stats.weighted_mean: zero total weight") (fun () ->
+      ignore (Stats.weighted_mean [| (1.0, 0.0) |]))
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Stats.percentile xs 100.0);
+  check_float "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_ratio_percent () =
+  check_float "ratio" 25.0 (Stats.ratio_percent 100.0 125.0);
+  check_float "negative" (-10.0) (Stats.ratio_percent 100.0 90.0)
+
+let test_stats_online_matches_batch () =
+  let xs = Array.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let acc = Stats.Online.create () in
+  Array.iter (Stats.Online.add acc) xs;
+  let s = Stats.summarize xs in
+  check_bool "mean matches" true
+    (abs_float (Stats.Online.mean acc -. s.Stats.mean) < 1e-9);
+  check_bool "stddev matches" true
+    (abs_float (Stats.Online.stddev acc -. s.Stats.stddev) < 1e-9)
+
+let test_stats_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 150.0))
+
+let test_rng_geometric_certain () =
+  let r = Rng.create 3 in
+  for _ = 1 to 50 do
+    check_int "p=1 never fails" 0 (Rng.geometric r 1.0)
+  done
+
+(* ---- Pqueue -------------------------------------------------------- *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q p v) [ (3, "c"); (1, "a"); (2, "b") ];
+  Alcotest.(check (option (pair int string))) "min" (Some (1, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "next" (Some (2, "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "last" (Some (3, "c")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Pqueue.pop q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q 5 v) [ "first"; "second"; "third" ];
+  Alcotest.(check (option (pair int string))) "fifo 1" (Some (5, "first")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "fifo 2" (Some (5, "second")) (Pqueue.pop q)
+
+let test_pqueue_peek_noop () =
+  let q = Pqueue.create () in
+  Pqueue.add q 1 "x";
+  ignore (Pqueue.peek q);
+  check_int "peek preserves" 1 (Pqueue.length q)
+
+let test_pqueue_pop_while () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.add q p p) [ 5; 1; 3; 8; 2 ];
+  let popped = Pqueue.pop_while q (fun p -> p <= 3) in
+  Alcotest.(check (list (pair int int))) "popped prefix"
+    [ (1, 1); (2, 2); (3, 3) ] popped;
+  check_int "remaining" 2 (Pqueue.length q)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.add q 1 ();
+  Pqueue.clear q;
+  check_bool "empty" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.add q p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+(* ---- Ring ---------------------------------------------------------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:3 in
+  check_bool "push1" true (Ring.push r 1);
+  check_bool "push2" true (Ring.push r 2);
+  check_bool "push3" true (Ring.push r 3);
+  check_bool "full rejects" false (Ring.push r 4);
+  Alcotest.(check (option int)) "pop order" (Some 1) (Ring.pop r);
+  check_bool "push after pop" true (Ring.push r 4);
+  Alcotest.(check (list int)) "contents" [ 2; 3; 4 ] (Ring.to_list r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:2 in
+  for i = 1 to 10 do
+    check_bool "push" true (Ring.push r i);
+    Alcotest.(check (option int)) "pop" (Some i) (Ring.pop r)
+  done
+
+let test_ring_get () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (fun v -> ignore (Ring.push r v)) [ 10; 20; 30 ];
+  check_int "get 0" 10 (Ring.get r 0);
+  check_int "get 2" 30 (Ring.get r 2);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Ring.get: index out of range") (fun () ->
+      ignore (Ring.get r 3))
+
+let test_ring_free_slots () =
+  let r = Ring.create ~capacity:5 in
+  ignore (Ring.push r 1);
+  ignore (Ring.push r 2);
+  check_int "free" 3 (Ring.free_slots r);
+  Ring.clear r;
+  check_int "after clear" 5 (Ring.free_slots r)
+
+let prop_ring_model =
+  QCheck.Test.make ~name:"ring behaves like a bounded FIFO" ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      (* Some v = push v, None = pop; compare against a list model. *)
+      let r = Ring.create ~capacity:4 in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              let accepted = Ring.push r v in
+              let should = List.length !model < 4 in
+              if should then model := !model @ [ v ];
+              accepted = should
+          | None -> (
+              match (Ring.pop r, !model) with
+              | None, [] -> true
+              | Some x, y :: rest ->
+                  model := rest;
+                  x = y
+              | _ -> false))
+        ops)
+
+(* ---- Bitset -------------------------------------------------------- *)
+
+let test_bitset_basics () =
+  let s = Bitset.of_list [ 0; 3; 5 ] in
+  check_bool "mem 3" true (Bitset.mem s 3);
+  check_bool "mem 1" false (Bitset.mem s 1);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 3; 5 ] (Bitset.to_list s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list [ 0; 1 ] and b = Bitset.of_list [ 1; 2 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2 ]
+    (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 1 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "remove" [ 0 ]
+    (Bitset.to_list (Bitset.remove a 1))
+
+let test_bitset_full () =
+  check_int "full 4" 4 (Bitset.cardinal (Bitset.full 4));
+  check_bool "full empty" true (Bitset.is_empty (Bitset.full 0))
+
+let test_bitset_choose () =
+  Alcotest.(check (option int)) "choose min" (Some 2)
+    (Bitset.choose (Bitset.of_list [ 5; 2; 9 ]));
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose Bitset.empty)
+
+let prop_bitset_set_semantics =
+  QCheck.Test.make ~name:"bitset matches sorted-dedup list" ~count:300
+    QCheck.(list (int_bound 30))
+    (fun l ->
+      let s = Bitset.of_list l in
+      Bitset.to_list s = List.sort_uniq compare l)
+
+(* ---- Vec ------------------------------------------------------------ *)
+
+let test_vec_growth () =
+  let v = Vec.create ~initial:2 ~default:(-1) () in
+  Vec.set v 100 7;
+  check_int "set far" 7 (Vec.get v 100);
+  check_int "default below" (-1) (Vec.get v 50);
+  check_int "length" 101 (Vec.length v)
+
+let test_vec_push () =
+  let v = Vec.create ~default:0 () in
+  check_int "push idx 0" 0 (Vec.push v 10);
+  check_int "push idx 1" 1 (Vec.push v 20);
+  check_int "value" 20 (Vec.get v 1)
+
+let test_vec_get_beyond () =
+  let v = Vec.create ~default:9 () in
+  check_int "default beyond data" 9 (Vec.get v 1_000_000)
+
+let test_vec_clear () =
+  let v = Vec.create ~default:0 () in
+  ignore (Vec.push v 5);
+  Vec.clear v;
+  check_int "length reset" 0 (Vec.length v);
+  check_int "value reset" 0 (Vec.get v 0)
+
+(* ---- Plot ------------------------------------------------------------ *)
+
+let test_plot_empty () =
+  Alcotest.(check string) "empty" "" (Plot.scatter [])
+
+let test_plot_contains_points_and_axes () =
+  let out = Plot.scatter ~width:20 ~height:10 [ (1.0, 2.0); (-3.0, -1.0) ] in
+  check_bool "has stars" true (String.contains out '*');
+  check_bool "has vertical axis" true (String.contains out '|');
+  check_bool "has horizontal axis" true (String.contains out '-');
+  let lines = String.split_on_char '\n' out in
+  (* header + 10 rows + trailing empty *)
+  check_int "height respected" 12 (List.length lines)
+
+let test_plot_overlap_marker () =
+  let out = Plot.scatter ~width:10 ~height:5 [ (5.0, 5.0); (5.0, 5.0) ] in
+  check_bool "coincident points marked" true (String.contains out '@')
+
+let test_plot_labels () =
+  let out =
+    Plot.scatter ~x_label:"speedup" ~y_label:"copies" [ (1.0, 1.0) ]
+  in
+  check_bool "labels present" true
+    (String.length out > 0
+    && (let header = List.hd (String.split_on_char '\n' out) in
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        contains header "speedup" && contains header "copies"))
+
+(* ---- Parallel ---------------------------------------------------------- *)
+
+let test_parallel_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "order-deterministic" (List.map f xs)
+    (Parallel.map ~domains:4 f xs)
+
+let test_parallel_single_domain () =
+  Alcotest.(check (list int)) "degrades to List.map" [ 2; 4 ]
+    (Parallel.map ~domains:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_parallel_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Parallel.map ~domains:4 Fun.id [ 7 ])
+
+let test_parallel_propagates_exception () =
+  Alcotest.check_raises "worker failure" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 Fun.id)))
+
+let test_parallel_default_domains () =
+  check_bool "at least one" true (Parallel.default_domains () >= 1);
+  check_bool "capped" true (Parallel.default_domains () <= 8)
+
+(* ---- Table / Csv ---------------------------------------------------- *)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[| "name"; "value" |]
+      [ [| "a"; "1" |]; [| "longer"; "22" |] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_int "line count" 5 (List.length lines) (* header, rule, 2 rows, trailing *)
+
+let test_table_arity_check () =
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Table.render: row 0 has wrong arity") (fun () ->
+      ignore (Table.render ~header:[| "a"; "b" |] [ [| "x" |] ]))
+
+let test_table_fmt () =
+  Alcotest.(check string) "float" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "percent" "2.6%" (Table.fmt_percent ~decimals:1 2.62)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b")
+
+let test_csv_write_read () =
+  let path = Filename.temp_file "clusteer" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "a,b" ]; [ "2"; "c" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "roundtrip"
+    [ "x,y"; "1,\"a,b\""; "2,c" ]
+    (List.rev !lines)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "clusteer_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "pick_weighted" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "geometric certain" `Quick test_rng_geometric_certain;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "weighted mean" `Quick test_stats_weighted_mean;
+          Alcotest.test_case "weighted zero" `Quick test_stats_weighted_mean_zero_weight;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio percent" `Quick test_stats_ratio_percent;
+          Alcotest.test_case "online matches batch" `Quick test_stats_online_matches_batch;
+          Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek_noop;
+          Alcotest.test_case "pop_while" `Quick test_pqueue_pop_while;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          qc prop_pqueue_sorted;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "get" `Quick test_ring_get;
+          Alcotest.test_case "free slots" `Quick test_ring_free_slots;
+          qc prop_ring_model;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "ops" `Quick test_bitset_ops;
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "choose" `Quick test_bitset_choose;
+          qc prop_bitset_set_semantics;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "growth" `Quick test_vec_growth;
+          Alcotest.test_case "push" `Quick test_vec_push;
+          Alcotest.test_case "get beyond" `Quick test_vec_get_beyond;
+          Alcotest.test_case "clear" `Quick test_vec_clear;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "single domain" `Quick test_parallel_single_domain;
+          Alcotest.test_case "empty and singleton" `Quick test_parallel_empty_and_singleton;
+          Alcotest.test_case "propagates exception" `Quick test_parallel_propagates_exception;
+          Alcotest.test_case "default domains" `Quick test_parallel_default_domains;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "points and axes" `Quick test_plot_contains_points_and_axes;
+          Alcotest.test_case "overlap marker" `Quick test_plot_overlap_marker;
+          Alcotest.test_case "labels" `Quick test_plot_labels;
+        ] );
+      ( "table-csv",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity_check;
+          Alcotest.test_case "formatting" `Quick test_table_fmt;
+          Alcotest.test_case "csv escape" `Quick test_csv_escape;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_write_read;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for the synthetic SPEC CPU2000 workload layer. *)
+
+open Clusteer_isa
+open Clusteer_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Spec2000 catalogue --------------------------------------------------- *)
+
+let test_suite_sizes () =
+  check_int "26 int points" 26 (List.length Spec2000.spec_int);
+  check_int "14 fp points" 14 (List.length Spec2000.spec_fp);
+  check_int "total" 40 (List.length Spec2000.all)
+
+let test_all_profiles_valid () =
+  List.iter Profile.validate Spec2000.all
+
+let test_profiles_unique_names_and_seeds () =
+  let names = List.map (fun p -> p.Profile.name) Spec2000.all in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  let seeds = List.map (fun p -> p.Profile.seed) Spec2000.all in
+  check_int "unique seeds" (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_find_by_suffix () =
+  Alcotest.(check string) "mcf" "181.mcf" (Spec2000.find "mcf").Profile.name;
+  Alcotest.(check string) "full name" "178.galgel"
+    (Spec2000.find "178.galgel").Profile.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Spec2000.find "nonexistent"))
+
+let test_suite_assignment () =
+  List.iter
+    (fun p -> check_bool "int suite" true (p.Profile.suite = Profile.Spec_int))
+    Spec2000.spec_int;
+  List.iter
+    (fun p -> check_bool "fp suite" true (p.Profile.suite = Profile.Spec_fp))
+    Spec2000.spec_fp
+
+let test_fp_profiles_have_fp_ops () =
+  List.iter
+    (fun p -> check_bool "fp ratio" true (p.Profile.fp_ratio >= 0.4))
+    Spec2000.spec_fp;
+  List.iter
+    (fun p -> check_bool "int mostly int" true (p.Profile.fp_ratio <= 0.2))
+    Spec2000.spec_int
+
+(* ---- Profile validation ---------------------------------------------------- *)
+
+let base = Spec2000.find "gzip-1"
+
+let test_profile_validation_errors () =
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Profile 164.gzip-1: fp_ratio out of [0,1]") (fun () ->
+      Profile.validate { base with Profile.fp_ratio = 1.5 });
+  Alcotest.check_raises "too many phases"
+    (Invalid_argument "Profile 164.gzip-1: more than 10 phases") (fun () ->
+      Profile.validate { base with Profile.phases = 11 });
+  Alcotest.check_raises "stream fractions"
+    (Invalid_argument "Profile 164.gzip-1: stream fractions exceed 1")
+    (fun () ->
+      Profile.validate { base with Profile.stride_frac = 0.8; chase_frac = 0.8 })
+
+(* ---- Synth ------------------------------------------------------------------ *)
+
+let test_synth_deterministic () =
+  let w1 = Synth.build base and w2 = Synth.build base in
+  check_int "same size" w1.Synth.program.Program.uop_count
+    w2.Synth.program.Program.uop_count;
+  check_int "same blocks"
+    (Array.length w1.Synth.program.Program.blocks)
+    (Array.length w2.Synth.program.Program.blocks)
+
+let test_synth_models_match_program () =
+  List.iter
+    (fun p ->
+      let w = Synth.build p in
+      check_int "branch arity" w.Synth.program.Program.branch_model_count
+        (Array.length w.Synth.branches);
+      check_int "stream arity" w.Synth.program.Program.stream_count
+        (Array.length w.Synth.streams))
+    [ base; Spec2000.find "mcf"; Spec2000.find "galgel" ]
+
+let test_synth_instruction_mix () =
+  (* The dynamic trace's memory fraction should track the profile. *)
+  let p = Spec2000.find "equake" in
+  let w = Synth.build p in
+  let gen = Synth.trace w ~seed:3 in
+  let n = 20_000 in
+  let mem = ref 0 and fp = ref 0 in
+  for _ = 1 to n do
+    let d = Clusteer_trace.Tracegen.next gen in
+    if Uop.is_mem d.Clusteer_trace.Dynuop.suop then incr mem;
+    if Opcode.writes_fp d.Clusteer_trace.Dynuop.suop.Uop.opcode then incr fp
+  done;
+  let memf = float_of_int !mem /. float_of_int n in
+  check_bool "memory fraction tracks profile" true
+    (abs_float (memf -. p.Profile.mem_ratio) < 0.12);
+  check_bool "fp present" true (!fp > n / 20)
+
+let test_synth_likely_covers_branchy_blocks () =
+  let w = Synth.build base in
+  let program = w.Synth.program in
+  Array.iter
+    (fun blk ->
+      if Array.length blk.Block.succs > 1 then
+        (* likely may be None (hard branch) but must not be out of range *)
+        match w.Synth.likely blk.Block.id with
+        | Some i ->
+            check_bool "likely in range" true
+              (i >= 0 && i < Array.length blk.Block.succs)
+        | None -> ())
+    program.Program.blocks
+
+let test_synth_trace_wraps_indefinitely () =
+  let w = Synth.build base in
+  let gen = Synth.trace w ~seed:1 in
+  let duops = Clusteer_trace.Tracegen.take gen 50_000 in
+  check_int "full length" 50_000 (Array.length duops)
+
+(* ---- Kernels ------------------------------------------------------------------- *)
+
+let test_kernels_all_build_and_trace () =
+  List.iter
+    (fun (name, (k : Kernels.t)) ->
+      check_bool (name ^ " has uops") true
+        (k.Synth.program.Program.uop_count > 3);
+      check_int
+        (name ^ " branch arity")
+        k.Synth.program.Program.branch_model_count
+        (Array.length k.Synth.branches);
+      let gen = Synth.trace k ~seed:1 in
+      check_int (name ^ " traces") 200
+        (Array.length (Clusteer_trace.Tracegen.take gen 200));
+      Profile.validate k.Synth.profile)
+    Kernels.all
+
+let test_kernel_dot_is_serial () =
+  (* The dot-product reduction is one long FP chain: its region DDG
+     critical path must cover (almost) the whole body repeatedly. *)
+  let k = Kernels.dot_product () in
+  let regions =
+    Clusteer_ddg.Region.build ~program:k.Synth.program ~likely:k.Synth.likely
+      ~max_uops:512
+  in
+  let g = Clusteer_ddg.Ddg.of_region (List.hd regions) in
+  let crit = Clusteer_ddg.Critical.analyze g in
+  (* fmul(5) + fadd(3) per iteration at least *)
+  check_bool "long critical path" true (crit.Clusteer_ddg.Critical.length >= 8)
+
+let test_kernel_matmul_parallel () =
+  let k = Kernels.matmul_inner ~accumulators:4 () in
+  let regions =
+    Clusteer_ddg.Region.build ~program:k.Synth.program ~likely:k.Synth.likely
+      ~max_uops:512
+  in
+  let g = Clusteer_ddg.Ddg.of_region (List.hd regions) in
+  (* four independent accumulator chains -> at least 4 roots *)
+  check_bool "parallel chains" true
+    (List.length (Clusteer_ddg.Ddg.roots g) >= 4)
+
+let test_kernel_chase_serial_loads () =
+  let k = Kernels.pointer_chase () in
+  let gen = Synth.trace k ~seed:1 in
+  let duops = Clusteer_trace.Tracegen.take gen 40 in
+  (* consecutive chase loads must visit different addresses *)
+  let addrs =
+    Array.to_list duops
+    |> List.filter (fun d -> Uop.is_mem d.Clusteer_trace.Dynuop.suop)
+    |> List.map (fun d -> d.Clusteer_trace.Dynuop.addr)
+  in
+  check_bool "addresses move" true
+    (List.length (List.sort_uniq compare addrs) > 3)
+
+let test_kernel_reduction_tree_depth () =
+  (* Pairwise reduction of 8 leaves: log-depth (3 fadd levels = 9
+     cycles) rather than the serial 8-level chain (24 cycles). *)
+  let k = Kernels.reduction_tree ~width:8 () in
+  let regions =
+    Clusteer_ddg.Region.build ~program:k.Synth.program ~likely:k.Synth.likely
+      ~max_uops:512
+  in
+  let g = Clusteer_ddg.Ddg.of_region (List.hd regions) in
+  let crit = Clusteer_ddg.Critical.analyze g in
+  check_bool "log depth" true
+    (crit.Clusteer_ddg.Critical.length >= 9
+    && crit.Clusteer_ddg.Critical.length <= 15)
+
+let test_kernel_stencil_wide () =
+  let k = Kernels.stencil3 () in
+  let regions =
+    Clusteer_ddg.Region.build ~program:k.Synth.program ~likely:k.Synth.likely
+      ~max_uops:512
+  in
+  let g = Clusteer_ddg.Ddg.of_region (List.hd regions) in
+  (* the three staggered loads are mutually independent *)
+  check_bool "at least 3 roots" true
+    (List.length (Clusteer_ddg.Ddg.roots g) >= 3)
+
+let test_kernel_parameter_validation () =
+  Alcotest.check_raises "too many accumulators"
+    (Invalid_argument "Kernels.matmul_inner: 1..8 accumulators") (fun () ->
+      ignore (Kernels.matmul_inner ~accumulators:9 ()));
+  Alcotest.check_raises "reduction width"
+    (Invalid_argument "Kernels.reduction_tree: width 2..16") (fun () ->
+      ignore (Kernels.reduction_tree ~width:1 ()))
+
+(* ---- Analysis ------------------------------------------------------------------- *)
+
+let test_analysis_tracks_profile () =
+  let p = Spec2000.find "equake" in
+  let w = Synth.build p in
+  let mix = Analysis.measure w ~uops:20_000 ~seed:3 in
+  check_bool "mem tracks profile" true
+    (abs_float (mix.Analysis.mem_frac -. p.Profile.mem_ratio) < 0.12);
+  check_bool "static footprint sane" true
+    (mix.Analysis.distinct_static = w.Synth.program.Program.uop_count)
+
+let test_analysis_kernel_daxpy () =
+  let mix = Analysis.measure (Kernels.daxpy ()) ~uops:7_000 ~seed:1 in
+  (* 7-uop loop: 2 loads + 1 store + 2 fp + counter + branch *)
+  check_bool "load frac" true (abs_float (mix.Analysis.load_frac -. 2. /. 7.) < 0.02);
+  check_bool "store frac" true (abs_float (mix.Analysis.store_frac -. 1. /. 7.) < 0.02);
+  check_bool "fp frac" true (abs_float (mix.Analysis.fp_frac -. 2. /. 7.) < 0.02);
+  check_bool "branch frac" true
+    (abs_float (mix.Analysis.branch_frac -. 1. /. 7.) < 0.02)
+
+let test_analysis_rejects_bad_uops () =
+  Alcotest.check_raises "zero uops"
+    (Invalid_argument "Analysis.measure: uops must be positive") (fun () ->
+      ignore (Analysis.measure (Kernels.fibonacci ()) ~uops:0 ~seed:1))
+
+(* ---- Pinpoints ----------------------------------------------------------------- *)
+
+let test_pinpoints_count_and_weights () =
+  let pts = Pinpoints.points base in
+  check_int "phase count" base.Profile.phases (List.length pts);
+  let total = List.fold_left (fun acc p -> acc +. p.Pinpoints.weight) 0.0 pts in
+  check_bool "weights normalised" true (abs_float (total -. 1.0) < 1e-9);
+  List.iter
+    (fun p -> check_bool "positive weight" true (p.Pinpoints.weight > 0.0))
+    pts
+
+let test_pinpoints_distinct_phases () =
+  let pts = Pinpoints.points base in
+  let seeds = List.map (fun p -> p.Pinpoints.profile.Profile.seed) pts in
+  check_int "distinct seeds" (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_pinpoints_deterministic () =
+  let w1 = List.map (fun p -> p.Pinpoints.weight) (Pinpoints.points base) in
+  let w2 = List.map (fun p -> p.Pinpoints.weight) (Pinpoints.points base) in
+  Alcotest.(check (list (float 1e-12))) "same weights" w1 w2
+
+let test_pinpoints_profiles_stay_valid () =
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun pt -> Profile.validate pt.Pinpoints.profile)
+        (Pinpoints.points bench))
+    Spec2000.all
+
+let test_pinpoints_weighted_metric () =
+  let pts = Pinpoints.points base in
+  let v = Pinpoints.weighted pts ~f:(fun _ -> 42.0) in
+  check_bool "constant preserved" true (abs_float (v -. 42.0) < 1e-9)
+
+(* ---- Build the whole catalogue -------------------------------------------------- *)
+
+let test_every_profile_synthesizes () =
+  List.iter
+    (fun p ->
+      let w = Synth.build p in
+      check_bool "has uops" true (w.Synth.program.Program.uop_count > 10);
+      (* every block reachable structure is valid by construction;
+         also exercise a short trace *)
+      let gen = Synth.trace w ~seed:1 in
+      check_int "traceable" 100
+        (Array.length (Clusteer_trace.Tracegen.take gen 100)))
+    Spec2000.all
+
+let () =
+  Alcotest.run "clusteer_workloads"
+    [
+      ( "spec2000",
+        [
+          Alcotest.test_case "suite sizes" `Quick test_suite_sizes;
+          Alcotest.test_case "profiles valid" `Quick test_all_profiles_valid;
+          Alcotest.test_case "unique names/seeds" `Quick test_profiles_unique_names_and_seeds;
+          Alcotest.test_case "find by suffix" `Quick test_find_by_suffix;
+          Alcotest.test_case "suite assignment" `Quick test_suite_assignment;
+          Alcotest.test_case "fp ratios" `Quick test_fp_profiles_have_fp_ops;
+        ] );
+      ( "profile",
+        [ Alcotest.test_case "validation errors" `Quick test_profile_validation_errors ] );
+      ( "synth",
+        [
+          Alcotest.test_case "deterministic" `Quick test_synth_deterministic;
+          Alcotest.test_case "models match program" `Quick test_synth_models_match_program;
+          Alcotest.test_case "instruction mix" `Slow test_synth_instruction_mix;
+          Alcotest.test_case "likely in range" `Quick test_synth_likely_covers_branchy_blocks;
+          Alcotest.test_case "trace wraps" `Quick test_synth_trace_wraps_indefinitely;
+          Alcotest.test_case "whole catalogue" `Slow test_every_profile_synthesizes;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "all build and trace" `Quick test_kernels_all_build_and_trace;
+          Alcotest.test_case "dot is serial" `Quick test_kernel_dot_is_serial;
+          Alcotest.test_case "matmul parallel" `Quick test_kernel_matmul_parallel;
+          Alcotest.test_case "chase moves" `Quick test_kernel_chase_serial_loads;
+          Alcotest.test_case "parameter validation" `Quick test_kernel_parameter_validation;
+          Alcotest.test_case "reduction tree depth" `Quick test_kernel_reduction_tree_depth;
+          Alcotest.test_case "stencil width" `Quick test_kernel_stencil_wide;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "tracks profile" `Slow test_analysis_tracks_profile;
+          Alcotest.test_case "kernel daxpy mix" `Quick test_analysis_kernel_daxpy;
+          Alcotest.test_case "rejects bad uops" `Quick test_analysis_rejects_bad_uops;
+        ] );
+      ( "pinpoints",
+        [
+          Alcotest.test_case "count and weights" `Quick test_pinpoints_count_and_weights;
+          Alcotest.test_case "distinct phases" `Quick test_pinpoints_distinct_phases;
+          Alcotest.test_case "deterministic" `Quick test_pinpoints_deterministic;
+          Alcotest.test_case "profiles stay valid" `Quick test_pinpoints_profiles_stay_valid;
+          Alcotest.test_case "weighted metric" `Quick test_pinpoints_weighted_metric;
+        ] );
+    ]
