@@ -1,0 +1,27 @@
+# Convenience targets; everything below is plain dune + the CLI.
+
+.PHONY: all build test bench smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Fast end-to-end confidence: full build, the test suite, and one
+# traced 10k-uop simulation whose Chrome trace must be valid JSON
+# with interval telemetry.
+smoke: build test
+	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
+	  --trace-out _build/smoke_trace.json --trace-format json \
+	  --stats-interval 1000
+	@grep -q '"traceEvents"' _build/smoke_trace.json
+	@echo "smoke: OK (_build/smoke_trace.json)"
+
+clean:
+	dune clean

@@ -17,6 +17,7 @@ module Spec2000 = Clusteer_workloads.Spec2000
 module Profile = Clusteer_workloads.Profile
 module Pinpoints = Clusteer_workloads.Pinpoints
 module Synth = Clusteer_workloads.Synth
+module Obs = Clusteer_obs
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -615,6 +616,57 @@ let time_tracegen =
          let gen = Synth.trace w ~seed:1 in
          ignore (Clusteer_trace.Tracegen.take gen 1000)))
 
+(* Observability overhead study: the engine guarantees that with no
+   sink installed instrumentation is free (and the test suite checks
+   the statistics stay bit-identical); here we price the "on" side —
+   a full collector with interval telemetry on a real trace point. *)
+let run_observability_overhead_study () =
+  heading "Observability overhead (collector + interval telemetry)";
+  let bench_uops = min uops 10_000 in
+  let point = List.hd (Pinpoints.points (Spec2000.find "gzip-1")) in
+  let configs = [ Clusteer.Configuration.Vc { virtual_clusters = 2 } ] in
+  let run obs =
+    let t0 = Sys.time () in
+    let r =
+      Runner.run_point ~machine:Config.default_2c ~configs ~uops:bench_uops ~obs
+        point
+    in
+    (snd (List.hd r.Runner.runs), Sys.time () -. t0)
+  in
+  let off, t_off = run (fun _ -> None) in
+  let null, t_null = run (fun _ -> Some Obs.Sink.null) in
+  let col = Obs.Collector.create ~interval:1000 () in
+  let on, t_on = run (fun _ -> Some (Obs.Collector.sink col)) in
+  Printf.printf "statistics identical off/null/collector: %b\n"
+    (Stats.equal off null && Stats.equal off on);
+  Printf.printf "events %d (kept %d, dropped %d), interval samples %d\n"
+    (Obs.Collector.event_count col)
+    (List.length (Obs.Collector.events col))
+    (Obs.Collector.dropped col)
+    (List.length (Obs.Collector.samples col));
+  Printf.printf "%-12s %10s\n" "sink" "cpu time";
+  List.iter
+    (fun (name, t) -> Printf.printf "%-12s %9.3fs\n" name t)
+    [ ("off", t_off); ("null", t_null); ("collector", t_on) ]
+
+let time_obs_off =
+  let point = micro_point (Spec2000.find "gzip-1") in
+  Test.make ~name:"obs/engine-500uops-no-sink"
+    (Staged.stage (fun () ->
+         ignore
+           (Runner.run_point ~warmup:200 ~machine:Config.default_2c
+              ~configs:[ Clusteer.Configuration.Op ] ~uops:500 point)))
+
+let time_obs_collector =
+  let point = micro_point (Spec2000.find "gzip-1") in
+  Test.make ~name:"obs/engine-500uops-collector"
+    (Staged.stage (fun () ->
+         let col = Obs.Collector.create ~interval:100 () in
+         ignore
+           (Runner.run_point ~warmup:200 ~machine:Config.default_2c
+              ~obs:(fun _ -> Some (Obs.Collector.sink col))
+              ~configs:[ Clusteer.Configuration.Op ] ~uops:500 point)))
+
 let run_microbenchmarks () =
   heading "Bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
   let tests =
@@ -628,6 +680,8 @@ let run_microbenchmarks () =
         time_vc_compile;
         time_rhop_compile;
         time_tracegen;
+        time_obs_off;
+        time_obs_collector;
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -671,5 +725,6 @@ let () =
   run_scaling_study ();
   run_prefetch_study ();
   run_kernel_table ();
+  run_observability_overhead_study ();
   run_microbenchmarks ();
   print_newline ()

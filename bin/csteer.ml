@@ -9,6 +9,8 @@
 open Cmdliner
 module Config = Clusteer_uarch.Config
 module Stats = Clusteer_uarch.Stats
+module Obs = Clusteer_obs
+module Json = Clusteer_obs.Json
 module Profile = Clusteer_workloads.Profile
 module Spec2000 = Clusteer_workloads.Spec2000
 module Pinpoints = Clusteer_workloads.Pinpoints
@@ -93,7 +95,32 @@ let list_cmd =
 
 (* ---- simulate ------------------------------------------------------ *)
 
-let simulate workload clusters config uops phase =
+type trace_format = Trace_json | Trace_csv
+
+let trace_format_conv =
+  let parse = function
+    | "json" -> Ok Trace_json
+    | "csv" -> Ok Trace_csv
+    | s -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with Trace_json -> "json" | Trace_csv -> "csv")
+  in
+  Arg.conv (parse, print)
+
+let energy_json (e : Clusteer_uarch.Energy.breakdown) =
+  Json.Obj
+    [
+      ("total", Json.Float e.Clusteer_uarch.Energy.total);
+      ("per_uop", Json.Float e.Clusteer_uarch.Energy.per_uop);
+      ("static", Json.Float e.Clusteer_uarch.Energy.static_);
+      ("dynamic", Json.Float e.Clusteer_uarch.Energy.dynamic);
+      ("copies", Json.Float e.Clusteer_uarch.Energy.copies);
+    ]
+
+let simulate workload clusters config uops phase trace_out trace_format
+    stats_interval json_out =
   match Spec2000.find workload with
   | exception Not_found ->
       Printf.eprintf "unknown workload %S (try `csteer list`)\n" workload;
@@ -107,30 +134,138 @@ let simulate workload clusters config uops phase =
             Printf.eprintf "workload has only %d phases\n" (List.length points);
             exit 1
       in
+      if stats_interval < 0 then begin
+        Printf.eprintf "--stats-interval must be non-negative\n";
+        exit 1
+      end;
       let machine = Config.default ~clusters in
+      (* Collect events/intervals only when some output wants them:
+         an unobserved run keeps the zero-overhead engine path. *)
+      let interval =
+        if stats_interval > 0 then stats_interval
+        else if trace_out <> None && trace_format = Trace_csv then 1000
+        else 0
+      in
+      let collector =
+        if trace_out <> None || interval > 0 then
+          Some (Obs.Collector.create ~interval ())
+        else None
+      in
+      Obs.Counters.reset Obs.Counters.default;
       let result =
-        Runner.run_point ~machine ~configs:[ config ] ~uops point
+        Runner.run_point ~machine ~configs:[ config ] ~uops
+          ~obs:(fun _ -> Option.map Obs.Collector.sink collector)
+          point
       in
       let name, stats = List.hd result.Runner.runs in
-      Printf.printf "%s phase %d under %s on %d clusters (%d uops):\n"
-        profile.Profile.name phase name clusters uops;
-      Format.printf "%a@." Stats.pp stats;
-      let e = Clusteer_uarch.Energy.estimate ~clusters stats in
-      Printf.printf
-        "energy: %.0f units (%.2f/uop), %.0f%% static, %.1f%% of dynamic in copies\n"
-        e.Clusteer_uarch.Energy.total e.Clusteer_uarch.Energy.per_uop
-        (100. *. e.Clusteer_uarch.Energy.static_ /. Float.max 1e-9 e.Clusteer_uarch.Energy.total)
-        (100. *. e.Clusteer_uarch.Energy.copies /. Float.max 1e-9 e.Clusteer_uarch.Energy.dynamic)
+      Option.iter
+        (fun path ->
+          let c = Option.get collector in
+          (try
+             match trace_format with
+          | Trace_json ->
+              Obs.Chrome_trace.write ~path ~clusters
+                ~events:(Obs.Collector.events c)
+                ~samples:(Obs.Collector.samples c)
+             | Trace_csv ->
+                 Clusteer_util.Csv.write ~path
+                   ~header:(Obs.Interval.csv_header ~clusters)
+                   (List.map Obs.Interval.csv_row (Obs.Collector.samples c))
+           with Sys_error msg ->
+             Printf.eprintf "cannot write trace: %s\n" msg;
+             exit 1);
+          Printf.eprintf "trace written to %s (%d events kept, %d dropped)\n"
+            path
+            (List.length (Obs.Collector.events c))
+            (Obs.Collector.dropped c))
+        trace_out;
+      if json_out then
+        (* Machine-readable mode: exactly one JSON document on stdout. *)
+        let doc =
+          Json.Obj
+            [
+              ("workload", Json.Str profile.Profile.name);
+              ("phase", Json.Int phase);
+              ("config", Json.Str name);
+              ("clusters", Json.Int clusters);
+              ("uops", Json.Int uops);
+              ("stats", Stats.to_json stats);
+              ( "energy",
+                energy_json (Clusteer_uarch.Energy.estimate ~clusters stats) );
+              ("counters", Obs.Counters.to_json Obs.Counters.default);
+              ( "intervals",
+                match collector with
+                | None -> Json.Null
+                | Some c ->
+                    Json.List
+                      (List.map Obs.Interval.to_json (Obs.Collector.samples c))
+              );
+            ]
+        in
+        print_endline (Json.to_string doc)
+      else begin
+        Printf.printf "%s phase %d under %s on %d clusters (%d uops):\n"
+          profile.Profile.name phase name clusters uops;
+        Format.printf "%a@." Stats.pp stats;
+        let e = Clusteer_uarch.Energy.estimate ~clusters stats in
+        Printf.printf
+          "energy: %.0f units (%.2f/uop), %.0f%% static, %.1f%% of dynamic in copies\n"
+          e.Clusteer_uarch.Energy.total e.Clusteer_uarch.Energy.per_uop
+          (100. *. e.Clusteer_uarch.Energy.static_
+          /. Float.max 1e-9 e.Clusteer_uarch.Energy.total)
+          (100. *. e.Clusteer_uarch.Energy.copies
+          /. Float.max 1e-9 e.Clusteer_uarch.Energy.dynamic);
+        if collector <> None then
+          Format.printf "steering counters:@,%a@." Obs.Counters.pp
+            Obs.Counters.default
+      end
 
 let simulate_cmd =
   let phase =
     Arg.(value & opt int 0 & info [ "phase" ] ~doc:"Simulation point index.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Write an execution trace to this file (see $(b,--trace-format)).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt trace_format_conv Trace_json
+      & info [ "trace-format" ]
+          ~doc:
+            "Trace file format: $(b,json) is a Chrome trace_event file \
+             (open in chrome://tracing or ui.perfetto.dev), $(b,csv) is \
+             the per-interval telemetry series.")
+  in
+  let stats_interval =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "stats-interval" ]
+          ~doc:
+            "Emit interval telemetry (IPC, copy rate, stall breakdown, \
+             per-cluster dispatch share) every $(docv) cycles; 0 disables."
+          ~docv:"CYCLES")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print final statistics (plus steering counters and any \
+             interval series) as a single JSON document on stdout.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation point under one configuration")
     Term.(
       const simulate $ workload_arg $ clusters_arg $ config_arg
-      $ uops_arg 20_000 $ phase)
+      $ uops_arg 20_000 $ phase $ trace_out $ trace_format $ stats_interval
+      $ json_out)
 
 (* ---- compile ------------------------------------------------------- *)
 

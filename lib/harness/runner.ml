@@ -13,10 +13,12 @@ let trace_seed (point : Pinpoints.point) =
    the L1 and train the predictor at the scaled-down trace sizes. *)
 let default_warmup uops = min 10_000 (max 2_000 (uops / 2))
 
-let run_workload ?warmup ?(seed = 1) ~machine ~configs ~uops workload =
+let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ~machine ~configs
+    ~uops workload =
   let warmup = Option.value ~default:(default_warmup uops) warmup in
   List.map
     (fun config ->
+      let name = Clusteer.Configuration.name config in
       let annot, policy =
         Clusteer.Configuration.prepare config ~program:workload.Synth.program
           ~likely:workload.Synth.likely ~clusters:machine.Config.clusters ()
@@ -25,22 +27,24 @@ let run_workload ?warmup ?(seed = 1) ~machine ~configs ~uops workload =
         Array.to_list
           (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
       in
-      let engine = Engine.create ~config:machine ~annot ~policy ~prewarm () in
+      let engine =
+        Engine.create ~config:machine ~annot ~policy ~prewarm ?obs:(obs name) ()
+      in
       let gen = Synth.trace workload ~seed in
       let stats =
         Engine.run ~warmup engine
           ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
           ~uops
       in
-      (Clusteer.Configuration.name config, stats))
+      (name, stats))
     configs
 
-let run_point ?warmup ~machine ~configs ~uops point =
+let run_point ?warmup ?obs ~machine ~configs ~uops point =
   let workload = Synth.build point.Pinpoints.profile in
   (* Every configuration replays the identical dynamic stream: the
      generator is reseeded per point with the same seed. *)
   let runs =
-    run_workload ?warmup ~seed:(trace_seed point) ~machine ~configs ~uops
+    run_workload ?warmup ~seed:(trace_seed point) ?obs ~machine ~configs ~uops
       workload
   in
   { point; runs }

@@ -13,6 +13,7 @@ type point_result = {
 
 val run_point :
   ?warmup:int ->
+  ?obs:(string -> Clusteer_obs.Sink.t option) ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -21,11 +22,16 @@ val run_point :
 (** Build the point's workload, compile each configuration's
     annotation, and simulate [uops] committed micro-ops per
     configuration, after a cache/predictor warmup phase (default: half
-    the measured length, capped at 10k). *)
+    the measured length, capped at 10k).
+
+    [obs] maps a configuration name to the observability sink to
+    install in that configuration's engine ([None] = uninstrumented,
+    the default for every configuration). *)
 
 val run_workload :
   ?warmup:int ->
   ?seed:int ->
+  ?obs:(string -> Clusteer_obs.Sink.t option) ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -33,7 +39,8 @@ val run_workload :
   (string * Stats.t) list
 (** Run an explicit workload (a {!Clusteer_workloads.Synth.t}, e.g. a
     hand-built {!Clusteer_workloads.Kernels} kernel) under each
-    configuration on the identical trace. *)
+    configuration on the identical trace. [obs] as in
+    {!run_point}. *)
 
 val run_benchmark :
   ?warmup:int ->

@@ -1,0 +1,82 @@
+module Ring = Clusteer_util.Ring
+
+type t = {
+  ring : Event.t Ring.t;
+  interval : int;
+  mutable emitted : int;
+  mutable dropped : int;
+  mutable last : Interval.snapshot option;
+  mutable samples_rev : Interval.sample list;
+}
+
+let create ?(capacity = 65536) ?(interval = 0) () =
+  if interval < 0 then invalid_arg "Collector.create: negative interval";
+  {
+    ring = Ring.create ~capacity;
+    interval;
+    emitted = 0;
+    dropped = 0;
+    last = None;
+    samples_rev = [];
+  }
+
+let emit t ev =
+  t.emitted <- t.emitted + 1;
+  if not (Ring.push t.ring ev) then begin
+    (* Full: discard the oldest so the ring always holds the most
+       recent window. *)
+    ignore (Ring.pop t.ring);
+    t.dropped <- t.dropped + 1;
+    let pushed = Ring.push t.ring ev in
+    assert pushed
+  end
+
+(* A zeroed snapshot shaped like [snap], standing in for the implicit
+   state at cycle 0: all cumulative counters start at zero, so the very
+   first interval (and the first one after a counter reset) is a real
+   sample, not a discarded baseline. *)
+let zero_of (snap : Interval.snapshot) =
+  {
+    Interval.cycle = 0;
+    committed = 0;
+    dispatched = 0;
+    copies_generated = 0;
+    copies_executed = 0;
+    link_transfers = 0;
+    stalls = Array.map (fun _ -> 0) snap.Interval.stalls;
+    per_cluster_dispatched =
+      Array.map (fun _ -> 0) snap.Interval.per_cluster_dispatched;
+  }
+
+let on_snapshot t (snap : Interval.snapshot) =
+  (match t.last with
+  | Some prev
+    when snap.Interval.committed >= prev.Interval.committed
+         && snap.Interval.cycle > prev.Interval.cycle ->
+      t.samples_rev <- Interval.diff prev snap :: t.samples_rev
+  | Some _ | None ->
+      (* First snapshot, or the engine reset its counters (end of
+         warmup): the series restarts against an implicit zero
+         baseline. *)
+      if snap.Interval.cycle > 0 then
+        t.samples_rev <- Interval.diff (zero_of snap) snap :: t.samples_rev);
+  t.last <- Some snap
+
+let sink t =
+  {
+    Sink.emit = emit t;
+    interval = t.interval;
+    on_snapshot = on_snapshot t;
+  }
+
+let events t = Ring.to_list t.ring
+let event_count t = t.emitted
+let dropped t = t.dropped
+let samples t = List.rev t.samples_rev
+
+let clear t =
+  Ring.clear t.ring;
+  t.emitted <- 0;
+  t.dropped <- 0;
+  t.last <- None;
+  t.samples_rev <- []

@@ -1,0 +1,38 @@
+(** In-memory collector: a ring of recent events plus the full
+    interval-sample series.
+
+    The event ring has drop-oldest overflow semantics — when the
+    capacity is reached the oldest event is discarded and counted in
+    {!dropped}, so a bounded collector always holds the most recent
+    window of the run. Interval samples are unbounded (there are only
+    [cycles / interval] of them).
+
+    The first snapshot of a series is diffed against an implicit
+    all-zero baseline at cycle 0, so no interval is lost. A statistics
+    reset mid-run (the engine zeroes its counters when the warmup phase
+    ends) is detected by a non-monotonic committed count; the series
+    restarts there against a fresh zero baseline without emitting a
+    bogus negative sample. *)
+
+type t
+
+val create : ?capacity:int -> ?interval:int -> unit -> t
+(** [capacity] bounds the event ring (default 65536, must be positive);
+    [interval] is the sampling period in cycles (default 0 = no
+    interval telemetry). *)
+
+val sink : t -> Sink.t
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val event_count : t -> int
+(** Total events emitted, including dropped ones. *)
+
+val dropped : t -> int
+(** Events discarded to keep the ring within capacity. *)
+
+val samples : t -> Interval.sample list
+(** Interval samples in time order. *)
+
+val clear : t -> unit

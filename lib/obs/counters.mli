@@ -1,0 +1,58 @@
+(** Named counters and histograms that policies and the engine register
+    introspection into.
+
+    A registry is a flat namespace of monotonically increasing
+    counters and power-of-two-bucketed histograms. Steering policies
+    register what their decision logic knows and nothing else can see
+    from the outside — VC remap counts, chain length at a leader
+    re-steer, how many clusters tied a vote (a latency proxy for the
+    serialized steering hardware of §2.1), copy-queue depth at
+    insertion. The registry costs a hashtable lookup at registration
+    time and a field increment per observation afterwards; it never
+    influences simulation behaviour.
+
+    [default] is the process-wide registry most callers use; tests or
+    concurrent runs can isolate themselves with {!create}. *)
+
+type registry
+type counter
+type histogram
+
+val create : unit -> registry
+val default : registry
+
+val counter : ?registry:registry -> string -> counter
+(** Intern by name: the same name always yields the same counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val histogram : ?registry:registry -> string -> histogram
+(** Intern by name. Buckets are powers of two: bucket [i] counts
+    observations [v] with [2^i <= v+1 < 2^(i+1)] (so 0 lands in bucket
+    0, 1-2 in bucket 1, 3-6 in bucket 2, ...). *)
+
+val observe : histogram -> int -> unit
+(** Negative observations clamp to 0. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+(** Largest value observed; 0 when empty. *)
+
+val hist_mean : histogram -> float
+val buckets : histogram -> int array
+(** Bucket occupancy up to the highest non-empty bucket. *)
+
+val reset : registry -> unit
+(** Zero every counter and histogram (registrations survive). *)
+
+val counters : registry -> (string * int) list
+(** Name-sorted counter values. *)
+
+val histograms : registry -> (string * histogram) list
+(** Name-sorted histograms. *)
+
+val to_json : registry -> Json.t
+val pp : Format.formatter -> registry -> unit

@@ -1,0 +1,131 @@
+type stall_reason =
+  | Iq_full
+  | Copyq_full
+  | Rob_full
+  | Lsq_full
+  | Regfile
+  | Policy
+  | Empty
+
+let stall_reason_count = 7
+
+let stall_reason_index = function
+  | Iq_full -> 0
+  | Copyq_full -> 1
+  | Rob_full -> 2
+  | Lsq_full -> 3
+  | Regfile -> 4
+  | Policy -> 5
+  | Empty -> 6
+
+let stall_names =
+  [| "iq_full"; "copyq_full"; "rob_full"; "lsq_full"; "regfile"; "policy";
+     "empty" |]
+
+let stall_reason_name r = stall_names.(stall_reason_index r)
+
+type t =
+  | Steer of {
+      cycle : int;
+      static_id : int;
+      cluster : int;
+      inflight : int array;
+    }
+  | Dispatch of {
+      cycle : int;
+      iseq : int;
+      static_id : int;
+      cluster : int;
+      queue : string;
+    }
+  | Copy_insert of {
+      cycle : int;
+      tag : int;
+      from_cluster : int;
+      to_cluster : int;
+      copyq_depth : int;
+    }
+  | Link_transfer of {
+      cycle : int;
+      from_cluster : int;
+      to_cluster : int;
+      latency : int;
+    }
+  | Stall of { cycle : int; reason : stall_reason }
+  | Commit of { cycle : int; iseq : int; cluster : int }
+  | Redirect of { cycle : int; resume : int }
+
+let cycle = function
+  | Steer { cycle; _ }
+  | Dispatch { cycle; _ }
+  | Copy_insert { cycle; _ }
+  | Link_transfer { cycle; _ }
+  | Stall { cycle; _ }
+  | Commit { cycle; _ }
+  | Redirect { cycle; _ } -> cycle
+
+let name = function
+  | Steer _ -> "steer"
+  | Dispatch _ -> "dispatch"
+  | Copy_insert _ -> "copy"
+  | Link_transfer _ -> "link"
+  | Stall _ -> "stall"
+  | Commit _ -> "commit"
+  | Redirect _ -> "redirect"
+
+let to_json ev =
+  let base fields = Json.Obj (("ev", Json.Str (name ev)) :: fields) in
+  match ev with
+  | Steer { cycle; static_id; cluster; inflight } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("uop", Json.Int static_id);
+          ("cluster", Json.Int cluster);
+          ( "inflight",
+            Json.List (Array.to_list (Array.map (fun n -> Json.Int n) inflight))
+          );
+        ]
+  | Dispatch { cycle; iseq; static_id; cluster; queue } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("iseq", Json.Int iseq);
+          ("uop", Json.Int static_id);
+          ("cluster", Json.Int cluster);
+          ("queue", Json.Str queue);
+        ]
+  | Copy_insert { cycle; tag; from_cluster; to_cluster; copyq_depth } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("tag", Json.Int tag);
+          ("from", Json.Int from_cluster);
+          ("to", Json.Int to_cluster);
+          ("copyq_depth", Json.Int copyq_depth);
+        ]
+  | Link_transfer { cycle; from_cluster; to_cluster; latency } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("from", Json.Int from_cluster);
+          ("to", Json.Int to_cluster);
+          ("latency", Json.Int latency);
+        ]
+  | Stall { cycle; reason } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("reason", Json.Str (stall_reason_name reason));
+        ]
+  | Commit { cycle; iseq; cluster } ->
+      base
+        [
+          ("cycle", Json.Int cycle);
+          ("iseq", Json.Int iseq);
+          ("cluster", Json.Int cluster);
+        ]
+  | Redirect { cycle; resume } ->
+      base [ ("cycle", Json.Int cycle); ("resume", Json.Int resume) ]
+
+let pp ppf ev = Format.pp_print_string ppf (Json.to_string (to_json ev))

@@ -1,0 +1,90 @@
+type snapshot = {
+  cycle : int;
+  committed : int;
+  dispatched : int;
+  copies_generated : int;
+  copies_executed : int;
+  link_transfers : int;
+  stalls : int array;
+  per_cluster_dispatched : int array;
+}
+
+type sample = {
+  t_start : int;
+  t_end : int;
+  committed : int;
+  dispatched : int;
+  copies : int;
+  copies_executed : int;
+  link_transfers : int;
+  stall_breakdown : int array;
+  per_cluster : int array;
+  ipc : float;
+  copy_rate : float;
+}
+
+let diff prev next =
+  if next.cycle <= prev.cycle then
+    invalid_arg "Interval.diff: snapshots not in increasing cycle order";
+  let cycles = next.cycle - prev.cycle in
+  let committed = next.committed - prev.committed in
+  let copies = next.copies_generated - prev.copies_generated in
+  {
+    t_start = prev.cycle + 1;
+    t_end = next.cycle;
+    committed;
+    dispatched = next.dispatched - prev.dispatched;
+    copies;
+    copies_executed = next.copies_executed - prev.copies_executed;
+    link_transfers = next.link_transfers - prev.link_transfers;
+    stall_breakdown = Array.map2 ( - ) next.stalls prev.stalls;
+    per_cluster =
+      Array.map2 ( - ) next.per_cluster_dispatched prev.per_cluster_dispatched;
+    ipc = float_of_int committed /. float_of_int cycles;
+    copy_rate =
+      (if committed = 0 then 0.0
+       else float_of_int copies /. float_of_int committed);
+  }
+
+let contains s cycle = cycle >= s.t_start && cycle <= s.t_end
+
+let csv_header ~clusters =
+  [ "t_start"; "t_end"; "committed"; "dispatched"; "copies"; "ipc";
+    "copy_rate" ]
+  @ Array.to_list (Array.map (fun n -> "stall_" ^ n) Event.stall_names)
+  @ List.init clusters (fun c -> Printf.sprintf "dispatch_c%d" c)
+
+let csv_row s =
+  [
+    string_of_int s.t_start;
+    string_of_int s.t_end;
+    string_of_int s.committed;
+    string_of_int s.dispatched;
+    string_of_int s.copies;
+    Printf.sprintf "%.4f" s.ipc;
+    Printf.sprintf "%.4f" s.copy_rate;
+  ]
+  @ Array.to_list (Array.map string_of_int s.stall_breakdown)
+  @ Array.to_list (Array.map string_of_int s.per_cluster)
+
+let to_json s =
+  let ints a = Json.List (Array.to_list (Array.map (fun n -> Json.Int n) a)) in
+  Json.Obj
+    [
+      ("t_start", Json.Int s.t_start);
+      ("t_end", Json.Int s.t_end);
+      ("committed", Json.Int s.committed);
+      ("dispatched", Json.Int s.dispatched);
+      ("copies", Json.Int s.copies);
+      ("copies_executed", Json.Int s.copies_executed);
+      ("link_transfers", Json.Int s.link_transfers);
+      ("ipc", Json.Float s.ipc);
+      ("copy_rate", Json.Float s.copy_rate);
+      ( "stalls",
+        Json.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun i n -> (Event.stall_names.(i), Json.Int n))
+                s.stall_breakdown)) );
+      ("per_cluster", ints s.per_cluster);
+    ]

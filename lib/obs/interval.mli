@@ -1,0 +1,44 @@
+(** Interval telemetry: cumulative snapshots diffed into per-interval
+    samples.
+
+    The engine hands the sink a cheap cumulative {!snapshot} of its
+    statistics every N cycles; {!diff} turns two consecutive snapshots
+    into a {!sample} — the per-interval IPC, copy rate, dispatch share
+    and stall breakdown the paper's §5.3 analysis is about, but
+    resolved in time instead of aggregated over the whole run. *)
+
+type snapshot = {
+  cycle : int;
+  committed : int;
+  dispatched : int;
+  copies_generated : int;
+  copies_executed : int;
+  link_transfers : int;
+  stalls : int array;  (** cumulative, indexed by {!Event.stall_reason_index} *)
+  per_cluster_dispatched : int array;
+}
+
+type sample = {
+  t_start : int;  (** first cycle covered (exclusive bound of previous) *)
+  t_end : int;  (** last cycle covered *)
+  committed : int;  (** micro-ops committed in the interval *)
+  dispatched : int;
+  copies : int;  (** copies generated in the interval *)
+  copies_executed : int;
+  link_transfers : int;
+  stall_breakdown : int array;  (** per-reason stall cycles in the interval *)
+  per_cluster : int array;  (** per-cluster dispatches in the interval *)
+  ipc : float;
+  copy_rate : float;  (** copies per committed micro-op *)
+}
+
+val diff : snapshot -> snapshot -> sample
+(** [diff prev next] is the interval [(prev.cycle, next.cycle]].
+    Raises [Invalid_argument] if [next.cycle <= prev.cycle]. *)
+
+val contains : sample -> int -> bool
+(** [contains s cycle] — does the sample's interval cover [cycle]? *)
+
+val csv_header : clusters:int -> string list
+val csv_row : sample -> string list
+val to_json : sample -> Json.t

@@ -1,0 +1,20 @@
+type t = {
+  emit : Event.t -> unit;
+  interval : int;
+  on_snapshot : Interval.snapshot -> unit;
+}
+
+let null = { emit = ignore; interval = 0; on_snapshot = ignore }
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    interval = a.interval;
+    on_snapshot =
+      (fun snap ->
+        a.on_snapshot snap;
+        b.on_snapshot snap);
+  }

@@ -1,0 +1,23 @@
+(** The event-sink interface the engine emits into.
+
+    A sink is a pair of callbacks plus a sampling period. The engine
+    holds an [t option]: with [None] installed every emission site is
+    a single pattern match that constructs nothing — observability off
+    costs no allocation and no branches beyond that match (the
+    zero-overhead-when-off guarantee the test suite checks by comparing
+    final statistics bit-for-bit against an uninstrumented run). *)
+
+type t = {
+  emit : Event.t -> unit;
+  interval : int;
+      (** sampling period in cycles; [0] disables interval snapshots *)
+  on_snapshot : Interval.snapshot -> unit;
+      (** called every [interval] cycles with cumulative counters *)
+}
+
+val null : t
+(** Swallows everything ([interval = 0]); for overhead measurement. *)
+
+val tee : t -> t -> t
+(** Duplicate events and snapshots to both sinks; the sampling period
+    is the first sink's. *)

@@ -1,8 +1,12 @@
 open Clusteer_uarch
 module Bitset = Clusteer_util.Bitset
+module Counters = Clusteer_obs.Counters
 
-let make () =
+let make ?registry () =
+  let decisions = Counters.counter ?registry "dep.decisions" in
+  let vote_ties = Counters.histogram ?registry "dep.vote_ties" in
   let decide view duop =
+    Counters.incr decisions;
     let clusters = view.Policy.clusters in
     let votes = Array.make clusters 0 in
     Array.iter
@@ -12,6 +16,9 @@ let make () =
         done)
       (view.Policy.src_locations duop);
     let best_votes = Array.fold_left max 0 votes in
+    let ties = ref 0 in
+    Array.iter (fun v -> if v = best_votes then incr ties) votes;
+    Counters.observe vote_ties !ties;
     let best = ref (-1) in
     for c = clusters - 1 downto 0 do
       if

@@ -8,4 +8,9 @@
     isolates exactly what stall-over-steer buys (§3.1: "some recent
     work has pointed out the benefit of stalling over steering"). *)
 
-val make : unit -> Clusteer_uarch.Policy.t
+val make :
+  ?registry:Clusteer_obs.Counters.registry -> unit -> Clusteer_uarch.Policy.t
+(** Registers [dep.decisions] and the [dep.vote_ties] histogram
+    (clusters tying the source-operand vote) into [registry] (default
+    {!Clusteer_obs.Counters.default}). Counters never influence
+    steering. *)

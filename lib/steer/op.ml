@@ -29,21 +29,36 @@ let least_loaded view candidates =
           if view.Policy.inflight c < view.Policy.inflight best then c else best)
         first rest
 
-let make ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
+let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
+  let module Counters = Clusteer_obs.Counters in
+  (* Introspection: [op.vote_candidates] is a latency proxy for the
+     serialized vote hardware of §2.1 — more tied candidates means a
+     longer resolve chain; the override/stall counters expose how
+     often occupancy-awareness beats pure dependence steering. *)
+  let decisions = Counters.counter ?registry "op.decisions" in
+  let balance_overrides = Counters.counter ?registry "op.balance_overrides" in
+  let steer_away = Counters.counter ?registry "op.steer_away" in
+  let stalls = Counters.counter ?registry "op.stall_decisions" in
+  let vote_candidates = Counters.histogram ?registry "op.vote_candidates" in
   let decide view duop =
     let u = duop.Clusteer_trace.Dynuop.suop in
     let queue = Opcode.queue u.Uop.opcode in
     let clusters = view.Policy.clusters in
     let all = List.init clusters Fun.id in
-    let preferred = least_loaded view (vote view duop) in
+    Counters.incr decisions;
+    let candidates = vote view duop in
+    Counters.observe vote_candidates (List.length candidates);
+    let preferred = least_loaded view candidates in
     let min_load =
       List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
     in
     (* Balance override: a severely overloaded preferred cluster loses
        its dependence advantage. *)
     let preferred =
-      if view.Policy.inflight preferred - min_load > imbalance_limit then
+      if view.Policy.inflight preferred - min_load > imbalance_limit then begin
+        Counters.incr balance_overrides;
         least_loaded view all
+      end
       else preferred
     in
     if view.Policy.queue_free preferred queue > 0 then
@@ -59,8 +74,12 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
           all
       in
       match alternatives with
-      | [] -> Policy.Stall
-      | cs -> Policy.Dispatch_to (least_loaded view cs)
+      | [] ->
+          Counters.incr stalls;
+          Policy.Stall
+      | cs ->
+          Counters.incr steer_away;
+          Policy.Dispatch_to (least_loaded view cs)
     end
   in
   {

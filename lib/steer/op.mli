@@ -16,10 +16,20 @@
     (every scheme is reported as slowdown against OP). *)
 
 val make :
-  ?stall_threshold:int -> ?imbalance_limit:int -> unit ->
+  ?stall_threshold:int ->
+  ?imbalance_limit:int ->
+  ?registry:Clusteer_obs.Counters.registry ->
+  unit ->
   Clusteer_uarch.Policy.t
 (** [stall_threshold] (default 16): minimum free issue-queue slots
     another cluster must have before OP steers away from the preferred
     cluster instead of stalling. [imbalance_limit] (default 24):
     in-flight count difference beyond which balance overrides
-    dependences. *)
+    dependences.
+
+    Registers introspection counters into [registry] (default
+    {!Clusteer_obs.Counters.default}): [op.decisions],
+    [op.balance_overrides], [op.steer_away], [op.stall_decisions] and
+    the [op.vote_candidates] histogram (tied clusters per vote — a
+    latency proxy for the serialized vote unit of §2.1). Counts are
+    per consult; counters never influence steering. *)

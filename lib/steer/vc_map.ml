@@ -1,6 +1,7 @@
 open Clusteer_isa
 open Clusteer_uarch
 open Clusteer_trace
+module Counters = Clusteer_obs.Counters
 
 let least_loaded view =
   let best = ref 0 in
@@ -9,16 +10,29 @@ let least_loaded view =
   done;
   !best
 
-let make ?(remap_threshold = 8) ~annot ~clusters () =
+let make ?(remap_threshold = 8) ?registry ~annot ~clusters () =
   if annot.Annot.virtual_clusters <= 0 then
     invalid_arg "Vc_map.make: annotation has no virtual clusters";
   let table =
     Array.init annot.Annot.virtual_clusters (fun v -> v mod clusters)
   in
+  (* Introspection: decision mix, remap activity, and how long the
+     chain that just ended was when a leader consulted the counters —
+     the quantities that explain VC-map thrashing. *)
+  let decisions = Counters.counter ?registry "vc.decisions" in
+  let unassigned = Counters.counter ?registry "vc.unassigned" in
+  let leaders = Counters.counter ?registry "vc.leader_decisions" in
+  let remaps = Counters.counter ?registry "vc.remaps" in
+  let chain_len = Counters.histogram ?registry "vc.chain_uops_at_leader" in
+  let since_leader = Array.make annot.Annot.virtual_clusters 0 in
   let decide view duop =
     let id = Dynuop.static_id duop in
     let vc = annot.Annot.vc_of.(id) in
-    if vc < 0 then Policy.Dispatch_to (least_loaded view)
+    Counters.incr decisions;
+    if vc < 0 then begin
+      Counters.incr unassigned;
+      Policy.Dispatch_to (least_loaded view)
+    end
     else begin
       (* At a chain leader the workload counters are consulted; the VC
          is remapped only when its current cluster is ahead of the
@@ -26,13 +40,20 @@ let make ?(remap_threshold = 8) ~annot ~clusters () =
          keeps consecutive chains of a VC together unless the
          imbalance is worth a remap. *)
       if annot.Annot.leader.(id) then begin
+        Counters.incr leaders;
+        Counters.observe chain_len since_leader.(vc);
+        since_leader.(vc) <- 0;
         let best = least_loaded view in
         let cur = table.(vc) in
         if
           view.Policy.inflight cur - view.Policy.inflight best
           > remap_threshold
-        then table.(vc) <- best
+        then begin
+          Counters.incr remaps;
+          table.(vc) <- best
+        end
       end;
+      since_leader.(vc) <- since_leader.(vc) + 1;
       Policy.Dispatch_to table.(vc)
     end
   in

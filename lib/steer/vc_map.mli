@@ -13,6 +13,7 @@ open Clusteer_isa
 
 val make :
   ?remap_threshold:int ->
+  ?registry:Clusteer_obs.Counters.registry ->
   annot:Annot.t ->
   clusters:int ->
   unit ->
@@ -25,4 +26,12 @@ val make :
     (always move to the least-loaded cluster); positive values add
     hysteresis that trades balance for fewer remap-induced copies —
     an extension evaluated by the ablation bench. Micro-ops without a
-    VC assignment go to the least-loaded cluster. *)
+    VC assignment go to the least-loaded cluster.
+
+    The policy registers introspection counters into [registry]
+    (default {!Clusteer_obs.Counters.default}): [vc.decisions],
+    [vc.unassigned], [vc.leader_decisions], [vc.remaps] and the
+    [vc.chain_uops_at_leader] histogram (chain length observed when a
+    leader consults the workload counters). Counts are per consult:
+    a micro-op blocked at dispatch is re-decided, and re-counted,
+    every cycle it retries. Counters never influence steering. *)

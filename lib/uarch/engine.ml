@@ -4,6 +4,9 @@ module Bitset = Clusteer_util.Bitset
 module Pqueue = Clusteer_util.Pqueue
 module Ring = Clusteer_util.Ring
 module Vec = Clusteer_util.Vec
+module Obs_event = Clusteer_obs.Event
+module Obs_sink = Clusteer_obs.Sink
+module Obs_counters = Clusteer_obs.Counters
 
 type kind =
   | Op of Dynuop.t
@@ -70,12 +73,22 @@ type t = {
   mutable loads_this_cycle : int;
   mutable stores_this_cycle : int;
   view : Policy.view;
+  (* observability: with [None] every emission site is one pattern
+     match and constructs nothing — the simulated behaviour and the
+     final statistics are bit-identical to an uninstrumented engine *)
+  mutable obs : Obs_sink.t option;
+  copyq_depth_hist : Obs_counters.histogram;
 }
 
 let queue_index = function
   | Opcode.Int_queue -> 0
   | Opcode.Fp_queue -> 1
   | Opcode.Copy_queue -> 2
+
+let queue_name = function
+  | Opcode.Int_queue -> "int"
+  | Opcode.Fp_queue -> "fp"
+  | Opcode.Copy_queue -> "copy"
 
 let queue_size cfg = function
   | Opcode.Int_queue -> cfg.Config.int_iq_size
@@ -99,7 +112,7 @@ let reg_code cfg_nregs (r : Reg.t) = Reg.encode ~nregs_per_class:cfg_nregs r
    for the largest budget the workloads use. *)
 let max_nregs_per_class = 64
 
-let create ~config ~annot ~policy ?(prewarm = []) () =
+let create ~config ~annot ~policy ?(prewarm = []) ?obs () =
   Config.validate config;
   let clusters = config.Config.clusters in
   let stats = Stats.create ~clusters in
@@ -161,6 +174,8 @@ let create ~config ~annot ~policy ?(prewarm = []) () =
       events = Pqueue.create ();
       loads_this_cycle = 0;
       stores_this_cycle = 0;
+      obs;
+      copyq_depth_hist = Obs_counters.histogram "engine.copyq_depth";
       view =
         {
           Policy.clusters;
@@ -187,6 +202,14 @@ let create ~config ~annot ~policy ?(prewarm = []) () =
   t
 
 let stats t = t.stats
+let set_sink t obs = t.obs <- obs
+
+(* Events are stamped in measured time (1-based cycle index of the
+   statistics), not the engine's internal clock: the internal clock
+   keeps counting through the warmup reset, measured time restarts —
+   and the trace must line up with the interval samples and the final
+   statistics. *)
+let now t = t.stats.Stats.cycles + 1
 
 (* ---- tag / wakeup machinery ------------------------------------- *)
 
@@ -242,8 +265,16 @@ let on_complete t inst =
           List.iter (fun load -> wake load t) inst.store_waiters;
           inst.store_waiters <- []
       | Opcode.Branch ->
-          if inst.mispredicted then
-            t.fetch_resume <- t.cycle + t.cfg.Config.redirect_penalty
+          if inst.mispredicted then begin
+            t.fetch_resume <- t.cycle + t.cfg.Config.redirect_penalty;
+            match t.obs with
+            | None -> ()
+            | Some s ->
+                let cycle = now t in
+                s.Obs_sink.emit
+                  (Obs_event.Redirect
+                     { cycle; resume = cycle + t.cfg.Config.redirect_penalty })
+          end
       | _ -> ())
   | Copy_op _ -> ())
 
@@ -313,6 +344,16 @@ let commit t =
                     t.regs_used.(inst.cluster).(k) - 1
               | None -> ());
               t.stats.Stats.committed <- t.stats.Stats.committed + 1;
+              (match t.obs with
+              | None -> ()
+              | Some s ->
+                  s.Obs_sink.emit
+                    (Obs_event.Commit
+                       {
+                         cycle = now t;
+                         iseq = inst.iseq;
+                         cluster = inst.cluster;
+                       }));
               decr budget
             end
         | Copy_op _ -> assert false)
@@ -362,6 +403,12 @@ let try_start t inst =
       else begin
         t.link_free.(res_a).(res_b) <- t.cycle + 1;
         t.stats.Stats.link_transfers <- t.stats.Stats.link_transfers + 1;
+        (match t.obs with
+        | None -> ()
+        | Some s ->
+            s.Obs_sink.emit
+              (Obs_event.Link_transfer
+                 { cycle = now t; from_cluster = from; to_cluster; latency }));
         Pqueue.add t.events (t.cycle + latency) (Ev_copy_arrive inst);
         (* The copy has left the copy queue; completion frees the
            in-flight counter. *)
@@ -479,6 +526,20 @@ let insert_copy t tag ~to_cluster =
   t.inflight.(from) <- t.inflight.(from) + 1;
   Vec.set t.tag_loc tag (Vec.get t.tag_loc tag lor (1 lsl to_cluster));
   t.stats.Stats.copies_generated <- t.stats.Stats.copies_generated + 1;
+  (match t.obs with
+  | None -> ()
+  | Some s ->
+      let depth = t.occupancy.(from).(2) in
+      Obs_counters.observe t.copyq_depth_hist depth;
+      s.Obs_sink.emit
+        (Obs_event.Copy_insert
+           {
+             cycle = now t;
+             tag;
+             from_cluster = from;
+             to_cluster;
+             copyq_depth = depth;
+           }));
   if tag_ready_in t tag from then enqueue_ready t inst
   else add_waiter t inst tag from
 
@@ -497,6 +558,20 @@ let dispatch_one t (slot : fetch_slot) ~per_cluster =
             (Printf.sprintf
                "Engine: policy %s steered micro-op %d to invalid cluster %d"
                t.policy.Policy.name (Dynuop.static_id duop) cluster);
+        (* The steering decision is observable even when a structural
+           hazard then blocks the dispatch: the hardware consults the
+           policy again next cycle, and each consult is an event. *)
+        (match t.obs with
+        | None -> ()
+        | Some s ->
+            s.Obs_sink.emit
+              (Obs_event.Steer
+                 {
+                   cycle = now t;
+                   static_id = Dynuop.static_id duop;
+                   cluster;
+                   inflight = Array.copy t.inflight;
+                 }));
         if per_cluster.(cluster) >= t.cfg.Config.dispatch_per_cluster then
           Blk_width
         else
@@ -601,6 +676,18 @@ let dispatch_one t (slot : fetch_slot) ~per_cluster =
             t.stats.Stats.dispatched <- t.stats.Stats.dispatched + 1;
             t.stats.Stats.per_cluster_dispatched.(cluster) <-
               t.stats.Stats.per_cluster_dispatched.(cluster) + 1;
+            (match t.obs with
+            | None -> ()
+            | Some s ->
+                s.Obs_sink.emit
+                  (Obs_event.Dispatch
+                     {
+                       cycle = now t;
+                       iseq = inst.iseq;
+                       static_id = Dynuop.static_id duop;
+                       cluster;
+                       queue = queue_name (Opcode.queue u.Uop.opcode);
+                     }));
             if inst.waiting = 0 then enqueue_ready t inst;
             Blk_none
           end
@@ -632,15 +719,35 @@ let dispatch t =
      dispatch stage did not fill its full width. *)
   if !budget > 0 then begin
     let s = t.stats in
-    match !block with
-    | Blk_none | Blk_width -> ()
-    | Blk_empty -> s.Stats.stall_empty <- s.Stats.stall_empty + 1
-    | Blk_rob -> s.Stats.stall_rob_full <- s.Stats.stall_rob_full + 1
-    | Blk_lsq -> s.Stats.stall_lsq_full <- s.Stats.stall_lsq_full + 1
-    | Blk_reg -> s.Stats.stall_regfile <- s.Stats.stall_regfile + 1
-    | Blk_policy -> s.Stats.stall_policy <- s.Stats.stall_policy + 1
-    | Blk_iq -> s.Stats.stall_iq_full <- s.Stats.stall_iq_full + 1
-    | Blk_copyq -> s.Stats.stall_copyq_full <- s.Stats.stall_copyq_full + 1
+    let reason =
+      match !block with
+      | Blk_none | Blk_width -> None
+      | Blk_empty ->
+          s.Stats.stall_empty <- s.Stats.stall_empty + 1;
+          Some Obs_event.Empty
+      | Blk_rob ->
+          s.Stats.stall_rob_full <- s.Stats.stall_rob_full + 1;
+          Some Obs_event.Rob_full
+      | Blk_lsq ->
+          s.Stats.stall_lsq_full <- s.Stats.stall_lsq_full + 1;
+          Some Obs_event.Lsq_full
+      | Blk_reg ->
+          s.Stats.stall_regfile <- s.Stats.stall_regfile + 1;
+          Some Obs_event.Regfile
+      | Blk_policy ->
+          s.Stats.stall_policy <- s.Stats.stall_policy + 1;
+          Some Obs_event.Policy
+      | Blk_iq ->
+          s.Stats.stall_iq_full <- s.Stats.stall_iq_full + 1;
+          Some Obs_event.Iq_full
+      | Blk_copyq ->
+          s.Stats.stall_copyq_full <- s.Stats.stall_copyq_full + 1;
+          Some Obs_event.Copyq_full
+    in
+    match (t.obs, reason) with
+    | Some sink, Some reason ->
+        sink.Obs_sink.emit (Obs_event.Stall { cycle = now t; reason })
+    | (Some _ | None), _ -> ()
   end
 
 (* ---- fetch ------------------------------------------------------- *)
@@ -698,13 +805,25 @@ let step t ~source =
   dispatch t;
   fetch t ~source;
   t.cycle <- t.cycle + 1;
-  t.stats.Stats.cycles <- t.stats.Stats.cycles + 1
+  t.stats.Stats.cycles <- t.stats.Stats.cycles + 1;
+  (* Interval telemetry: snapshot on measured-time boundaries so the
+     series restarts cleanly when the warmup reset zeroes the stats. *)
+  match t.obs with
+  | Some s
+    when s.Obs_sink.interval > 0
+         && t.stats.Stats.cycles mod s.Obs_sink.interval = 0 ->
+      s.Obs_sink.on_snapshot (Stats.snapshot t.stats)
+  | Some _ | None -> ()
 
 let run ?(warmup = 0) t ~source ~uops =
   if uops <= 0 then invalid_arg "Engine.run: uops must be positive";
   if warmup < 0 then invalid_arg "Engine.run: negative warmup";
   let max_cycles = ((warmup + uops) * 1000) + 100_000 in
   if warmup > 0 then begin
+    (* The sink observes the measured phase only: warmup events would
+       share timestamps with post-reset ones and pollute the trace. *)
+    let saved_obs = t.obs in
+    t.obs <- None;
     while t.stats.Stats.committed < warmup do
       if t.cycle > max_cycles then
         failwith "Engine.run: no forward progress during warmup";
@@ -712,7 +831,8 @@ let run ?(warmup = 0) t ~source ~uops =
     done;
     Stats.reset t.stats;
     Memsys.reset_stats t.memsys;
-    Bpred.reset_stats t.bpred
+    Bpred.reset_stats t.bpred;
+    t.obs <- saved_obs
   end;
   while t.stats.Stats.committed < uops do
     if t.cycle > max_cycles then

@@ -27,18 +27,37 @@ val create :
   annot:Annot.t ->
   policy:Policy.t ->
   ?prewarm:(int * int) list ->
+  ?obs:Clusteer_obs.Sink.t ->
   unit ->
   t
 (** Fresh machine state. [annot] is the compiler side-channel the
     policy may consult. [prewarm] lists [(base, bytes)] data ranges to
     pre-load into the cache hierarchy, restoring the warmed state a
-    checkpointed simulation point starts from. *)
+    checkpointed simulation point starts from.
+
+    [obs] installs an observability sink: the engine then emits
+    structured events (steer decisions with per-cluster occupancy,
+    dispatches, copy insertions, link transfers, attributed stalls,
+    commits, mispredict redirects) and, when the sink's [interval] is
+    positive, a cumulative statistics snapshot every [interval]
+    measured cycles. Events are stamped in measured time — the 1-based
+    cycle index of the statistics, which restarts at the warmup reset —
+    so timestamps line up with the interval samples and the final
+    cycle counts. Without a sink every emission site is a single
+    pattern match that allocates nothing; simulated behaviour and the
+    final {!Stats.t} are identical to an uninstrumented run. *)
+
+val set_sink : t -> Clusteer_obs.Sink.t option -> unit
+(** Install or remove the observability sink mid-run (e.g. to skip the
+    warmup phase). *)
 
 val run : ?warmup:int -> t -> source:(unit -> Dynuop.t) -> uops:int -> Stats.t
 (** Execute until [uops] program micro-ops have committed after a
     [warmup] phase (default 0) whose purpose is to warm the caches and
     the branch predictor; all statistics are reset when the warmup
-    ends, mirroring the standard simulation-point methodology.
+    ends, mirroring the standard simulation-point methodology. The
+    observability sink is suspended during warmup: the trace covers
+    exactly the measured phase.
     [source] supplies the dynamic stream (see
     {!Clusteer_trace.Tracegen.next}). Raises [Failure] if the machine
     stops making progress (an engine bug, surfaced for the tests). *)

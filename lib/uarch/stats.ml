@@ -107,19 +107,103 @@ let balance_entropy t =
     h /. log (float_of_int k)
   end
 
+(* Stall counters paired with their canonical names, in
+   {!Clusteer_obs.Event.stall_names} order. *)
+let stall_fields t =
+  [
+    ("iq_full", t.stall_iq_full);
+    ("copyq_full", t.stall_copyq_full);
+    ("rob_full", t.stall_rob_full);
+    ("lsq_full", t.stall_lsq_full);
+    ("regfile", t.stall_regfile);
+    ("policy", t.stall_policy);
+    ("empty", t.stall_empty);
+  ]
+
+let total_stalls t = List.fold_left (fun acc (_, n) -> acc + n) 0 (stall_fields t)
+
+let equal a b =
+  a.cycles = b.cycles && a.committed = b.committed
+  && a.dispatched = b.dispatched
+  && a.copies_generated = b.copies_generated
+  && a.copies_executed = b.copies_executed
+  && a.link_transfers = b.link_transfers
+  && a.stall_iq_full = b.stall_iq_full
+  && a.stall_copyq_full = b.stall_copyq_full
+  && a.stall_rob_full = b.stall_rob_full
+  && a.stall_lsq_full = b.stall_lsq_full
+  && a.stall_regfile = b.stall_regfile
+  && a.stall_policy = b.stall_policy
+  && a.stall_empty = b.stall_empty
+  && a.loads = b.loads && a.stores = b.stores
+  && a.branch_lookups = b.branch_lookups
+  && a.branch_mispredicts = b.branch_mispredicts
+  && a.tc_hits = b.tc_hits && a.tc_misses = b.tc_misses
+  && a.l1_hits = b.l1_hits && a.l1_misses = b.l1_misses
+  && a.l2_hits = b.l2_hits && a.l2_misses = b.l2_misses
+  && a.per_cluster_dispatched = b.per_cluster_dispatched
+
+let snapshot t =
+  {
+    Clusteer_obs.Interval.cycle = t.cycles;
+    committed = t.committed;
+    dispatched = t.dispatched;
+    copies_generated = t.copies_generated;
+    copies_executed = t.copies_executed;
+    link_transfers = t.link_transfers;
+    stalls = Array.of_list (List.map snd (stall_fields t));
+    per_cluster_dispatched = Array.copy t.per_cluster_dispatched;
+  }
+
+let to_json t =
+  let module Json = Clusteer_obs.Json in
+  Json.Obj
+    [
+      ("cycles", Json.Int t.cycles);
+      ("committed", Json.Int t.committed);
+      ("dispatched", Json.Int t.dispatched);
+      ("ipc", Json.Float (ipc t));
+      ("copies_generated", Json.Int t.copies_generated);
+      ("copies_executed", Json.Int t.copies_executed);
+      ("copy_rate", Json.Float (copy_rate t));
+      ("link_transfers", Json.Int t.link_transfers);
+      ( "stalls",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (stall_fields t)) );
+      ("allocation_stalls", Json.Int (allocation_stalls t));
+      ("loads", Json.Int t.loads);
+      ("stores", Json.Int t.stores);
+      ("branch_lookups", Json.Int t.branch_lookups);
+      ("branch_mispredicts", Json.Int t.branch_mispredicts);
+      ("tc_hits", Json.Int t.tc_hits);
+      ("tc_misses", Json.Int t.tc_misses);
+      ("l1_hits", Json.Int t.l1_hits);
+      ("l1_misses", Json.Int t.l1_misses);
+      ("l2_hits", Json.Int t.l2_hits);
+      ("l2_misses", Json.Int t.l2_misses);
+      ( "per_cluster_dispatched",
+        Json.List
+          (Array.to_list
+             (Array.map (fun n -> Json.Int n) t.per_cluster_dispatched)) );
+      ("balance_entropy", Json.Float (balance_entropy t));
+    ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>cycles %d  committed %d  ipc %.3f@,\
      copies %d (executed %d)  link transfers %d@,\
-     stalls: iq %d  copyq %d  rob %d  lsq %d  regfile %d  policy %d  empty %d@,\
+     stalls:%a  (total %d)@,\
+     allocation stalls %d  copy rate %.4f  balance entropy %.4f@,\
      loads %d  stores %d  l1 %d/%d  l2 %d/%d@,\
      branches %d  mispredicts %d  tc %d/%d@,\
      per-cluster dispatch %a@]"
     t.cycles t.committed (ipc t) t.copies_generated t.copies_executed
-    t.link_transfers t.stall_iq_full t.stall_copyq_full t.stall_rob_full
-    t.stall_lsq_full t.stall_regfile t.stall_policy t.stall_empty t.loads
-    t.stores t.l1_hits
-    t.l1_misses t.l2_hits t.l2_misses t.branch_lookups t.branch_mispredicts
-    t.tc_hits t.tc_misses
-    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    t.link_transfers
+    (fun ppf fields ->
+      List.iter (fun (n, v) -> Format.fprintf ppf " %s %d" n v) fields)
+    (stall_fields t) (total_stalls t) (allocation_stalls t) (copy_rate t)
+    (balance_entropy t) t.loads t.stores t.l1_hits t.l1_misses t.l2_hits
+    t.l2_misses t.branch_lookups t.branch_mispredicts t.tc_hits t.tc_misses
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "/")
+       Format.pp_print_int)
     (Array.to_list t.per_cluster_dispatched)

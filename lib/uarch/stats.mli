@@ -51,6 +51,30 @@ val copy_rate : t -> float
 
 val balance_entropy : t -> float
 (** Normalised entropy of the per-cluster dispatch distribution in
-    [0, 1]; 1.0 = perfectly even. Diagnostic only. *)
+    [0, 1]; 1.0 = perfectly even. *)
+
+val stall_fields : t -> (string * int) list
+(** Stall counters paired with their canonical names, in
+    {!Clusteer_obs.Event.stall_names} order. *)
+
+val total_stalls : t -> int
+(** Sum over every stall reason. *)
+
+val equal : t -> t -> bool
+(** Field-by-field equality, including the per-cluster array — the
+    zero-overhead-when-off guard compares instrumented and
+    uninstrumented runs with this. *)
+
+val snapshot : t -> Clusteer_obs.Interval.snapshot
+(** Cumulative counters in the shape the interval-telemetry layer
+    diffs ({!Clusteer_obs.Interval.diff}). Copies the per-cluster
+    array. *)
+
+val to_json : t -> Clusteer_obs.Json.t
+(** Machine-readable encoding of every counter plus the derived
+    metrics (ipc, copy rate, allocation stalls, balance entropy). *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable dump: every counter including the full stall
+    breakdown, allocation-stall total, copy rate and balance
+    entropy. *)

@@ -48,6 +48,55 @@ let test_simulate () =
   check_bool "prints ipc" true (contains out "ipc");
   check_bool "prints energy" true (contains out "energy")
 
+let test_simulate_json_roundtrip () =
+  let code, out =
+    run_capture "simulate -w gzip-1 -p vc2 -n 3000 --stats-interval 500 --json"
+  in
+  check_int "exit 0" 0 code;
+  (* The whole stdout is one machine-readable JSON document. *)
+  match Clusteer_obs.Json.of_string (String.trim out) with
+  | Error e -> Alcotest.failf "--json output unparseable: %s" e
+  | Ok doc ->
+      let module J = Clusteer_obs.Json in
+      check_bool "workload" true
+        (J.member "workload" doc = Some (J.Str "164.gzip-1"));
+      let committed =
+        Option.bind (J.member "stats" doc) (J.member "committed")
+      in
+      check_bool "committed count" true
+        (match Option.bind committed J.to_int with
+        | Some n -> n >= 3000
+        | None -> false);
+      check_bool "counters present" true
+        (Option.bind (J.member "counters" doc) (J.member "counters") <> None);
+      check_bool "interval series present" true
+        (match J.member "intervals" doc with
+        | Some (J.List (_ :: _)) -> true
+        | _ -> false)
+
+let test_simulate_trace_out () =
+  let trace = Filename.temp_file "csteer_trace" ".json" in
+  let code, _ =
+    run_capture
+      (Printf.sprintf
+         "simulate -w gzip-1 -n 3000 --trace-out %s --trace-format json \
+          --stats-interval 500"
+         (Filename.quote trace))
+  in
+  check_int "exit 0" 0 code;
+  let ic = open_in trace in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove trace;
+  match Clusteer_obs.Json.of_string content with
+  | Error e -> Alcotest.failf "trace file unparseable: %s" e
+  | Ok doc ->
+      check_bool "has trace events" true
+        (match Clusteer_obs.Json.member "traceEvents" doc with
+        | Some (Clusteer_obs.Json.List (_ :: _)) -> true
+        | _ -> false)
+
 let test_simulate_unknown_workload () =
   let code, _ = run_capture "simulate -w not-a-benchmark" in
   check_bool "nonzero exit" true (code <> 0)
@@ -117,6 +166,8 @@ let () =
         [
           Alcotest.test_case "list" `Quick test_list;
           Alcotest.test_case "simulate" `Slow test_simulate;
+          Alcotest.test_case "simulate --json" `Slow test_simulate_json_roundtrip;
+          Alcotest.test_case "simulate --trace-out" `Slow test_simulate_trace_out;
           Alcotest.test_case "unknown workload" `Quick test_simulate_unknown_workload;
           Alcotest.test_case "compile --emit" `Quick test_compile_emit_annotation;
           Alcotest.test_case "stats" `Quick test_stats;

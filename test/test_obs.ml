@@ -1,0 +1,325 @@
+(* Tests for the observability layer: JSON encoding, counters,
+   the collector ring, interval telemetry, the Chrome trace exporter
+   and the zero-overhead-when-off guarantee of the engine. *)
+
+open Clusteer_isa
+open Clusteer_trace
+open Clusteer_uarch
+open Clusteer_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Json ------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("x", Json.Float 1.5);
+        ("whole", Json.Float 3.0);
+        ("s", Json.Str "a\"b\\c\nd\tunicode \xc3\xa9");
+        ("l", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> check_bool "round trip" true (Json.equal doc parsed)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_parse_numbers () =
+  (match Json.of_string "17" with
+  | Ok (Json.Int 17) -> ()
+  | _ -> Alcotest.fail "plain int");
+  (match Json.of_string "1.25e2" with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "exp float" 125.0 f
+  | _ -> Alcotest.fail "float with exponent");
+  (* A float that happens to be whole must encode with a decimal point
+     so it parses back as a Float, not an Int. *)
+  match Json.of_string (Json.to_string (Json.Float 3.0)) with
+  | Ok (Json.Float _) -> ()
+  | _ -> Alcotest.fail "whole float stays float"
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "trailing garbage" true (bad "{} x");
+  check_bool "bare word" true (bad "nope");
+  check_bool "unterminated string" true (bad "\"abc");
+  check_bool "missing value" true (bad "{\"k\":}");
+  check_bool "empty input" true (bad "")
+
+let test_json_accessors () =
+  let doc = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 0.5) ] in
+  check_bool "member hit" true (Json.member "a" doc = Some (Json.Int 3));
+  check_bool "member miss" true (Json.member "z" doc = None);
+  check_bool "to_int" true (Json.to_int (Json.Int 7) = Some 7);
+  check_bool "to_int rejects float" true (Json.to_int (Json.Float 7.0) = None);
+  check_bool "to_float of int" true (Json.to_float (Json.Int 2) = Some 2.0)
+
+(* ---- Counters -------------------------------------------------------- *)
+
+let test_counters_basic () =
+  let r = Counters.create () in
+  let c = Counters.counter ~registry:r "test.a" in
+  Counters.incr c;
+  Counters.add c 4;
+  check_int "value" 5 (Counters.value c);
+  (* Interning: same name, same counter. *)
+  let c' = Counters.counter ~registry:r "test.a" in
+  Counters.incr c';
+  check_int "interned" 6 (Counters.value c);
+  check_bool "listed" true (Counters.counters r = [ ("test.a", 6) ]);
+  Counters.reset r;
+  check_int "reset zeroes" 0 (Counters.value c);
+  check_bool "registration survives reset" true
+    (Counters.counters r = [ ("test.a", 0) ])
+
+let test_histogram_buckets () =
+  let r = Counters.create () in
+  let h = Counters.histogram ~registry:r "test.h" in
+  (* 0 -> bucket 0; 1,2 -> bucket 1; 3..6 -> bucket 2 *)
+  List.iter (Counters.observe h) [ 0; 1; 2; 3; 6; -5 ];
+  check_int "count" 6 (Counters.hist_count h);
+  check_int "sum (negative clamped)" 12 (Counters.hist_sum h);
+  check_int "max" 6 (Counters.hist_max h);
+  check_bool "buckets" true (Counters.buckets h = [| 2; 2; 2 |]);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Counters.hist_mean h)
+
+let test_counters_json () =
+  let r = Counters.create () in
+  Counters.add (Counters.counter ~registry:r "c") 3;
+  Counters.observe (Counters.histogram ~registry:r "h") 1;
+  match Json.of_string (Json.to_string (Counters.to_json r)) with
+  | Ok doc ->
+      check_bool "counter in json" true
+        (Option.bind (Json.member "counters" doc) (Json.member "c")
+        = Some (Json.Int 3))
+  | Error e -> Alcotest.failf "counters json unparseable: %s" e
+
+(* ---- Collector ring -------------------------------------------------- *)
+
+let stall_at cycle = Event.Stall { cycle; reason = Event.Iq_full }
+
+let test_collector_overflow () =
+  let col = Collector.create ~capacity:4 () in
+  let sink = Collector.sink col in
+  for c = 1 to 10 do
+    sink.Sink.emit (stall_at c)
+  done;
+  check_int "total emitted" 10 (Collector.event_count col);
+  check_int "dropped oldest" 6 (Collector.dropped col);
+  let kept = List.map Event.cycle (Collector.events col) in
+  check_bool "most recent window, oldest first" true (kept = [ 7; 8; 9; 10 ])
+
+let test_sink_tee () =
+  let a = Collector.create () and b = Collector.create () in
+  let tee = Sink.tee (Collector.sink a) (Collector.sink b) in
+  tee.Sink.emit (stall_at 1);
+  check_int "first sink" 1 (Collector.event_count a);
+  check_int "second sink" 1 (Collector.event_count b)
+
+(* ---- Engine-driven telemetry ---------------------------------------- *)
+
+(* Single-block program of [n] micro-ops built by [make_uop]. *)
+let straightline n make_uop =
+  let b = Program.Builder.create ~name:"t" ~nregs_per_class:16 () in
+  let uops = List.init n (fun i -> make_uop b i) in
+  let blk = Program.Builder.add_block b uops ~succs:[] in
+  Program.Builder.finish b ~entry:blk
+
+let independent_program n =
+  straightline n (fun b i ->
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int (i mod 8)) ())
+
+let source_of program seed =
+  let gen = Tracegen.create ~program ~branches:[||] ~streams:[||] ~seed in
+  fun () -> Tracegen.next gen
+
+let run_traced ?(warmup = 0) ?(interval = 0) ~uops program =
+  let col = Collector.create ~interval () in
+  let engine =
+    Engine.create ~config:Config.default_2c
+      ~annot:(Annot.none ~uop_count:program.Program.uop_count)
+      ~policy:(Clusteer_steer.Op.make ())
+      ~obs:(Collector.sink col) ()
+  in
+  let stats = Engine.run ~warmup engine ~source:(source_of program 1) ~uops in
+  (stats, col)
+
+let check_sample_series ~interval ~(stats : Stats.t) samples =
+  check_int "one sample per full interval"
+    (stats.Stats.cycles / interval)
+    (List.length samples);
+  List.iteri
+    (fun i (s : Interval.sample) ->
+      check_int "starts after previous" ((i * interval) + 1) s.Interval.t_start;
+      check_int "covers exactly one interval" ((i + 1) * interval)
+        s.Interval.t_end;
+      check_bool "non-negative deltas" true
+        (s.Interval.committed >= 0 && s.Interval.dispatched >= 0);
+      check_bool "contains its own midpoint" true
+        (Interval.contains s s.Interval.t_start))
+    samples
+
+let test_interval_boundaries () =
+  let interval = 64 in
+  let stats, col = run_traced ~interval ~uops:2000 (independent_program 16) in
+  let samples = Collector.samples col in
+  check_bool "produced samples" true (samples <> []);
+  check_sample_series ~interval ~stats samples;
+  (* The sampled committed counts sum to the cumulative count at the
+     last interval boundary: nothing is lost or double-counted. *)
+  let sampled = List.fold_left (fun a s -> a + s.Interval.committed) 0 samples in
+  check_bool "sampled <= total" true (sampled <= stats.Stats.committed);
+  check_bool "only the tail missing" true
+    (stats.Stats.committed - sampled
+    <= 8 * (stats.Stats.cycles mod interval) + 8);
+  (* Every retained event is stamped in measured time and lands inside
+     the sample covering its cycle. *)
+  List.iter
+    (fun ev ->
+      let c = Event.cycle ev in
+      check_bool "measured-time stamp" true (c >= 1 && c <= stats.Stats.cycles);
+      check_bool "in exactly one sample" true
+        (List.length (List.filter (fun s -> Interval.contains s c) samples)
+        <= 1))
+    (Collector.events col)
+
+let test_interval_warmup_reset () =
+  let interval = 32 in
+  let stats, col =
+    run_traced ~warmup:500 ~interval ~uops:1000 (independent_program 16)
+  in
+  (* The sink is suspended during warmup and the measured clock restarts
+     at the reset, so the series is exactly the measured phase. *)
+  check_sample_series ~interval ~stats (Collector.samples col);
+  List.iter
+    (fun ev ->
+      check_bool "no warmup events" true
+        (Event.cycle ev >= 1 && Event.cycle ev <= stats.Stats.cycles))
+    (Collector.events col)
+
+let test_zero_overhead_guard () =
+  let p = independent_program 16 in
+  let run obs =
+    let engine =
+      Engine.create ~config:Config.default_2c
+        ~annot:(Annot.none ~uop_count:p.Program.uop_count)
+        ~policy:(Clusteer_steer.Op.make ())
+        ?obs ()
+    in
+    Engine.run ~warmup:200 engine ~source:(source_of p 1) ~uops:2000
+  in
+  let plain = run None in
+  let col = Collector.create ~interval:16 () in
+  let traced = run (Some (Collector.sink col)) in
+  check_bool "collector saw the run" true (Collector.event_count col > 0);
+  check_bool "statistics identical with and without sink" true
+    (Stats.equal plain traced)
+
+(* ---- Chrome trace ---------------------------------------------------- *)
+
+let test_chrome_trace_wellformed () =
+  let stats, col = run_traced ~interval:64 ~uops:2000 (independent_program 16) in
+  ignore stats;
+  let doc =
+    Chrome_trace.to_json ~clusters:2 ~events:(Collector.events col)
+      ~samples:(Collector.samples col)
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "trace not valid JSON: %s" e
+  | Ok parsed ->
+      let evs =
+        match Json.member "traceEvents" parsed with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      check_bool "non-empty" true (evs <> []);
+      let phases = List.filter_map (Json.member "ph") evs in
+      check_int "every event has a phase" (List.length evs)
+        (List.length phases);
+      List.iter
+        (fun ph ->
+          check_bool "known phase" true
+            (match ph with
+            | Json.Str ("M" | "i" | "X" | "C") -> true
+            | _ -> false))
+        phases;
+      let names =
+        List.filter_map
+          (fun e ->
+            match Json.member "name" e with
+            | Some (Json.Str s) -> Some s
+            | _ -> None)
+          evs
+      in
+      check_bool "has steer instants" true (List.mem "steer" names);
+      check_bool "has ipc counter track" true (List.mem "ipc" names);
+      List.iter
+        (fun e ->
+          match (Json.member "ph" e, Json.member "ts" e) with
+          | Some (Json.Str "M"), _ -> ()
+          | _, Some (Json.Int ts) ->
+              check_bool "timestamps non-negative" true (ts >= 0)
+          | _ -> Alcotest.fail "non-metadata event without integer ts")
+        evs
+
+(* ---- Canonical stall order ------------------------------------------- *)
+
+let test_stall_order_matches_stats () =
+  (* Event.stall_names is the canonical order; Stats.stall_fields and
+     Stats.snapshot must index stalls the same way. *)
+  let s = Stats.create ~clusters:2 in
+  s.Stats.stall_iq_full <- 1;
+  s.Stats.stall_copyq_full <- 2;
+  s.Stats.stall_rob_full <- 3;
+  s.Stats.stall_lsq_full <- 4;
+  s.Stats.stall_regfile <- 5;
+  s.Stats.stall_policy <- 6;
+  s.Stats.stall_empty <- 7;
+  check_int "dense reasons" Event.stall_reason_count
+    (Array.length Event.stall_names);
+  List.iteri
+    (fun i (name, v) ->
+      check_string "field order" Event.stall_names.(i) name;
+      check_int "field value" (i + 1) v;
+      check_int "snapshot order" (i + 1) (Stats.snapshot s).Interval.stalls.(i))
+    (Stats.stall_fields s);
+  check_int "total" 28 (Stats.total_stalls s)
+
+let () =
+  Alcotest.run "clusteer_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_parse_numbers;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counters_basic;
+          Alcotest.test_case "histogram" `Quick test_histogram_buckets;
+          Alcotest.test_case "json" `Quick test_counters_json;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "overflow" `Quick test_collector_overflow;
+          Alcotest.test_case "tee" `Quick test_sink_tee;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "interval boundaries" `Quick
+            test_interval_boundaries;
+          Alcotest.test_case "warmup reset" `Quick test_interval_warmup_reset;
+          Alcotest.test_case "zero overhead" `Quick test_zero_overhead_guard;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_wellformed;
+          Alcotest.test_case "stall order" `Quick test_stall_order_matches_stats;
+        ] );
+    ]
