@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench smoke clean
+.PHONY: all build test bench bench-smoke fmt smoke clean
 
 all: build
 
@@ -13,10 +13,32 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Fast end-to-end confidence: full build, the test suite, and one
-# traced 10k-uop simulation whose Chrome trace must be valid JSON
-# with interval telemetry.
-smoke: build test
+# Quick machine-checkable slice of the bench harness: the throughput/
+# allocation study only, at reduced trace length. Fails if the BENCH
+# JSON is not produced or a steering policy started allocating on the
+# decision path.
+bench-smoke: build
+	CLUSTEER_BENCH_STUDY=throughput CLUSTEER_BENCH_UOPS=2000 \
+	  CLUSTEER_BENCH_JSON=_build/bench.json dune exec bench/main.exe
+	@grep -q '"suite_throughput"' _build/bench.json
+	@grep -q '"steering_alloc_words_per_decide":{"op":0.0,"op-parallel":0.0,"dep":0.0,"vc2":0.0}' \
+	  _build/bench.json
+	@echo "bench-smoke: OK (_build/bench.json)"
+
+# Formatting is checked only where the formatter exists; the dune rules
+# are always available (`dune build @fmt`) once ocamlformat is installed.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+# Fast end-to-end confidence: full build, the test suite, a parallel
+# deterministic sweep, the bench smoke, and one traced 10k-uop
+# simulation whose Chrome trace must be valid JSON with interval
+# telemetry.
+smoke: build test fmt bench-smoke
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \
 	  --stats-interval 1000

@@ -547,6 +547,193 @@ let run_kernel_table () =
         (stats "vc2").Stats.copies_generated)
     Clusteer_workloads.Kernels.all
 
+(* ---- suite throughput + steering allocation study ----------------------- *)
+
+(* Machine-readable results for the throughput study: one BENCH JSON
+   object, printed to stdout (greppable by `make bench-smoke`) and
+   written to CLUSTEER_BENCH_JSON (default "bench.json"). *)
+let write_bench_json fields =
+  let json = Obs.Json.Obj fields in
+  let path =
+    Option.value ~default:"bench.json" (Sys.getenv_opt "CLUSTEER_BENCH_JSON")
+  in
+  (try
+     let oc = open_out path in
+     Obs.Json.output oc json;
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "bench json written to %s\n" path
+   with Sys_error msg -> Printf.eprintf "bench json not written: %s\n" msg);
+  Printf.printf "BENCH %s\n" (Obs.Json.to_string json)
+
+(* An allocation-free machine view (constant locations, no hashtable,
+   no per-call closures) so [Gc.minor_words] deltas measure the policy
+   itself, not the probe. *)
+let alloc_probe_view ~clusters ~annot =
+  let inflight = Array.make clusters 0 in
+  let free = Array.make clusters 48 in
+  let loc = Clusteer_util.Bitset.singleton 0 in
+  {
+    Clusteer_uarch.Policy.clusters;
+    cycle = (fun () -> 0);
+    inflight = (fun c -> inflight.(c));
+    queue_free = (fun c _ -> free.(c));
+    src_locations =
+      (fun d ->
+        Array.map
+          (fun _ -> loc)
+          d.Clusteer_trace.Dynuop.suop.Clusteer_isa.Uop.srcs);
+    src_locations_into =
+      (fun d buf ->
+        let n =
+          Array.length d.Clusteer_trace.Dynuop.suop.Clusteer_isa.Uop.srcs
+        in
+        for i = 0 to n - 1 do
+          buf.(i) <- loc
+        done;
+        n);
+    reg_location = (fun _ -> loc);
+    annot;
+  }
+
+let minor_words_per_decide policy view duop =
+  let rounds = 20_000 in
+  (* Warm the lazily-sized scratch arrays out of the measurement. *)
+  for _ = 1 to 256 do
+    ignore (policy.Clusteer_uarch.Policy.decide view duop)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    ignore (policy.Clusteer_uarch.Policy.decide view duop)
+  done;
+  (Gc.minor_words () -. before) /. float_of_int rounds
+
+let run_throughput_study () =
+  heading "Throughput study: parallel harness + zero-allocation steering";
+  (* 1. Suite throughput vs domain count. Each measurement replays the
+     identical work (the harness is deterministic), so uops/sec is
+     directly comparable across domain counts. On a single-core host
+     the speedup column honestly reports ~1.0. *)
+  let suite =
+    List.map
+      (fun n -> { (Spec2000.find n) with Profile.phases = 2 })
+      [ "gzip-1"; "galgel"; "swim"; "gcc-1" ]
+  in
+  let configs =
+    [
+      Clusteer.Configuration.Op;
+      Clusteer.Configuration.Vc { virtual_clusters = 2 };
+    ]
+  in
+  let per_point_uops = min uops 2_000 in
+  let npoints =
+    List.fold_left
+      (fun acc p -> acc + List.length (Pinpoints.points p))
+      0 suite
+  in
+  let total_uops = npoints * List.length configs * per_point_uops in
+  let measure domains =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Runner.run_suite ~domains ~machine:Config.default_2c ~configs
+        ~uops:per_point_uops suite
+    in
+    (results, Unix.gettimeofday () -. t0)
+  in
+  let baseline, t1 = measure 1 in
+  Printf.printf "%d points x %d configs x %d uops (%d uops per sweep)\n"
+    npoints (List.length configs) per_point_uops total_uops;
+  Printf.printf "%-8s %10s %14s %9s %10s\n" "domains" "wall s" "uops/sec"
+    "speedup" "identical";
+  let rows =
+    List.map
+      (fun domains ->
+        let results, dt =
+          if domains = 1 then (baseline, t1) else measure domains
+        in
+        let identical =
+          List.for_all2
+            (fun (a : Runner.point_result) (b : Runner.point_result) ->
+              List.for_all2
+                (fun (_, x) (_, y) -> Stats.equal x y)
+                a.Runner.runs b.Runner.runs)
+            baseline results
+        in
+        let ups = float_of_int total_uops /. dt in
+        Printf.printf "%-8d %10.3f %14.0f %8.2fx %10b\n" domains dt ups
+          (t1 /. dt) identical;
+        Obs.Json.Obj
+          [
+            ("domains", Obs.Json.Int domains);
+            ("seconds", Obs.Json.Float dt);
+            ("uops_per_sec", Obs.Json.Float ups);
+            ("speedup", Obs.Json.Float (t1 /. dt));
+            ("identical", Obs.Json.Bool identical);
+          ])
+      [ 1; 2; 4 ]
+  in
+  (* 2. Minor-heap words allocated per steering decision, against a
+     constant-location probe view: the fast-path contract is 0.0 for
+     every policy. *)
+  let workload = Synth.build (Spec2000.find "gzip-1") in
+  let annot =
+    Clusteer.Hybrid.compile ~program:workload.Synth.program
+      ~likely:workload.Synth.likely ~virtual_clusters:2 ()
+  in
+  let view = alloc_probe_view ~clusters:2 ~annot in
+  let duop = Clusteer_trace.Tracegen.next (Synth.trace workload ~seed:1) in
+  let policies =
+    [
+      ("op", Clusteer_steer.Op.make ());
+      ("op-parallel", Clusteer_steer.Op_parallel.make ());
+      ("dep", Clusteer_steer.Dep.make ());
+      ("vc2", Clusteer_steer.Vc_map.make ~annot ~clusters:2 ());
+    ]
+  in
+  Printf.printf "\n%-12s %22s\n" "policy" "minor words/decision";
+  let alloc_fields =
+    List.map
+      (fun (name, policy) ->
+        let words = minor_words_per_decide policy view duop in
+        Printf.printf "%-12s %22.4f\n" name words;
+        (name, Obs.Json.Float words))
+      policies
+  in
+  (* 3. Engine-level allocation per committed micro-op (includes the
+     trace generator — the whole per-uop simulation path). *)
+  let engine_words =
+    let annot, policy =
+      Clusteer.Configuration.prepare Clusteer.Configuration.Op
+        ~program:workload.Synth.program ~likely:workload.Synth.likely
+        ~clusters:2 ()
+    in
+    let prewarm =
+      Array.to_list
+        (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+    in
+    let engine =
+      Clusteer_uarch.Engine.create ~config:Config.default_2c ~annot ~policy
+        ~prewarm ()
+    in
+    let gen = Synth.trace workload ~seed:1 in
+    let n = min uops 20_000 in
+    let before = Gc.minor_words () in
+    let stats =
+      Clusteer_uarch.Engine.run ~warmup:0 engine
+        ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+        ~uops:n
+    in
+    (Gc.minor_words () -. before) /. float_of_int stats.Stats.committed
+  in
+  Printf.printf "%-12s %22.1f  (engine + tracegen, op policy)\n" "full-path"
+    engine_words;
+  write_bench_json
+    [
+      ("suite_throughput", Obs.Json.List rows);
+      ("steering_alloc_words_per_decide", Obs.Json.Obj alloc_fields);
+      ("engine_minor_words_per_uop", Obs.Json.Float engine_words);
+    ]
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro_point profile =
@@ -710,6 +897,15 @@ let run_microbenchmarks () =
 let () =
   Printf.printf
     "clusteer bench harness: reproduction of Cai et al., IPPS 2008\n";
+  (* CLUSTEER_BENCH_STUDY=throughput runs just the throughput/allocation
+     study (the `make bench-smoke` entry point). *)
+  match Sys.getenv_opt "CLUSTEER_BENCH_STUDY" with
+  | Some "throughput" -> run_throughput_study ()
+  | Some other ->
+      Printf.eprintf "unknown CLUSTEER_BENCH_STUDY %S (try: throughput)\n"
+        other;
+      exit 2
+  | None ->
   run_tables ();
   run_figures ();
   run_vc_threshold_ablation ();
@@ -726,5 +922,6 @@ let () =
   run_prefetch_study ();
   run_kernel_table ();
   run_observability_overhead_study ();
+  run_throughput_study ();
   run_microbenchmarks ();
   print_newline ()

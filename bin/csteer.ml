@@ -484,7 +484,7 @@ let subset_profiles = function
       let names = String.split_on_char ',' names in
       Some (List.map Spec2000.find names)
 
-let experiment which uops benchmarks csv_dir =
+let experiment which uops benchmarks csv_dir domains =
   let profiles = subset_profiles benchmarks in
   match which with
   | "tables" ->
@@ -495,7 +495,9 @@ let experiment which uops benchmarks csv_dir =
       Experiments.print_table3 ()
   | "sec21" -> Experiments.print_section21 (Experiments.section21_example ())
   | "fig5" | "fig6" | "fig56" ->
-      let run = Experiments.run_2cluster ~uops ?profiles ~progress () in
+      let run =
+        Experiments.run_2cluster ~uops ?profiles ~progress ?domains ()
+      in
       if which <> "fig6" then begin
         let fig5 = Experiments.figure5_of run in
         Experiments.print_slowdown_figure
@@ -517,7 +519,9 @@ let experiment which uops benchmarks csv_dir =
           csv_dir
       end
   | "fig7" ->
-      let run = Experiments.run_4cluster ~uops ?profiles ~progress () in
+      let run =
+        Experiments.run_4cluster ~uops ?profiles ~progress ?domains ()
+      in
       let fig7 = Experiments.figure7_of run in
       Experiments.print_slowdown_figure
         ~title:"Figure 7: slowdown vs OP, 4-cluster machine" fig7;
@@ -548,9 +552,19 @@ let experiment_cmd =
     let doc = "Directory for CSV export of the figure data." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
   in
+  let domains =
+    let doc =
+      "Worker domains for the sweep (default: the host's recommended \
+       domain count, capped at 8). Results are identical for any value: \
+       simulation points are sharded deterministically and merged in \
+       input order. Use 1 to force a sequential run."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv)
+    Term.(
+      const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains)
 
 let main =
   let doc =

@@ -51,7 +51,7 @@ let table3 ~clusters =
       Vc { virtual_clusters = 2 };
     ]
 
-let prepare t ~program ~likely ~clusters ?(region_uops = 512) () =
+let prepare t ~program ~likely ~clusters ?(region_uops = 512) ?registry () =
   let scheme =
     match t with
     | Op | One_cluster | Op_parallel | Mod_n _ | Dep | Crit | Thermal ->
@@ -63,14 +63,14 @@ let prepare t ~program ~likely ~clusters ?(region_uops = 512) () =
   let annot = Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops () in
   let policy =
     match t with
-    | Op -> Steer.Op.make ()
+    | Op -> Steer.Op.make ?registry ()
     | Op_parallel -> Steer.Op_parallel.make ()
     | One_cluster -> Steer.One_cluster.make ()
     | Ob -> Steer.Static.make ~name:"ob" ~annot
     | Rhop -> Steer.Static.make ~name:"rhop" ~annot
-    | Vc _ -> Steer.Vc_map.make ~annot ~clusters ()
+    | Vc _ -> Steer.Vc_map.make ?registry ~annot ~clusters ()
     | Mod_n { n } -> Steer.Mod_n.make ~n ()
-    | Dep -> Steer.Dep.make ()
+    | Dep -> Steer.Dep.make ?registry ()
     | Crit ->
         let critical =
           Compiler.Crit_hints.compute ~program ~likely ~region_uops ()

@@ -48,5 +48,11 @@ val prepare :
   likely:(int -> int option) ->
   clusters:int ->
   ?region_uops:int ->
+  ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   Annot.t * Clusteer_uarch.Policy.t
+(** [registry] is where the policy registers its introspection
+    counters (default {!Clusteer_obs.Counters.default}). The parallel
+    harness passes a private registry per shard so concurrent runs
+    never share mutable counter state, then merges the shards back
+    deterministically. *)

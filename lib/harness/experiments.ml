@@ -14,15 +14,13 @@ let default_uops = 20_000
 
 let run_sweep ~machine ~configs ?(uops = default_uops)
     ?(profiles = Spec2000.all) ?(progress = fun _ -> ()) ?domains () =
-  (* Benchmarks are independent; fan them out over domains. Results
-     keep input order, so parallel sweeps are bit-identical to
-     sequential ones. *)
+  (* Simulation points are independent; the runner shards them across
+     domains at point granularity (finer than per-benchmark, so large
+     benchmarks don't serialize the tail) with per-shard counter
+     registries. Results keep input order, so parallel sweeps are
+     bit-identical to sequential ones. *)
   let results =
-    Clusteer_util.Parallel.map ?domains
-      (fun profile ->
-        progress profile.Profile.name;
-        (profile, Runner.run_benchmark ~machine ~configs ~uops profile))
-      profiles
+    Runner.run_grouped ~progress ?domains ~machine ~configs ~uops profiles
   in
   { machine; uops; results }
 
@@ -331,6 +329,11 @@ let section21_example () =
         queue_free = (fun _ _ -> 48);
         src_locations =
           (fun d -> Array.map location d.Clusteer_trace.Dynuop.suop.Uop.srcs);
+        src_locations_into =
+          (fun d buf ->
+            let srcs = d.Clusteer_trace.Dynuop.suop.Uop.srcs in
+            Array.iteri (fun i src -> buf.(i) <- location src) srcs;
+            Array.length srcs);
         reg_location = location;
         annot = Annot.none ~uop_count:3;
       }

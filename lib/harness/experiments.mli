@@ -34,9 +34,12 @@ val run_4cluster :
   unit ->
   suite_run
 (** The Figure 7 sweep: 4-cluster machine, OP / OB / RHOP / VC(4→4) /
-    VC(2→4). Both sweeps parallelise over benchmarks with
-    {!Clusteer_util.Parallel.map}; [domains] defaults to the host's
-    recommended domain count and the output is order-deterministic. *)
+    VC(2→4). Both sweeps shard over individual simulation points with
+    {!Runner.run_grouped} (per-shard counter registries, deterministic
+    ordered merge); [domains] defaults to
+    {!Clusteer_util.Parallel.default_domains} and the output is
+    order-deterministic — [domains:1] and [domains:N] produce
+    identical results. *)
 
 (** {1 Figure 5 — 2-cluster slowdowns vs OP} *)
 

@@ -1,34 +1,59 @@
 open Clusteer_uarch
 open Clusteer_workloads
+module Counters = Clusteer_obs.Counters
 
 type point_result = {
   point : Pinpoints.point;
   runs : (string * Stats.t) list;
 }
 
+(* Per-point trace seed: a splitmix64-style bit mix of (master seed,
+   phase index). The previous affine formula [seed*31 + index + 101]
+   collided across nearby benchmarks (e.g. seeds 1/phase 31 and
+   2/phase 0), silently replaying the same dynamic stream for
+   different simulation points. Multiplying by an odd 64-bit constant
+   and running the result through a bijective finalizer spreads every
+   (seed, index) pair over the full 62-bit output range. *)
 let trace_seed (point : Pinpoints.point) =
-  (point.Pinpoints.profile.Profile.seed * 31) + point.Pinpoints.index + 101
+  let open Int64 in
+  let z =
+    add
+      (mul
+         (of_int point.Pinpoints.profile.Profile.seed)
+         0x9E3779B97F4A7C15L)
+      (of_int point.Pinpoints.index)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)
 
 (* Default warmup: half the measured length, capped — enough to fill
-   the L1 and train the predictor at the scaled-down trace sizes. *)
-let default_warmup uops = min 10_000 (max 2_000 (uops / 2))
+   the L1 and train the predictor at the scaled-down trace sizes — and
+   always strictly below the measured budget, so tiny runs (fewer than
+   the old 2,000-uop floor) still terminate instead of spending their
+   entire budget warming up. *)
+let default_warmup uops =
+  min (min 10_000 (max 2_000 (uops / 2))) (max 0 (uops - 1))
 
-let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ~machine ~configs
-    ~uops workload =
+let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry ~machine
+    ~configs ~uops workload =
   let warmup = Option.value ~default:(default_warmup uops) warmup in
   List.map
     (fun config ->
       let name = Clusteer.Configuration.name config in
       let annot, policy =
         Clusteer.Configuration.prepare config ~program:workload.Synth.program
-          ~likely:workload.Synth.likely ~clusters:machine.Config.clusters ()
+          ~likely:workload.Synth.likely ~clusters:machine.Config.clusters
+          ?registry ()
       in
       let prewarm =
         Array.to_list
           (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
       in
       let engine =
-        Engine.create ~config:machine ~annot ~policy ~prewarm ?obs:(obs name) ()
+        Engine.create ~config:machine ~annot ~policy ~prewarm ?obs:(obs name)
+          ?registry ()
       in
       let gen = Synth.trace workload ~seed in
       let stats =
@@ -39,26 +64,76 @@ let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ~machine ~configs
       (name, stats))
     configs
 
-let run_point ?warmup ?obs ~machine ~configs ~uops point =
+let run_point ?warmup ?obs ?registry ~machine ~configs ~uops point =
   let workload = Synth.build point.Pinpoints.profile in
   (* Every configuration replays the identical dynamic stream: the
      generator is reseeded per point with the same seed. *)
   let runs =
-    run_workload ?warmup ~seed:(trace_seed point) ?obs ~machine ~configs ~uops
-      workload
+    run_workload ?warmup ~seed:(trace_seed point) ?obs ?registry ~machine
+      ~configs ~uops workload
   in
   { point; runs }
 
-let run_benchmark ?warmup ~machine ~configs ~uops profile =
-  List.map (run_point ?warmup ~machine ~configs ~uops) (Pinpoints.points profile)
+(* Parallel core: shard (profile x point) pairs over domains. Each
+   shard simulates against a private counter registry, so concurrent
+   engines and policies never touch shared mutable observability
+   state; the per-shard registries are merged into [Counters.default]
+   afterwards, in input order. The simulation itself is deterministic
+   per point (pure function of the trace seed and the machine), and
+   [Parallel.map] preserves input order, so a parallel run returns
+   results bit-identical to a sequential one. *)
+let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ~machine
+    ~configs ~uops profiles =
+  let items =
+    List.concat_map
+      (fun profile ->
+        List.map (fun point -> (profile, point)) (Pinpoints.points profile))
+      profiles
+  in
+  let shard ((profile : Profile.t), point) =
+    if point.Pinpoints.index = 0 then progress profile.Profile.name;
+    let registry = Counters.create () in
+    let result = run_point ?warmup ~registry ~machine ~configs ~uops point in
+    (result, registry)
+  in
+  let sharded = Clusteer_util.Parallel.map ?domains ?chunk shard items in
+  List.iter
+    (fun (_, registry) -> Counters.merge ~into:Counters.default registry)
+    sharded;
+  List.map fst sharded
 
-let run_suite ?(progress = fun _ -> ()) ?warmup ~machine ~configs ~uops
+let run_benchmark ?warmup ?domains ?chunk ~machine ~configs ~uops profile =
+  run_points ?warmup ?domains ?chunk ~machine ~configs ~uops [ profile ]
+
+let run_suite ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
     profiles =
-  List.concat_map
-    (fun profile ->
-      progress profile.Profile.name;
-      run_benchmark ?warmup ~machine ~configs ~uops profile)
-    profiles
+  run_points ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops profiles
+
+let rec split_at n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> invalid_arg "Runner.run_grouped: result count mismatch"
+    | x :: rest ->
+        let taken, remaining = split_at (n - 1) rest in
+        (x :: taken, remaining)
+
+let run_grouped ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
+    profiles =
+  let flat =
+    run_points ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
+      profiles
+  in
+  let groups, rest =
+    List.fold_left
+      (fun (acc, remaining) profile ->
+        let n = List.length (Pinpoints.points profile) in
+        let points, remaining = split_at n remaining in
+        ((profile, points) :: acc, remaining))
+      ([], flat) profiles
+  in
+  assert (rest = []);
+  List.rev groups
 
 let stats_of result config =
   match List.assoc_opt config result.runs with

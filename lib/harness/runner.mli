@@ -1,6 +1,20 @@
 (** Run (simulation point × machine × configuration) triples and
     collect statistics — the trace-driven methodology of §5.1, with
-    every configuration replaying the identical dynamic stream. *)
+    every configuration replaying the identical dynamic stream.
+
+    {2 Parallel execution}
+
+    {!run_benchmark}, {!run_suite} and {!run_grouped} shard their
+    (profile × simulation-point) work items across OCaml domains
+    ([domains], default {!Clusteer_util.Parallel.default_domains}).
+    Each shard simulates against a {b private} counter registry passed
+    down to the policies and the engine, so concurrent shards never
+    share mutable observability state; the shard registries are merged
+    into {!Clusteer_obs.Counters.default} in input order once all
+    shards complete. Since each point's simulation is a pure function
+    of its trace seed and the machine, and since the merge is
+    order-preserving, a parallel run produces results (and merged
+    counter totals) identical to a sequential [domains:1] run. *)
 
 open Clusteer_uarch
 open Clusteer_workloads
@@ -11,9 +25,22 @@ type point_result = {
       (** configuration name -> statistics, in configuration order *)
 }
 
+val trace_seed : Pinpoints.point -> int
+(** Deterministic per-point generator seed: a splitmix64-style mix of
+    the profile's master seed and the phase index. Distinct
+    (seed, index) pairs map to distinct trace seeds across the whole
+    realistic range (the previous affine formula collided). *)
+
+val default_warmup : int -> int
+(** Default warmup for a measured budget of [uops] committed
+    micro-ops: half the measured length, clamped to \[2,000, 10,000\]
+    — and always strictly below [uops], so tiny runs still make
+    measurable progress. *)
+
 val run_point :
   ?warmup:int ->
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
+  ?registry:Clusteer_obs.Counters.registry ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -21,17 +48,20 @@ val run_point :
   point_result
 (** Build the point's workload, compile each configuration's
     annotation, and simulate [uops] committed micro-ops per
-    configuration, after a cache/predictor warmup phase (default: half
-    the measured length, capped at 10k).
+    configuration, after a cache/predictor warmup phase (default:
+    {!default_warmup}).
 
     [obs] maps a configuration name to the observability sink to
     install in that configuration's engine ([None] = uninstrumented,
-    the default for every configuration). *)
+    the default for every configuration). [registry] receives the
+    policies' and the engine's introspection counters (default
+    {!Clusteer_obs.Counters.default}). *)
 
 val run_workload :
   ?warmup:int ->
   ?seed:int ->
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
+  ?registry:Clusteer_obs.Counters.registry ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -39,27 +69,48 @@ val run_workload :
   (string * Stats.t) list
 (** Run an explicit workload (a {!Clusteer_workloads.Synth.t}, e.g. a
     hand-built {!Clusteer_workloads.Kernels} kernel) under each
-    configuration on the identical trace. [obs] as in
+    configuration on the identical trace. [obs] and [registry] as in
     {!run_point}. *)
 
 val run_benchmark :
   ?warmup:int ->
+  ?domains:int ->
+  ?chunk:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
   Profile.t ->
   point_result list
-(** All PinPoints phases of one benchmark. *)
+(** All PinPoints phases of one benchmark, sharded across domains. *)
 
 val run_suite :
   ?progress:(string -> unit) ->
   ?warmup:int ->
+  ?domains:int ->
+  ?chunk:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
   Profile.t list ->
   point_result list
-(** Whole-suite sweep; [progress] is called once per benchmark. *)
+(** Whole-suite sweep, sharded across domains at simulation-point
+    granularity; results keep (profile, point) input order. [progress]
+    is called once per benchmark, from whichever domain picks up the
+    benchmark's first point — ordering across benchmarks is therefore
+    not guaranteed under [domains > 1]. *)
+
+val run_grouped :
+  ?progress:(string -> unit) ->
+  ?warmup:int ->
+  ?domains:int ->
+  ?chunk:int ->
+  machine:Config.t ->
+  configs:Clusteer.Configuration.t list ->
+  uops:int ->
+  Profile.t list ->
+  (Profile.t * point_result list) list
+(** {!run_suite}, with the flat results regrouped per profile (in
+    input order) — the shape the experiment sweeps consume. *)
 
 val weighted_metric :
   point_result list -> config:string -> f:(Stats.t -> float) -> float

@@ -83,6 +83,24 @@ let reset registry =
       Array.fill h.bucket 0 max_buckets 0)
     registry.histograms_tbl
 
+let merge ~into src =
+  (* Name-sorted iteration keeps the intern order (and therefore any
+     later registration) deterministic regardless of how the source
+     registry was populated. *)
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) src.counters_tbl []
+  |> List.sort compare
+  |> List.iter (fun (name, c) -> add (counter ~registry:into name) c.value);
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) src.histograms_tbl []
+  |> List.sort compare
+  |> List.iter (fun (name, h) ->
+         let dst = histogram ~registry:into name in
+         dst.count <- dst.count + h.count;
+         dst.sum <- dst.sum + h.sum;
+         if h.max_v > dst.max_v then dst.max_v <- h.max_v;
+         Array.iteri
+           (fun i n -> dst.bucket.(i) <- dst.bucket.(i) + n)
+           h.bucket)
+
 let counters registry =
   Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry.counters_tbl []
   |> List.sort compare

@@ -48,6 +48,15 @@ val buckets : histogram -> int array
 val reset : registry -> unit
 (** Zero every counter and histogram (registrations survive). *)
 
+val merge : into:registry -> registry -> unit
+(** [merge ~into src] adds every counter value and histogram of [src]
+    into [into], interning names as needed. Counter values and
+    histogram counts/sums/buckets add; histogram maxima take the max.
+    Used by the parallel harness to fold per-shard registries into the
+    process-wide one in deterministic (input) order; since merging is
+    commutative over addition, a parallel run's merged totals equal a
+    sequential run's. [src] is not modified. *)
+
 val counters : registry -> (string * int) list
 (** Name-sorted counter values. *)
 

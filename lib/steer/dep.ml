@@ -5,28 +5,52 @@ module Counters = Clusteer_obs.Counters
 let make ?registry () =
   let decisions = Counters.counter ?registry "dep.decisions" in
   let vote_ties = Counters.histogram ?registry "dep.vote_ties" in
+  (* Decision-path scratch: see [Op.make] — the per-uop path must not
+     allocate. *)
+  let votes = ref [||] in
+  let src_buf = ref [||] in
+  let dispatch_to = ref [||] in
+  let best_votes = ref 0 in
+  let ties = ref 0 in
+  let best = ref 0 in
   let decide view duop =
     Counters.incr decisions;
     let clusters = view.Policy.clusters in
-    let votes = Array.make clusters 0 in
-    Array.iter
-      (fun loc ->
-        for c = 0 to clusters - 1 do
-          if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
-        done)
-      (view.Policy.src_locations duop);
-    let best_votes = Array.fold_left max 0 votes in
-    let ties = ref 0 in
-    Array.iter (fun v -> if v = best_votes then incr ties) votes;
+    if Array.length !votes < clusters then begin
+      votes := Array.make clusters 0;
+      dispatch_to := Array.init clusters (fun c -> Policy.Dispatch_to c)
+    end;
+    let votes = !votes in
+    let nsrcs =
+      Array.length duop.Clusteer_trace.Dynuop.suop.Clusteer_isa.Uop.srcs
+    in
+    if Array.length !src_buf < nsrcs then
+      src_buf := Array.make nsrcs Bitset.empty;
+    let n = view.Policy.src_locations_into duop !src_buf in
+    Array.fill votes 0 clusters 0;
+    for i = 0 to n - 1 do
+      let loc = (!src_buf).(i) in
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done
+    done;
+    best_votes := 0;
+    for c = 0 to clusters - 1 do
+      if votes.(c) > !best_votes then best_votes := votes.(c)
+    done;
+    ties := 0;
+    for c = 0 to clusters - 1 do
+      if votes.(c) = !best_votes then incr ties
+    done;
     Counters.observe vote_ties !ties;
-    let best = ref (-1) in
+    best := -1;
     for c = clusters - 1 downto 0 do
       if
-        votes.(c) = best_votes
+        votes.(c) = !best_votes
         && (!best = -1 || view.Policy.inflight c < view.Policy.inflight !best)
       then best := c
     done;
-    Policy.Dispatch_to !best
+    (!dispatch_to).(!best)
   in
   {
     Policy.name = "dep";

@@ -2,33 +2,6 @@ open Clusteer_isa
 open Clusteer_uarch
 module Bitset = Clusteer_util.Bitset
 
-(* Clusters holding the most source operands (the vote), as a list of
-   candidates; sources located everywhere vote for every cluster. *)
-let vote view duop =
-  let clusters = view.Policy.clusters in
-  let votes = Array.make clusters 0 in
-  Array.iter
-    (fun loc ->
-      for c = 0 to clusters - 1 do
-        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
-      done)
-    (view.Policy.src_locations duop);
-  let best = Array.fold_left max 0 votes in
-  let candidates = ref [] in
-  for c = clusters - 1 downto 0 do
-    if votes.(c) = best then candidates := c :: !candidates
-  done;
-  !candidates
-
-let least_loaded view candidates =
-  match candidates with
-  | [] -> invalid_arg "Op.least_loaded: no candidates"
-  | first :: rest ->
-      List.fold_left
-        (fun best c ->
-          if view.Policy.inflight c < view.Policy.inflight best then c else best)
-        first rest
-
 let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
   let module Counters = Clusteer_obs.Counters in
   (* Introspection: [op.vote_candidates] is a latency proxy for the
@@ -40,46 +13,106 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
   let steer_away = Counters.counter ?registry "op.steer_away" in
   let stalls = Counters.counter ?registry "op.stall_decisions" in
   let vote_candidates = Counters.histogram ?registry "op.vote_candidates" in
+  (* Decision-path scratch, allocated once and reused: the per-uop path
+     must not allocate (no lists, no closures, no fresh refs). The
+     [Dispatch_to] variants are memoized for the same reason. *)
+  let votes = ref [||] in
+  let src_buf = ref [||] in
+  let dispatch_to = ref [||] in
+  let ndecisions = ref 0 in
+  let best_votes = ref 0 in
+  let ncand = ref 0 in
+  let preferred = ref 0 in
+  let min_load = ref 0 in
+  let best_alt = ref 0 in
   let decide view duop =
     let u = duop.Clusteer_trace.Dynuop.suop in
     let queue = Opcode.queue u.Uop.opcode in
     let clusters = view.Policy.clusters in
-    let all = List.init clusters Fun.id in
+    if Array.length !votes < clusters then begin
+      votes := Array.make clusters 0;
+      dispatch_to := Array.init clusters (fun c -> Policy.Dispatch_to c)
+    end;
+    let votes = !votes in
+    let dispatch_to = !dispatch_to in
+    let nsrcs = Array.length u.Uop.srcs in
+    if Array.length !src_buf < nsrcs then
+      src_buf := Array.make nsrcs Bitset.empty;
     Counters.incr decisions;
-    let candidates = vote view duop in
-    Counters.observe vote_candidates (List.length candidates);
-    let preferred = least_loaded view candidates in
-    let min_load =
-      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
-    in
+    (* Tie rotation: scanning always from cluster 0 funnels every tie
+       (notably the all-zero vote of source-free micro-ops on an idle
+       machine) into cluster 0; rotating the scan start by decision
+       count spreads ties evenly without changing any untied pick. *)
+    let rot = !ndecisions mod clusters in
+    incr ndecisions;
+    (* The vote. *)
+    let n = view.Policy.src_locations_into duop !src_buf in
+    Array.fill votes 0 clusters 0;
+    for i = 0 to n - 1 do
+      let loc = (!src_buf).(i) in
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done
+    done;
+    best_votes := 0;
+    for c = 0 to clusters - 1 do
+      if votes.(c) > !best_votes then best_votes := votes.(c)
+    done;
+    (* Least-loaded candidate, ties resolved by rotated scan order. *)
+    ncand := 0;
+    preferred := -1;
+    for k = 0 to clusters - 1 do
+      let c = (rot + k) mod clusters in
+      if votes.(c) = !best_votes then begin
+        incr ncand;
+        if
+          !preferred = -1
+          || view.Policy.inflight c < view.Policy.inflight !preferred
+        then preferred := c
+      end
+    done;
+    Counters.observe vote_candidates !ncand;
+    min_load := max_int;
+    for c = 0 to clusters - 1 do
+      let l = view.Policy.inflight c in
+      if l < !min_load then min_load := l
+    done;
     (* Balance override: a severely overloaded preferred cluster loses
        its dependence advantage. *)
-    let preferred =
-      if view.Policy.inflight preferred - min_load > imbalance_limit then begin
-        Counters.incr balance_overrides;
-        least_loaded view all
-      end
-      else preferred
-    in
-    if view.Policy.queue_free preferred queue > 0 then
-      Policy.Dispatch_to preferred
+    if view.Policy.inflight !preferred - !min_load > imbalance_limit then begin
+      Counters.incr balance_overrides;
+      preferred := -1;
+      for k = 0 to clusters - 1 do
+        let c = (rot + k) mod clusters in
+        if
+          !preferred = -1
+          || view.Policy.inflight c < view.Policy.inflight !preferred
+        then preferred := c
+      done
+    end;
+    if view.Policy.queue_free !preferred queue > 0 then dispatch_to.(!preferred)
     else begin
       (* Preferred cluster is out of queue slots: steer away only when
          some other cluster is comfortably idle, otherwise stall
          (stall-over-steer). *)
-      let alternatives =
-        List.filter
-          (fun c ->
-            c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
-          all
-      in
-      match alternatives with
-      | [] ->
-          Counters.incr stalls;
-          Policy.Stall
-      | cs ->
-          Counters.incr steer_away;
-          Policy.Dispatch_to (least_loaded view cs)
+      best_alt := -1;
+      for k = 0 to clusters - 1 do
+        let c = (rot + k) mod clusters in
+        if
+          c <> !preferred
+          && view.Policy.queue_free c queue >= stall_threshold
+          && (!best_alt = -1
+             || view.Policy.inflight c < view.Policy.inflight !best_alt)
+        then best_alt := c
+      done;
+      if !best_alt = -1 then begin
+        Counters.incr stalls;
+        Policy.Stall
+      end
+      else begin
+        Counters.incr steer_away;
+        dispatch_to.(!best_alt)
+      end
     end
   in
   {

@@ -21,11 +21,16 @@ val make :
   ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   Clusteer_uarch.Policy.t
-(** [stall_threshold] (default 16): minimum free issue-queue slots
+(** [stall_threshold] (default 36): minimum free issue-queue slots
     another cluster must have before OP steers away from the preferred
-    cluster instead of stalling. [imbalance_limit] (default 24):
+    cluster instead of stalling. [imbalance_limit] (default 200):
     in-flight count difference beyond which balance overrides
     dependences.
+
+    Tie-breaking in the least-loaded selection rotates its scan start
+    by the policy's decision count, so exact ties (equal votes, equal
+    load) spread across clusters instead of all collapsing onto
+    cluster 0; untied picks are unchanged.
 
     Registers introspection counters into [registry] (default
     {!Clusteer_obs.Counters.default}): [op.decisions],

@@ -5,91 +5,123 @@ module Bitset = Clusteer_util.Bitset
 (* Per-cycle memory of registers redefined by micro-ops already steered
    this cycle: maps the register to the location mask its *previous*
    value had when the bundle started. Reading through this table is
-   what "non-updated information" means in §2.1. *)
+   what "non-updated information" means in §2.1.
+
+   The table is a pair of dense arrays indexed by register code, with a
+   cycle stamp per entry: an entry is live only when its stamp equals
+   the current cycle, so the per-bundle "reset" is free and the decide
+   path never touches a hashtable (or allocates). *)
+
+(* Same register budget as the engine's rename table. *)
+let max_nregs_per_class = 64
+
 type bundle_state = {
-  mutable cycle : int;
-  stale : (Reg.t, Bitset.t) Hashtbl.t;
+  stale_mask : Bitset.t array;  (* indexed by register code *)
+  stale_stamp : int array;  (* cycle the entry was written; -1 = never *)
 }
 
-let stale_locations state view duop =
-  let fresh = view.Policy.src_locations duop in
-  Array.mapi
-    (fun i loc ->
-      let src = duop.Clusteer_trace.Dynuop.suop.Uop.srcs.(i) in
-      match Hashtbl.find_opt state.stale src with
-      | Some old -> old
-      | None -> loc)
-    fresh
-
-let vote_with locations clusters =
-  let votes = Array.make clusters 0 in
-  Array.iter
-    (fun loc ->
-      for c = 0 to clusters - 1 do
-        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
-      done)
-    locations;
-  let best = Array.fold_left max 0 votes in
-  let candidates = ref [] in
-  for c = clusters - 1 downto 0 do
-    if votes.(c) = best then candidates := c :: !candidates
-  done;
-  !candidates
-
-let least_loaded view candidates =
-  match candidates with
-  | [] -> invalid_arg "Op_parallel.least_loaded: no candidates"
-  | first :: rest ->
-      List.fold_left
-        (fun best c ->
-          if view.Policy.inflight c < view.Policy.inflight best then c else best)
-        first rest
+let reg_code r = Reg.encode ~nregs_per_class:max_nregs_per_class r
 
 let make ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
-  let state = { cycle = -1; stale = Hashtbl.create 16 } in
+  let state =
+    {
+      stale_mask = Array.make (2 * max_nregs_per_class) Bitset.empty;
+      stale_stamp = Array.make (2 * max_nregs_per_class) (-1);
+    }
+  in
+  (* Decision-path scratch: see [Op.make] — the per-uop path must not
+     allocate. *)
+  let votes = ref [||] in
+  let src_buf = ref [||] in
+  let dispatch_to = ref [||] in
+  let best_votes = ref 0 in
+  let preferred = ref 0 in
+  let min_load = ref 0 in
+  let best_alt = ref 0 in
   let decide view duop =
-    if view.Policy.cycle () <> state.cycle then begin
-      state.cycle <- view.Policy.cycle ();
-      Hashtbl.reset state.stale
-    end;
     let u = duop.Clusteer_trace.Dynuop.suop in
     let queue = Opcode.queue u.Uop.opcode in
     let clusters = view.Policy.clusters in
-    let all = List.init clusters Fun.id in
-    let locations = stale_locations state view duop in
-    let preferred = least_loaded view (vote_with locations clusters) in
-    let min_load =
-      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
-    in
-    let preferred =
-      if view.Policy.inflight preferred - min_load > imbalance_limit then
-        least_loaded view all
-      else preferred
-    in
+    let cycle = view.Policy.cycle () in
+    if Array.length !votes < clusters then begin
+      votes := Array.make clusters 0;
+      dispatch_to := Array.init clusters (fun c -> Policy.Dispatch_to c)
+    end;
+    let votes = !votes in
+    let dispatch_to = !dispatch_to in
+    let srcs = u.Uop.srcs in
+    let nsrcs = Array.length srcs in
+    if Array.length !src_buf < nsrcs then
+      src_buf := Array.make nsrcs Bitset.empty;
+    (* The vote, reading redefined sources through the stale table. *)
+    let n = view.Policy.src_locations_into duop !src_buf in
+    Array.fill votes 0 clusters 0;
+    for i = 0 to n - 1 do
+      let code = reg_code srcs.(i) in
+      let loc =
+        if state.stale_stamp.(code) = cycle then state.stale_mask.(code)
+        else (!src_buf).(i)
+      in
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done
+    done;
+    best_votes := 0;
+    for c = 0 to clusters - 1 do
+      if votes.(c) > !best_votes then best_votes := votes.(c)
+    done;
+    (* Least-loaded candidate; ties go to the lowest cluster index,
+       exactly as the list-based formulation did. *)
+    preferred := -1;
+    for c = 0 to clusters - 1 do
+      if
+        votes.(c) = !best_votes
+        && (!preferred = -1
+           || view.Policy.inflight c < view.Policy.inflight !preferred)
+      then preferred := c
+    done;
+    min_load := max_int;
+    for c = 0 to clusters - 1 do
+      let l = view.Policy.inflight c in
+      if l < !min_load then min_load := l
+    done;
+    if view.Policy.inflight !preferred - !min_load > imbalance_limit then begin
+      preferred := -1;
+      for c = 0 to clusters - 1 do
+        if
+          !preferred = -1
+          || view.Policy.inflight c < view.Policy.inflight !preferred
+        then preferred := c
+      done
+    end;
     let decision =
-      if view.Policy.queue_free preferred queue > 0 then
-        Policy.Dispatch_to preferred
+      if view.Policy.queue_free !preferred queue > 0 then
+        dispatch_to.(!preferred)
       else begin
-        let alternatives =
-          List.filter
-            (fun c ->
-              c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
-            all
-        in
-        match alternatives with
-        | [] -> Policy.Stall
-        | cs -> Policy.Dispatch_to (least_loaded view cs)
+        best_alt := -1;
+        for c = 0 to clusters - 1 do
+          if
+            c <> !preferred
+            && view.Policy.queue_free c queue >= stall_threshold
+            && (!best_alt = -1
+               || view.Policy.inflight c < view.Policy.inflight !best_alt)
+          then best_alt := c
+        done;
+        if !best_alt = -1 then Policy.Stall else dispatch_to.(!best_alt)
       end
     in
     (match decision with
-    | Policy.Dispatch_to _ ->
+    | Policy.Dispatch_to _ -> (
         (* Record the overwritten value's pre-bundle location so later
            micro-ops of this bundle keep seeing the stale mapping. *)
-        Option.iter
-          (fun dst ->
-            if not (Hashtbl.mem state.stale dst) then
-              Hashtbl.add state.stale dst (view.Policy.reg_location dst))
-          u.Uop.dst
+        match u.Uop.dst with
+        | Some dst ->
+            let code = reg_code dst in
+            if state.stale_stamp.(code) <> cycle then begin
+              state.stale_stamp.(code) <- cycle;
+              state.stale_mask.(code) <- view.Policy.reg_location dst
+            end
+        | None -> ())
     | Policy.Stall -> ());
     decision
   in

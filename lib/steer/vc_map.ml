@@ -25,13 +25,17 @@ let make ?(remap_threshold = 8) ?registry ~annot ~clusters () =
   let remaps = Counters.counter ?registry "vc.remaps" in
   let chain_len = Counters.histogram ?registry "vc.chain_uops_at_leader" in
   let since_leader = Array.make annot.Annot.virtual_clusters 0 in
+  (* Memoized decisions: the table lookup itself is allocation-free,
+     so the only per-uop allocation would be the [Dispatch_to] box —
+     preallocate one per cluster. *)
+  let dispatch_to = Array.init clusters (fun c -> Policy.Dispatch_to c) in
   let decide view duop =
     let id = Dynuop.static_id duop in
     let vc = annot.Annot.vc_of.(id) in
     Counters.incr decisions;
     if vc < 0 then begin
       Counters.incr unassigned;
-      Policy.Dispatch_to (least_loaded view)
+      dispatch_to.(least_loaded view)
     end
     else begin
       (* At a chain leader the workload counters are consulted; the VC
@@ -54,7 +58,7 @@ let make ?(remap_threshold = 8) ?registry ~annot ~clusters () =
         end
       end;
       since_leader.(vc) <- since_leader.(vc) + 1;
-      Policy.Dispatch_to table.(vc)
+      dispatch_to.(table.(vc))
     end
   in
   {

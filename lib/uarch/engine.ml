@@ -73,6 +73,11 @@ type t = {
   mutable loads_this_cycle : int;
   mutable stores_this_cycle : int;
   view : Policy.view;
+  (* dispatch-loop scratch, reused every cycle so the per-uop path
+     allocates nothing: tags needing copies (deduped) and per-source-
+     cluster pending-copy counts for the copy-queue capacity check *)
+  mutable copy_tags : int array;
+  copy_extra : int array;
   (* observability: with [None] every emission site is one pattern
      match and constructs nothing — the simulated behaviour and the
      final statistics are bit-identical to an uninstrumented engine *)
@@ -112,7 +117,7 @@ let reg_code cfg_nregs (r : Reg.t) = Reg.encode ~nregs_per_class:cfg_nregs r
    for the largest budget the workloads use. *)
 let max_nregs_per_class = 64
 
-let create ~config ~annot ~policy ?(prewarm = []) ?obs () =
+let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry () =
   Config.validate config;
   let clusters = config.Config.clusters in
   let stats = Stats.create ~clusters in
@@ -174,8 +179,10 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs () =
       events = Pqueue.create ();
       loads_this_cycle = 0;
       stores_this_cycle = 0;
+      copy_tags = Array.make 8 (-1);
+      copy_extra = Array.make clusters 0;
       obs;
-      copyq_depth_hist = Obs_counters.histogram "engine.copyq_depth";
+      copyq_depth_hist = Obs_counters.histogram ?registry "engine.copyq_depth";
       view =
         {
           Policy.clusters;
@@ -190,6 +197,15 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs () =
                   let tag = t.rename.(reg_code max_nregs_per_class src) in
                   Bitset.of_mask (Vec.get t.tag_loc tag))
                 duop.Dynuop.suop.Uop.srcs);
+          src_locations_into =
+            (fun duop buf ->
+              let srcs = duop.Dynuop.suop.Uop.srcs in
+              let n = Array.length srcs in
+              for i = 0 to n - 1 do
+                let tag = t.rename.(reg_code max_nregs_per_class srcs.(i)) in
+                buf.(i) <- Bitset.of_mask (Vec.get t.tag_loc tag)
+              done;
+              n);
           reg_location =
             (fun r ->
               let tag = t.rename.(reg_code max_nregs_per_class r) in
@@ -496,14 +512,31 @@ let fresh_iseq t =
   t.next_iseq <- s + 1;
   s
 
-(* Copies needed to bring every source of [u] to [cluster]: the list of
-   tags whose location mask misses the target cluster. *)
+(* Copies needed to bring every source of [u] to [cluster]: fills
+   [t.copy_tags] with the deduplicated tags whose location mask misses
+   the target cluster and returns their count. Scratch-based (no list,
+   no allocation): micro-ops have at most a handful of sources, so the
+   quadratic dedup scan is cheaper than any set structure. *)
 let copies_needed t (u : Uop.t) cluster =
-  Array.to_list u.Uop.srcs
-  |> List.filter_map (fun src ->
-         let tag = t.rename.(reg_code max_nregs_per_class src) in
-         if tag_located_in t tag cluster then None else Some tag)
-  |> List.sort_uniq compare
+  let srcs = u.Uop.srcs in
+  let nsrcs = Array.length srcs in
+  if nsrcs > Array.length t.copy_tags then
+    t.copy_tags <- Array.make nsrcs (-1);
+  let n = ref 0 in
+  for i = 0 to nsrcs - 1 do
+    let tag = t.rename.(reg_code max_nregs_per_class srcs.(i)) in
+    if not (tag_located_in t tag cluster) then begin
+      let dup = ref false in
+      for j = 0 to !n - 1 do
+        if t.copy_tags.(j) = tag then dup := true
+      done;
+      if not !dup then begin
+        t.copy_tags.(!n) <- tag;
+        incr n
+      end
+    end
+  done;
+  !n
 
 let insert_copy t tag ~to_cluster =
   let from = Vec.get t.tag_origin tag in
@@ -597,22 +630,23 @@ let dispatch_one t (slot : fetch_slot) ~per_cluster =
         else if regfile_full then Blk_reg
         else begin
           let needed = copies_needed t u cluster in
-          (* Copy queue capacity check in every source cluster. *)
-          let extra = Hashtbl.create 4 in
-          let fits =
-            List.for_all
-              (fun tag ->
-                let from = Vec.get t.tag_origin tag in
-                let pending =
-                  Option.value ~default:0 (Hashtbl.find_opt extra from)
-                in
-                Hashtbl.replace extra from (pending + 1);
-                t.occupancy.(from).(2) + pending < t.cfg.Config.copy_q_size)
-              needed
-          in
-          if not fits then Blk_copyq
+          (* Copy queue capacity check in every source cluster, using
+             the per-cluster scratch counters instead of a fresh
+             hashtable per dispatch attempt. *)
+          Array.fill t.copy_extra 0 (Array.length t.copy_extra) 0;
+          let fits = ref true in
+          for i = 0 to needed - 1 do
+            let from = Vec.get t.tag_origin t.copy_tags.(i) in
+            if t.occupancy.(from).(2) + t.copy_extra.(from)
+               >= t.cfg.Config.copy_q_size
+            then fits := false;
+            t.copy_extra.(from) <- t.copy_extra.(from) + 1
+          done;
+          if not !fits then Blk_copyq
           else begin
-            List.iter (fun tag -> insert_copy t tag ~to_cluster:cluster) needed;
+            for i = 0 to needed - 1 do
+              insert_copy t t.copy_tags.(i) ~to_cluster:cluster
+            done;
             (* Rename sources (wait for readiness in [cluster]). *)
             let src_tags =
               Array.map

@@ -28,12 +28,17 @@ val create :
   policy:Policy.t ->
   ?prewarm:(int * int) list ->
   ?obs:Clusteer_obs.Sink.t ->
+  ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   t
 (** Fresh machine state. [annot] is the compiler side-channel the
     policy may consult. [prewarm] lists [(base, bytes)] data ranges to
     pre-load into the cache hierarchy, restoring the warmed state a
-    checkpointed simulation point starts from.
+    checkpointed simulation point starts from. [registry] receives the
+    engine's introspection instruments (default
+    {!Clusteer_obs.Counters.default}); the parallel harness passes a
+    per-shard registry so concurrent engines never intern into shared
+    state.
 
     [obs] installs an observability sink: the engine then emits
     structured events (steer decisions with per-cluster occupancy,

@@ -9,6 +9,7 @@ type view = {
   inflight : int -> int;
   queue_free : int -> Opcode.queue -> int;
   src_locations : Dynuop.t -> Clusteer_util.Bitset.t array;
+  src_locations_into : Dynuop.t -> Clusteer_util.Bitset.t array -> int;
   reg_location : Reg.t -> Clusteer_util.Bitset.t;
   annot : Annot.t;
 }

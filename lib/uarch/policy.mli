@@ -35,6 +35,13 @@ type view = {
   src_locations : Dynuop.t -> Clusteer_util.Bitset.t array;
       (** per source operand, the clusters where its value is (or will
           be) present — the rename-table location logic *)
+  src_locations_into : Dynuop.t -> Clusteer_util.Bitset.t array -> int;
+      (** allocation-free variant of [src_locations]: fill the
+          caller's scratch buffer (which must hold at least as many
+          slots as the micro-op has sources) and return the source
+          count. This is what the per-uop hot path uses; the
+          allocating [src_locations] remains for tests and one-off
+          inspection. *)
   reg_location : Reg.t -> Clusteer_util.Bitset.t;
       (** same lookup for an arbitrary architectural register *)
   annot : Annot.t;

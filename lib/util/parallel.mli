@@ -6,12 +6,24 @@
     distributed dynamically (an atomic cursor), which balances the very
     uneven per-benchmark simulation times. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~domains f xs] applies [f] to every element, using up to
-    [domains] domains (default {!Domain.recommended_domain_count}; 1 or
-    a short list degrades to [List.map]). [f] must be safe to run
-    concurrently with itself on distinct elements; exceptions raised by
-    [f] are re-raised in the caller. *)
+val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains ~chunk f xs] applies [f] to every element, using up
+    to [domains] domains (default {!default_domains}; 1 or a short
+    list degrades to [List.map]). Workers claim [chunk] consecutive
+    elements at a time (default 1): raise it when elements are tiny
+    and the atomic cursor would dominate, keep 1 when per-element cost
+    is very uneven. [f] must be safe to run concurrently with itself
+    on distinct elements; an exception raised by [f] is re-raised in
+    the caller with the worker's backtrace
+    ({!Printexc.raise_with_backtrace}). Raises [Invalid_argument] if
+    [chunk < 1]. *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8. *)
+(** [Domain.recommended_domain_count ()], capped at
+    {!default_domain_cap}. The cap only shapes this default; explicit
+    [~domains] arguments above it are honoured. *)
+
+val default_domain_cap : int
+(** The documented default ceiling (8) applied by {!default_domains}.
+    Experiment sweeps are memory-bound enough that more domains has
+    not paid off; pass [~domains] explicitly to go beyond it. *)

@@ -1,0 +1,333 @@
+(* Determinism guarantees of this reproduction:
+
+   1. The domain-parallel harness is bit-identical to a sequential
+      run: [run_suite ~domains:1] and [~domains:4] produce equal
+      per-point statistics (checked with [Stats.equal] and on the
+      serialized JSON).
+
+   2. The zero-allocation steering fast paths decide exactly like
+      straightforward list-based implementations of the same policies:
+      we record every [Policy.decide] outcome over a full engine run
+      and compare the sequences decision by decision. Identical
+      decisions imply identical machine evolution, so the first
+      divergence (if any) is caught at its earliest point. *)
+
+open Clusteer_isa
+open Clusteer_uarch
+open Clusteer_workloads
+module Harness = Clusteer_harness
+module Steer = Clusteer_steer
+module Bitset = Clusteer_util.Bitset
+module Json = Clusteer_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- parallel harness vs sequential ------------------------------ *)
+
+let mini_suite =
+  [
+    { (Spec2000.find "gzip-1") with Profile.phases = 2 };
+    { (Spec2000.find "galgel") with Profile.phases = 2 };
+  ]
+
+let mini_configs =
+  [
+    Clusteer.Configuration.Op;
+    Clusteer.Configuration.Vc { virtual_clusters = 2 };
+  ]
+
+let run_mini ~domains =
+  Harness.Runner.run_suite ~domains ~machine:Config.default_2c
+    ~configs:mini_configs ~uops:1500 mini_suite
+
+let test_suite_parallel_equals_sequential () =
+  let seq = run_mini ~domains:1 in
+  let par = run_mini ~domains:4 in
+  check_int "same point count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Harness.Runner.point_result) (b : Harness.Runner.point_result) ->
+      Alcotest.(check string)
+        "same benchmark" a.point.Pinpoints.benchmark b.point.Pinpoints.benchmark;
+      check_int "same phase" a.point.Pinpoints.index b.point.Pinpoints.index;
+      List.iter2
+        (fun (name_a, stats_a) (name_b, stats_b) ->
+          Alcotest.(check string) "same config" name_a name_b;
+          check_bool (name_a ^ " Stats.equal") true (Stats.equal stats_a stats_b);
+          Alcotest.(check string)
+            (name_a ^ " identical JSON")
+            (Json.to_string (Stats.to_json stats_a))
+            (Json.to_string (Stats.to_json stats_b)))
+        a.runs b.runs)
+    seq par
+
+let test_chunked_sharding_equals_sequential () =
+  let seq = run_mini ~domains:1 in
+  let par =
+    Harness.Runner.run_suite ~domains:3 ~chunk:2 ~machine:Config.default_2c
+      ~configs:mini_configs ~uops:1500 mini_suite
+  in
+  List.iter2
+    (fun (a : Harness.Runner.point_result) (b : Harness.Runner.point_result) ->
+      List.iter2
+        (fun (_, sa) (_, sb) ->
+          check_bool "chunked Stats.equal" true (Stats.equal sa sb))
+        a.runs b.runs)
+    seq par
+
+(* ---- fast-path policies vs list-based references ------------------- *)
+
+(* Straightforward list-based reimplementations of the steering
+   policies, written in the style of the original (pre-fast-path)
+   code. [ref_op] includes the rotation tie-break — the one deliberate
+   behaviour change of the fast-path rewrite; the others mirror the
+   seed implementations exactly. *)
+
+let least_loaded view candidates =
+  match candidates with
+  | [] -> invalid_arg "reference: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best c ->
+          if view.Policy.inflight c < view.Policy.inflight best then c else best)
+        first rest
+
+let vote_candidates view locations ~order =
+  let clusters = view.Policy.clusters in
+  let votes = Array.make clusters 0 in
+  Array.iter
+    (fun loc ->
+      for c = 0 to clusters - 1 do
+        if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+      done)
+    locations;
+  let best = Array.fold_left max 0 votes in
+  List.filter (fun c -> votes.(c) = best) order
+
+let ref_op ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
+  let ndecisions = ref 0 in
+  let decide view duop =
+    let u = duop.Clusteer_trace.Dynuop.suop in
+    let queue = Opcode.queue u.Uop.opcode in
+    let clusters = view.Policy.clusters in
+    let rot = !ndecisions mod clusters in
+    incr ndecisions;
+    let order = List.init clusters (fun k -> (rot + k) mod clusters) in
+    let candidates =
+      vote_candidates view (view.Policy.src_locations duop) ~order
+    in
+    let preferred = least_loaded view candidates in
+    let min_load =
+      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int
+        order
+    in
+    let preferred =
+      if view.Policy.inflight preferred - min_load > imbalance_limit then
+        least_loaded view order
+      else preferred
+    in
+    if view.Policy.queue_free preferred queue > 0 then
+      Policy.Dispatch_to preferred
+    else
+      match
+        List.filter
+          (fun c ->
+            c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
+          order
+      with
+      | [] -> Policy.Stall
+      | cs -> Policy.Dispatch_to (least_loaded view cs)
+  in
+  {
+    Policy.name = "op-ref";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }
+
+let ref_dep () =
+  let decide view duop =
+    let clusters = view.Policy.clusters in
+    let votes = Array.make clusters 0 in
+    Array.iter
+      (fun loc ->
+        for c = 0 to clusters - 1 do
+          if Bitset.mem loc c then votes.(c) <- votes.(c) + 1
+        done)
+      (view.Policy.src_locations duop);
+    let best_votes = Array.fold_left max 0 votes in
+    let best = ref (-1) in
+    for c = clusters - 1 downto 0 do
+      if
+        votes.(c) = best_votes
+        && (!best = -1 || view.Policy.inflight c < view.Policy.inflight !best)
+      then best := c
+    done;
+    Policy.Dispatch_to !best
+  in
+  {
+    Policy.name = "dep-ref";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }
+
+let ref_op_parallel ?(stall_threshold = 36) ?(imbalance_limit = 200) () =
+  let cycle = ref (-1) in
+  let stale : (Reg.t, Bitset.t) Hashtbl.t = Hashtbl.create 16 in
+  let decide view duop =
+    if view.Policy.cycle () <> !cycle then begin
+      cycle := view.Policy.cycle ();
+      Hashtbl.reset stale
+    end;
+    let u = duop.Clusteer_trace.Dynuop.suop in
+    let queue = Opcode.queue u.Uop.opcode in
+    let clusters = view.Policy.clusters in
+    let all = List.init clusters Fun.id in
+    let locations =
+      Array.mapi
+        (fun i loc ->
+          match Hashtbl.find_opt stale u.Uop.srcs.(i) with
+          | Some old -> old
+          | None -> loc)
+        (view.Policy.src_locations duop)
+    in
+    let preferred = least_loaded view (vote_candidates view locations ~order:all) in
+    let min_load =
+      List.fold_left (fun acc c -> min acc (view.Policy.inflight c)) max_int all
+    in
+    let preferred =
+      if view.Policy.inflight preferred - min_load > imbalance_limit then
+        least_loaded view all
+      else preferred
+    in
+    let decision =
+      if view.Policy.queue_free preferred queue > 0 then
+        Policy.Dispatch_to preferred
+      else
+        match
+          List.filter
+            (fun c ->
+              c <> preferred && view.Policy.queue_free c queue >= stall_threshold)
+            all
+        with
+        | [] -> Policy.Stall
+        | cs -> Policy.Dispatch_to (least_loaded view cs)
+    in
+    (match decision with
+    | Policy.Dispatch_to _ ->
+        Option.iter
+          (fun dst ->
+            if not (Hashtbl.mem stale dst) then
+              Hashtbl.add stale dst (view.Policy.reg_location dst))
+          u.Uop.dst
+    | Policy.Stall -> ());
+    decision
+  in
+  {
+    Policy.name = "op-parallel-ref";
+    decide;
+    uses_dependence_check = true;
+    uses_vote_unit = true;
+  }
+
+(* Record the full decision stream of [policy] over an engine run. *)
+let record_decisions ~machine ~annot ~policy ~workload ~seed ~uops =
+  let log = ref [] in
+  let wrapped =
+    {
+      policy with
+      Policy.decide =
+        (fun view duop ->
+          let d = policy.Policy.decide view duop in
+          log := d :: !log;
+          d);
+    }
+  in
+  let prewarm =
+    Array.to_list
+      (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+  in
+  let engine =
+    Engine.create ~config:machine ~annot ~policy:wrapped ~prewarm ()
+  in
+  let gen = Synth.trace workload ~seed in
+  ignore
+    (Engine.run ~warmup:0 engine
+       ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+       ~uops);
+  List.rev !log
+
+let as_ints =
+  List.map (function Policy.Dispatch_to c -> c | Policy.Stall -> -1)
+
+let check_same_decisions name fast reference =
+  let profile = { (Spec2000.find "gzip-1") with Profile.phases = 1 } in
+  let workload = Synth.build profile in
+  let annot =
+    Annot.none ~uop_count:workload.Synth.program.Program.uop_count
+  in
+  let machine = Config.default_2c in
+  let run policy =
+    record_decisions ~machine ~annot ~policy ~workload ~seed:42 ~uops:2500
+  in
+  let fast_d = run fast and ref_d = run reference in
+  check_bool (name ^ " decided at least once") true (fast_d <> []);
+  Alcotest.(check (list int))
+    (name ^ " identical decision stream")
+    (as_ints ref_d) (as_ints fast_d)
+
+let test_op_fast_path_matches_reference () =
+  check_same_decisions "op" (Steer.Op.make ()) (ref_op ())
+
+let test_dep_fast_path_matches_reference () =
+  check_same_decisions "dep" (Steer.Dep.make ()) (ref_dep ())
+
+let test_op_parallel_fast_path_matches_reference () =
+  check_same_decisions "op-parallel"
+    (Steer.Op_parallel.make ())
+    (ref_op_parallel ())
+
+let test_vc_decisions_stable () =
+  (* Vc_map only memoizes its [Dispatch_to] values; two independent
+     instances replaying the same trace must match decision for
+     decision. *)
+  let profile = { (Spec2000.find "swim") with Profile.phases = 1 } in
+  let workload = Synth.build profile in
+  let machine = Config.default_2c in
+  let annot, _ =
+    Clusteer.Configuration.prepare
+      (Clusteer.Configuration.Vc { virtual_clusters = 2 })
+      ~program:workload.Synth.program ~likely:workload.Synth.likely ~clusters:2
+      ()
+  in
+  let run () =
+    record_decisions ~machine ~annot
+      ~policy:(Steer.Vc_map.make ~annot ~clusters:2 ())
+      ~workload ~seed:7 ~uops:2000
+  in
+  Alcotest.(check (list int)) "vc replays identically" (as_ints (run ()))
+    (as_ints (run ()))
+
+let () =
+  Alcotest.run "clusteer_determinism"
+    [
+      ( "parallel-harness",
+        [
+          Alcotest.test_case "domains 1 = domains 4" `Slow
+            test_suite_parallel_equals_sequential;
+          Alcotest.test_case "chunked sharding" `Slow
+            test_chunked_sharding_equals_sequential;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "op matches reference" `Slow
+            test_op_fast_path_matches_reference;
+          Alcotest.test_case "dep matches reference" `Slow
+            test_dep_fast_path_matches_reference;
+          Alcotest.test_case "op-parallel matches reference" `Slow
+            test_op_parallel_fast_path_matches_reference;
+          Alcotest.test_case "vc replays identically" `Slow
+            test_vc_decisions_stable;
+        ] );
+    ]

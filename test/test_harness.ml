@@ -91,6 +91,63 @@ let test_runner_same_trace_all_configs () =
   and hi = List.fold_left max 0 loads in
   check_bool "loads agree within the in-flight window" true (hi - lo <= 64)
 
+let test_runner_default_warmup_clamps () =
+  (* Half the measured length within [2k, 10k], but always strictly
+     below the budget: the old 2,000-uop floor made tiny runs warm up
+     longer than they measured. *)
+  check_int "normal range" 3000 (Harness.Runner.default_warmup 6000);
+  check_int "capped" 10_000 (Harness.Runner.default_warmup 100_000);
+  check_int "floor" 2000 (Harness.Runner.default_warmup 2500);
+  check_int "tiny budget" 499 (Harness.Runner.default_warmup 500);
+  check_int "single uop" 0 (Harness.Runner.default_warmup 1);
+  check_int "degenerate" 0 (Harness.Runner.default_warmup 0);
+  for uops = 1 to 50 do
+    check_bool "strictly below budget" true
+      (Harness.Runner.default_warmup uops < uops)
+  done
+
+let test_runner_tiny_run_completes () =
+  (* Regression: with the old floor, a 200-uop run spent 2,000 uops
+     warming up; now it completes measuring most of its budget. *)
+  let point = List.hd (Pinpoints.points tiny_profile) in
+  let result =
+    Harness.Runner.run_point ~machine:Config.default_2c
+      ~configs:[ Clusteer.Configuration.Op ] ~uops:200 point
+  in
+  let _, stats = List.hd result.Harness.Runner.runs in
+  check_bool "commits its budget" true (stats.Stats.committed >= 200)
+
+let test_trace_seed_no_collisions () =
+  (* The old affine formula (seed*31 + index + 101) collided across
+     nearby benchmarks — e.g. (seed 1, phase 31) and (seed 2, phase 0)
+     both mapped to 163. The splitmix-style mix must keep every
+     realistic (seed, index) pair distinct. *)
+  let base = Spec2000.find "gzip-1" in
+  let seen = Hashtbl.create 8192 in
+  let collisions = ref 0 in
+  for seed = 0 to 499 do
+    for index = 0 to 9 do
+      let point =
+        {
+          Pinpoints.benchmark = "x";
+          index;
+          weight = 1.0;
+          profile = { base with Profile.seed };
+        }
+      in
+      let s = Harness.Runner.trace_seed point in
+      check_bool "non-negative" true (s >= 0);
+      if Hashtbl.mem seen s then incr collisions else Hashtbl.add seen s ()
+    done
+  done;
+  check_int "all 5000 distinct" 0 !collisions
+
+let test_trace_seed_deterministic () =
+  let point = List.hd (Pinpoints.points tiny_profile) in
+  check_int "stable across calls"
+    (Harness.Runner.trace_seed point)
+    (Harness.Runner.trace_seed point)
+
 let test_runner_benchmark_covers_phases () =
   let results =
     Harness.Runner.run_benchmark ~machine:Config.default_2c
@@ -213,6 +270,13 @@ let () =
           Alcotest.test_case "same trace everywhere" `Slow test_runner_same_trace_all_configs;
           Alcotest.test_case "covers phases" `Slow test_runner_benchmark_covers_phases;
           Alcotest.test_case "weighted metric" `Slow test_runner_weighted_metric;
+          Alcotest.test_case "default warmup clamps" `Quick
+            test_runner_default_warmup_clamps;
+          Alcotest.test_case "tiny run completes" `Quick test_runner_tiny_run_completes;
+          Alcotest.test_case "trace seed collision-free" `Quick
+            test_trace_seed_no_collisions;
+          Alcotest.test_case "trace seed deterministic" `Quick
+            test_trace_seed_deterministic;
         ] );
       ( "experiments",
         [

@@ -28,6 +28,11 @@ let fake_view ?(annot = Annot.none ~uop_count:64) f =
     inflight = (fun c -> f.inflight.(c));
     queue_free = (fun c _ -> f.free.(c));
     src_locations = (fun d -> Array.map location d.Dynuop.suop.Uop.srcs);
+    src_locations_into =
+      (fun d buf ->
+        let srcs = d.Dynuop.suop.Uop.srcs in
+        Array.iteri (fun i src -> buf.(i) <- location src) srcs;
+        Array.length srcs);
     reg_location = location;
     annot;
   }
@@ -94,6 +99,43 @@ let test_op_stall_over_steer () =
   f.free.(1) <- 40;
   check_int "steers away when idle" 1
     (decide p (fake_view f) (duop (alu ~id:0 ~dst:2 ~srcs:[ 1 ])))
+
+let test_op_rotates_exact_ties () =
+  (* Source-free micro-ops on a perfectly symmetric machine: every
+     decision ties on both the vote and the load. The rotation
+     tie-break must spread them over the clusters instead of funnelling
+     everything into cluster 0. *)
+  let f = mk_fake () in
+  let p = Steer.Op.make () in
+  let view = fake_view f in
+  let picks =
+    List.init 8 (fun i -> decide p view (duop ~seq:i (alu ~id:i ~dst:0 ~srcs:[])))
+  in
+  Alcotest.(check (list int)) "alternates" [ 0; 1; 0; 1; 0; 1; 0; 1 ] picks;
+  (* Balance entropy of the resulting placement must be (near) perfect;
+     the pre-rotation behaviour scored 0 (all decisions on cluster 0). *)
+  let stats = Stats.create ~clusters:2 in
+  List.iter
+    (fun c ->
+      stats.Stats.per_cluster_dispatched.(c) <-
+        stats.Stats.per_cluster_dispatched.(c) + 1)
+    picks;
+  Alcotest.(check bool)
+    "entropy >= 0.99" true
+    (Stats.balance_entropy stats >= 0.99)
+
+let test_op_rotation_never_overrides_untied_picks () =
+  (* A real vote winner (or a load difference) must win regardless of
+     where the rotation currently points. *)
+  let f = mk_fake () in
+  let p = Steer.Op.make () in
+  let view = fake_view f in
+  Hashtbl.replace f.locs (Reg.int 1) (Bitset.singleton 1);
+  let picks =
+    List.init 6 (fun i -> decide p view (duop ~seq:i (alu ~id:i ~dst:2 ~srcs:[ 1 ])))
+  in
+  Alcotest.(check (list int)) "always the operand cluster" [ 1; 1; 1; 1; 1; 1 ]
+    picks
 
 let test_op_imbalance_override () =
   let f = mk_fake () in
@@ -358,6 +400,9 @@ let () =
           Alcotest.test_case "tie to least loaded" `Quick test_op_tie_breaks_least_loaded;
           Alcotest.test_case "stall over steer" `Quick test_op_stall_over_steer;
           Alcotest.test_case "imbalance override" `Quick test_op_imbalance_override;
+          Alcotest.test_case "rotates exact ties" `Quick test_op_rotates_exact_ties;
+          Alcotest.test_case "rotation keeps untied picks" `Quick
+            test_op_rotation_never_overrides_untied_picks;
         ] );
       ( "op-parallel",
         [

@@ -397,7 +397,35 @@ let test_parallel_propagates_exception () =
 
 let test_parallel_default_domains () =
   check_bool "at least one" true (Parallel.default_domains () >= 1);
-  check_bool "capped" true (Parallel.default_domains () <= 8)
+  check_bool "capped" true
+    (Parallel.default_domains () <= Parallel.default_domain_cap);
+  check_int "documented cap" 8 Parallel.default_domain_cap
+
+let test_parallel_chunked_matches_sequential () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * 3) - 1 in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk %d" chunk)
+        (List.map f xs)
+        (Parallel.map ~domains:4 ~chunk f xs))
+    [ 1; 2; 5; 37; 100 ]
+
+let test_parallel_rejects_bad_chunk () =
+  Alcotest.check_raises "chunk 0"
+    (Invalid_argument "Parallel.map: chunk must be positive") (fun () ->
+      ignore (Parallel.map ~domains:2 ~chunk:0 Fun.id [ 1 ]))
+
+let test_parallel_exception_keeps_backtrace () =
+  (* The re-raise must preserve the worker's exception payload; raising
+     from a chunked multi-domain run exercises the backtrace-carrying
+     failure slot. *)
+  Alcotest.check_raises "worker failure" (Failure "chunked boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:4 ~chunk:3
+           (fun x -> if x = 17 then failwith "chunked boom" else x)
+           (List.init 32 Fun.id)))
 
 (* ---- Table / Csv ---------------------------------------------------- *)
 
@@ -510,6 +538,11 @@ let () =
           Alcotest.test_case "empty and singleton" `Quick test_parallel_empty_and_singleton;
           Alcotest.test_case "propagates exception" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "default domains" `Quick test_parallel_default_domains;
+          Alcotest.test_case "chunked matches sequential" `Quick
+            test_parallel_chunked_matches_sequential;
+          Alcotest.test_case "rejects bad chunk" `Quick test_parallel_rejects_bad_chunk;
+          Alcotest.test_case "exception keeps backtrace" `Quick
+            test_parallel_exception_keeps_backtrace;
         ] );
       ( "plot",
         [
