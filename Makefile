@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench bench-smoke fmt smoke clean
+.PHONY: all build test bench bench-smoke serve-smoke fmt smoke clean
 
 all: build
 
@@ -25,6 +25,42 @@ bench-smoke: build
 	  _build/bench.json
 	@echo "bench-smoke: OK (_build/bench.json)"
 
+# End-to-end slice of the service layer: start a server on a temp
+# socket, submit the same small batch twice, and assert over the wire
+# that (1) the second run is served entirely from cache with
+# bit-identical bytes and 0 simulations run, (2) an already-expired
+# deadline is rejected with timeout, not simulated, and (3) the
+# hit/miss/simulation counters agree.
+serve-smoke: build
+	@rm -rf _build/serve-smoke && mkdir -p _build/serve-smoke
+	@set -e; \
+	csteer=_build/default/bin/csteer.exe; d=_build/serve-smoke; \
+	$$csteer serve --socket $$d/serve.sock --cache-dir $$d/cache \
+	  2> $$d/serve.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do [ -S $$d/serve.sock ] && break; sleep 0.1; done; \
+	[ -S $$d/serve.sock ] || { echo "serve-smoke: server did not start"; exit 1; }; \
+	printf '%s\n%s\n' \
+	  '{"workload":"gzip-1","policy":"vc2","uops":2000}' \
+	  '{"workload":"mcf","policy":"op","uops":2000}' > $$d/batch.jsonl; \
+	$$csteer batch --socket $$d/serve.sock --results-only $$d/batch.jsonl \
+	  > $$d/first.jsonl 2> $$d/first.log; \
+	$$csteer batch --socket $$d/serve.sock --results-only $$d/batch.jsonl \
+	  > $$d/second.jsonl 2> $$d/second.log; \
+	cmp $$d/first.jsonl $$d/second.jsonl; \
+	grep -q '2 ok (2 cached)' $$d/second.log; \
+	$$csteer submit --socket $$d/serve.sock -w gzip-1 -n 3000 \
+	  --deadline-ms 0 --json > $$d/timeout.json; \
+	grep -q '"reason":"timeout"' $$d/timeout.json; \
+	$$csteer submit --socket $$d/serve.sock --stats > $$d/stats.json; \
+	grep -q '"serve.cache.hits":2' $$d/stats.json; \
+	grep -q '"serve.cache.misses":3' $$d/stats.json; \
+	grep -q '"serve.simulations":2' $$d/stats.json; \
+	grep -q '"serve.rejected.timeout":1' $$d/stats.json; \
+	$$csteer submit --socket $$d/serve.sock --shutdown 2>> $$d/serve.log; \
+	wait $$pid; trap - EXIT; \
+	echo "serve-smoke: OK (_build/serve-smoke)"
+
 # Formatting is checked only where the formatter exists; the dune rules
 # are always available (`dune build @fmt`) once ocamlformat is installed.
 fmt:
@@ -35,10 +71,12 @@ fmt:
 	fi
 
 # Fast end-to-end confidence: full build, the test suite, a parallel
-# deterministic sweep, the bench smoke, and one traced 10k-uop
-# simulation whose Chrome trace must be valid JSON with interval
-# telemetry.
-smoke: build test fmt bench-smoke
+# deterministic sweep, the bench smoke, the service-layer smoke, the
+# quickstart example (so examples/ cannot bit-rot silently), and one
+# traced 10k-uop simulation whose Chrome trace must be valid JSON with
+# interval telemetry.
+smoke: build test fmt bench-smoke serve-smoke
+	dune exec examples/quickstart.exe
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \
 	  --stats-interval 1000

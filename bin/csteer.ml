@@ -4,7 +4,10 @@
      list        enumerate the SPEC CPU2000 workload profiles
      simulate    run one simulation point under one configuration
      compile     run a software pass and print the partition summary
-     experiment  regenerate a paper table or figure *)
+     experiment  regenerate a paper table or figure
+     serve       run the long-lived simulation service on a Unix socket
+     submit      send one request (or a stats/shutdown command) to a server
+     batch       send a newline-JSON batch of requests to a server *)
 
 open Cmdliner
 module Config = Clusteer_uarch.Config
@@ -17,6 +20,21 @@ module Pinpoints = Clusteer_workloads.Pinpoints
 module Synth = Clusteer_workloads.Synth
 module Runner = Clusteer_harness.Runner
 module Experiments = Clusteer_harness.Experiments
+module Serve = Clusteer_serve
+
+(* Every subcommand body runs under this guard: an unwritable output
+   path (--trace-out, CSV/report destinations, a dead server socket)
+   surfaces as a one-line diagnostic and a non-zero exit, not a raw
+   backtrace. *)
+let protect f =
+  try f () with
+  | Sys_error msg ->
+      Printf.eprintf "csteer: %s\n" msg;
+      exit 1
+  | Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "csteer: %s: %s%s\n" fn (Unix.error_message err)
+        (if arg = "" then "" else Printf.sprintf " (%s)" arg);
+      exit 1
 
 (* ---- shared arguments -------------------------------------------- *)
 
@@ -33,31 +51,10 @@ let uops_arg default =
   Arg.(value & opt int default & info [ "n"; "uops" ] ~doc)
 
 let config_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "op" -> Ok Clusteer.Configuration.Op
-    | "one-cluster" | "one" -> Ok Clusteer.Configuration.One_cluster
-    | "ob" -> Ok Clusteer.Configuration.Ob
-    | "rhop" -> Ok Clusteer.Configuration.Rhop
-    | "op-parallel" -> Ok Clusteer.Configuration.Op_parallel
-    | "dep" -> Ok Clusteer.Configuration.Dep
-    | "crit" -> Ok Clusteer.Configuration.Crit
-    | "thermal" -> Ok Clusteer.Configuration.Thermal
-    | s when String.length s > 3 && String.sub s 0 3 = "mod" -> (
-        match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-        | Some n when n > 0 -> Ok (Clusteer.Configuration.Mod_n { n })
-        | _ -> Error (`Msg "modN needs a positive N"))
-    | s when String.length s > 2 && String.sub s 0 2 = "vc" -> (
-        match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
-        | Some v when v > 0 ->
-            Ok (Clusteer.Configuration.Vc { virtual_clusters = v })
-        | _ -> Error (`Msg "vcN needs a positive N"))
-    | _ -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
-  in
   let print ppf c =
     Format.pp_print_string ppf (Clusteer.Configuration.name c)
   in
-  Arg.conv (parse, print)
+  Arg.conv (Clusteer.Configuration.of_name, print)
 
 let config_arg =
   let doc =
@@ -121,6 +118,7 @@ let energy_json (e : Clusteer_uarch.Energy.breakdown) =
 
 let simulate workload clusters config uops phase trace_out trace_format
     stats_interval json_out =
+  protect @@ fun () ->
   match Spec2000.find workload with
   | exception Not_found ->
       Printf.eprintf "unknown workload %S (try `csteer list`)\n" workload;
@@ -161,19 +159,15 @@ let simulate workload clusters config uops phase trace_out trace_format
       Option.iter
         (fun path ->
           let c = Option.get collector in
-          (try
-             match trace_format with
+          (match trace_format with
           | Trace_json ->
               Obs.Chrome_trace.write ~path ~clusters
                 ~events:(Obs.Collector.events c)
                 ~samples:(Obs.Collector.samples c)
-             | Trace_csv ->
-                 Clusteer_util.Csv.write ~path
-                   ~header:(Obs.Interval.csv_header ~clusters)
-                   (List.map Obs.Interval.csv_row (Obs.Collector.samples c))
-           with Sys_error msg ->
-             Printf.eprintf "cannot write trace: %s\n" msg;
-             exit 1);
+          | Trace_csv ->
+              Clusteer_util.Csv.write ~path
+                ~header:(Obs.Interval.csv_header ~clusters)
+                (List.map Obs.Interval.csv_row (Obs.Collector.samples c)));
           Printf.eprintf "trace written to %s (%d events kept, %d dropped)\n"
             path
             (List.length (Obs.Collector.events c))
@@ -270,6 +264,7 @@ let simulate_cmd =
 (* ---- compile ------------------------------------------------------- *)
 
 let compile workload clusters config emit =
+  protect @@ fun () ->
   match Spec2000.find workload with
   | exception Not_found ->
       Printf.eprintf "unknown workload %S\n" workload;
@@ -348,6 +343,7 @@ let stats_cmd =
 (* ---- sweep ------------------------------------------------------------ *)
 
 let sweep workload uops out =
+  protect @@ fun () ->
   match Spec2000.find workload with
   | exception Not_found ->
       Printf.eprintf "unknown workload %S\n" workload;
@@ -485,6 +481,7 @@ let subset_profiles = function
       Some (List.map Spec2000.find names)
 
 let experiment which uops benchmarks csv_dir domains =
+  protect @@ fun () ->
   let profiles = subset_profiles benchmarks in
   match which with
   | "tables" ->
@@ -566,6 +563,313 @@ let experiment_cmd =
     Term.(
       const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains)
 
+(* ---- serve / submit / batch ---------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the simulation service." in
+  Arg.(
+    value
+    & opt string "_build/serve.sock"
+    & info [ "s"; "socket" ] ~doc ~docv:"PATH")
+
+let serve socket queue_depth domains cache_mb cache_dir =
+  protect @@ fun () ->
+  if queue_depth < 1 then begin
+    Printf.eprintf "--queue-depth must be positive\n";
+    exit 1
+  end;
+  if cache_mb < 0 then begin
+    Printf.eprintf "--cache-mb must be non-negative\n";
+    exit 1
+  end;
+  let cfg =
+    {
+      (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.queue_depth;
+      domains;
+      cache_budget = cache_mb * 1024 * 1024;
+      cache_dir;
+      log = (fun msg -> Printf.eprintf "csteer serve: %s\n%!" msg);
+    }
+  in
+  Serve.Server.serve cfg
+
+let serve_cmd =
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ]
+          ~doc:
+            "Admission bound: simulate requests beyond this many \
+             in-flight misses per batch are rejected with \
+             $(b,queue_full) instead of queued without bound."
+          ~docv:"N")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Worker-pool domains (default: the harness default, capped at 8)."
+          ~docv:"N")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ]
+          ~doc:"In-memory result-cache budget, in megabytes." ~docv:"MB")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~doc:
+            "Spill evicted cache entries to $(docv)/<hash>.json and serve \
+             misses from there (e.g. $(b,_cache))."
+          ~docv:"DIR")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch simulation service on a Unix-domain socket until a \
+          client sends shutdown")
+    Term.(
+      const serve $ socket_arg $ queue_depth $ domains $ cache_mb $ cache_dir)
+
+let print_simulate_response ~json line =
+  if json then print_endline line
+  else
+    match Serve.Protocol.parse_response line with
+    | Error e ->
+        Printf.eprintf "csteer: unparseable response: %s\n" e;
+        exit 1
+    | Ok (Serve.Protocol.Result { hash; cached; result; _ }) ->
+        let ipc =
+          Option.bind (Json.member "stats" result) (Json.member "ipc")
+          |> Option.map Json.to_float |> Option.join
+        in
+        let cycles =
+          Option.bind (Json.member "stats" result) (Json.member "cycles")
+          |> Option.map Json.to_int |> Option.join
+        in
+        Printf.printf "%s %s ipc=%s cycles=%s\n" hash
+          (if cached then "cached" else "simulated")
+          (match ipc with Some v -> Printf.sprintf "%.4f" v | None -> "?")
+          (match cycles with Some v -> string_of_int v | None -> "?")
+    | Ok (Serve.Protocol.Rejected { reason; _ }) ->
+        Printf.eprintf "csteer: rejected: %s\n"
+          (Serve.Protocol.reject_reason_name reason);
+        exit 1
+    | Ok (Serve.Protocol.Error_reply { message; _ }) ->
+        Printf.eprintf "csteer: server error: %s\n" message;
+        exit 1
+    | Ok _ ->
+        Printf.eprintf "csteer: unexpected response\n";
+        exit 1
+
+let submit socket workload phase clusters config uops warmup seed deadline_ms
+    stats shutdown json =
+  protect @@ fun () ->
+  if shutdown then begin
+    match Serve.Client.shutdown ~socket with
+    | Ok () -> if not json then Printf.eprintf "server shut down\n"
+    | Error e ->
+        Printf.eprintf "csteer: %s\n" e;
+        exit 1
+  end
+  else if stats then begin
+    match Serve.Client.stats ~socket with
+    | Ok doc -> print_endline (Json.to_string doc)
+    | Error e ->
+        Printf.eprintf "csteer: %s\n" e;
+        exit 1
+  end
+  else
+    match workload with
+    | None ->
+        Printf.eprintf
+          "csteer: submit needs -w WORKLOAD (or --stats / --shutdown)\n";
+        exit 1
+    | Some workload ->
+        let request =
+          Serve.Request.make ~workload ~phase ~clusters ~policy:config ~uops
+            ?warmup ?seed ()
+        in
+        let line =
+          Serve.Protocol.encode_command
+            (Serve.Protocol.Simulate { id = 0; deadline_ms; request })
+        in
+        (match Serve.Client.call_lines ~socket [ line ] with
+        | [ reply ] -> print_simulate_response ~json reply
+        | _ ->
+            Printf.eprintf "csteer: server closed the connection early\n";
+            exit 1)
+
+let submit_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~doc:"Workload name (e.g. 181.mcf or mcf).")
+  in
+  let phase =
+    Arg.(value & opt int 0 & info [ "phase" ] ~doc:"Simulation point index.")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "warmup" ] ~doc:"Explicit warmup budget (default: derived).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Explicit trace seed (default: derived).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request deadline in milliseconds from arrival; an already \
+             expired deadline (<= 0) is rejected with $(b,timeout) without \
+             simulating."
+          ~docv:"MS")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the server's counter registry as JSON and exit.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the server.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw response line (always exit 0).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit one simulation request to a running csteer serve")
+    Term.(
+      const submit $ socket_arg $ workload $ phase $ clusters_arg $ config_arg
+      $ uops_arg 20_000 $ warmup $ seed $ deadline_ms $ stats $ shutdown
+      $ json)
+
+(* Extract the verbatim result document from an ok response line; the
+   encoder places it last, so this preserves byte identity. *)
+let result_of_line line =
+  let marker = {|,"result":|} in
+  let mlen = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub line i mlen = marker then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i -> String.sub line (i + mlen) (n - i - mlen - 1))
+    (find 0)
+
+let batch socket file deadline_ms results_only =
+  protect @@ fun () ->
+  let read_all ic =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let raw =
+    if file = "-" then read_all stdin
+    else begin
+      let ic = open_in file in
+      let lines = read_all ic in
+      close_in ic;
+      lines
+    end
+  in
+  let raw = List.filter (fun l -> String.trim l <> "") raw in
+  let commands =
+    List.mapi
+      (fun i line ->
+        match Json.of_string line with
+        | Error e ->
+            Printf.eprintf "csteer: line %d: %s\n" (i + 1) e;
+            exit 1
+        | Ok doc -> (
+            match Json.member "op" doc with
+            | Some _ -> String.trim line (* full protocol envelope *)
+            | None -> (
+                (* bare canonical request object *)
+                match Serve.Request.of_json doc with
+                | Error e ->
+                    Printf.eprintf "csteer: line %d: %s\n" (i + 1) e;
+                    exit 1
+                | Ok request ->
+                    Serve.Protocol.encode_command
+                      (Serve.Protocol.Simulate
+                         { id = i + 1; deadline_ms; request }))))
+      raw
+  in
+  let replies = Serve.Client.call_lines ~socket commands in
+  let ok = ref 0 and cached = ref 0 and rejected = ref 0 and errors = ref 0 in
+  List.iter
+    (fun line ->
+      (match Serve.Protocol.parse_response line with
+      | Ok (Serve.Protocol.Result { cached = c; _ }) ->
+          incr ok;
+          if c then incr cached
+      | Ok (Serve.Protocol.Rejected _) -> incr rejected
+      | Ok (Serve.Protocol.Error_reply _) | Error _ -> incr errors
+      | Ok _ -> ());
+      if results_only then
+        Option.iter print_endline (result_of_line line)
+      else print_endline line)
+    replies;
+  Printf.eprintf "batch: %d ok (%d cached), %d rejected, %d error(s)\n" !ok
+    !cached !rejected !errors;
+  if List.length replies < List.length commands then begin
+    Printf.eprintf "csteer: server closed the connection early\n";
+    exit 1
+  end
+
+let batch_cmd =
+  let file =
+    let doc =
+      "Newline-JSON input: one request per line, either a bare canonical \
+       request object ({\"workload\":...,...}) or a full protocol envelope \
+       ({\"op\":\"simulate\",...}); $(b,-) reads stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:"Deadline applied to every bare request line." ~docv:"MS")
+  in
+  let results_only =
+    Arg.(
+      value & flag
+      & info [ "results-only" ]
+          ~doc:
+            "Print only the result documents of successful responses \
+             (verbatim bytes — two runs of an identical batch produce \
+             identical output).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Submit a newline-JSON batch of requests to a running csteer serve")
+    Term.(const batch $ socket_arg $ file $ deadline_ms $ results_only)
+
 let main =
   let doc =
     "clusteer: software-hardware hybrid steering for clustered \
@@ -574,7 +878,7 @@ let main =
   Cmd.group (Cmd.info "csteer" ~doc)
     [
       list_cmd; simulate_cmd; compile_cmd; stats_cmd; sweep_cmd; vliw_cmd;
-      experiment_cmd;
+      experiment_cmd; serve_cmd; submit_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -25,6 +25,26 @@ let name = function
   | Crit -> "crit"
   | Thermal -> "thermal"
 
+let of_name s =
+  match String.lowercase_ascii s with
+  | "op" -> Ok Op
+  | "one-cluster" | "one" -> Ok One_cluster
+  | "ob" -> Ok Ob
+  | "rhop" -> Ok Rhop
+  | "op-parallel" -> Ok Op_parallel
+  | "dep" -> Ok Dep
+  | "crit" -> Ok Crit
+  | "thermal" -> Ok Thermal
+  | s when String.length s > 3 && String.sub s 0 3 = "mod" -> (
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some n when n > 0 -> Ok (Mod_n { n })
+      | _ -> Error (`Msg "modN needs a positive N"))
+  | s when String.length s > 2 && String.sub s 0 2 = "vc" -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some v when v > 0 -> Ok (Vc { virtual_clusters = v })
+      | _ -> Error (`Msg "vcN needs a positive N"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
+
 let description = function
   | Op -> "Occupancy-aware steering [15]"
   | One_cluster -> "Every instruction goes to one cluster"

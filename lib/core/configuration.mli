@@ -35,6 +35,12 @@ type t =
 val name : t -> string
 (** Short identifier, e.g. ["vc2"]. *)
 
+val of_name : string -> (t, [ `Msg of string ]) result
+(** Inverse of {!name} (case-insensitive; also accepts ["one"] for
+    ["one-cluster"]). The CLI's [--policy] parser and the service
+    layer's request decoder both go through this, so the wire name of
+    a policy is the same everywhere. *)
+
 val description : t -> string
 (** Table 3 description. *)
 

@@ -74,14 +74,27 @@ let run_point ?warmup ?obs ?registry ~machine ~configs ~uops point =
   in
   { point; runs }
 
-(* Parallel core: shard (profile x point) pairs over domains. Each
-   shard simulates against a private counter registry, so concurrent
-   engines and policies never touch shared mutable observability
-   state; the per-shard registries are merged into [Counters.default]
-   afterwards, in input order. The simulation itself is deterministic
-   per point (pure function of the trace seed and the machine), and
-   [Parallel.map] preserves input order, so a parallel run returns
-   results bit-identical to a sequential one. *)
+(* Registry-isolated parallel map: each item runs against a private
+   counter registry, so concurrent engines and policies never touch
+   shared mutable observability state; the per-item registries are
+   merged into [into] afterwards, in input order. [Parallel.map]
+   preserves input order, so as long as [f] is deterministic per item
+   a parallel run returns results (and merged counter totals)
+   bit-identical to a sequential one. The suite sweeps below and the
+   service layer's worker pool (lib/serve) both build on this. *)
+let map_isolated ?domains ?chunk ?(into = Counters.default) f items =
+  let shard item =
+    let registry = Counters.create () in
+    let result = f ~registry item in
+    (result, registry)
+  in
+  let sharded = Clusteer_util.Parallel.map ?domains ?chunk shard items in
+  List.iter (fun (_, registry) -> Counters.merge ~into registry) sharded;
+  List.map fst sharded
+
+(* Parallel core: shard (profile x point) pairs over domains. The
+   simulation is deterministic per point (a pure function of the trace
+   seed and the machine), so [map_isolated]'s guarantee applies. *)
 let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ~machine
     ~configs ~uops profiles =
   let items =
@@ -90,17 +103,11 @@ let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ~machine
         List.map (fun point -> (profile, point)) (Pinpoints.points profile))
       profiles
   in
-  let shard ((profile : Profile.t), point) =
-    if point.Pinpoints.index = 0 then progress profile.Profile.name;
-    let registry = Counters.create () in
-    let result = run_point ?warmup ~registry ~machine ~configs ~uops point in
-    (result, registry)
-  in
-  let sharded = Clusteer_util.Parallel.map ?domains ?chunk shard items in
-  List.iter
-    (fun (_, registry) -> Counters.merge ~into:Counters.default registry)
-    sharded;
-  List.map fst sharded
+  map_isolated ?domains ?chunk
+    (fun ~registry ((profile : Profile.t), point) ->
+      if point.Pinpoints.index = 0 then progress profile.Profile.name;
+      run_point ?warmup ~registry ~machine ~configs ~uops point)
+    items
 
 let run_benchmark ?warmup ?domains ?chunk ~machine ~configs ~uops profile =
   run_points ?warmup ?domains ?chunk ~machine ~configs ~uops [ profile ]

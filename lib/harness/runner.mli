@@ -72,6 +72,21 @@ val run_workload :
     configuration on the identical trace. [obs] and [registry] as in
     {!run_point}. *)
 
+val map_isolated :
+  ?domains:int ->
+  ?chunk:int ->
+  ?into:Clusteer_obs.Counters.registry ->
+  (registry:Clusteer_obs.Counters.registry -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** Registry-isolated parallel map: run [f] over the items on up to
+    [domains] domains, handing each item a {b private} counter
+    registry, then merge the per-item registries into [into] (default
+    {!Clusteer_obs.Counters.default}) in input order. Results keep
+    input order. This is the primitive behind {!run_suite} and the
+    service layer's worker pool: as long as [f] is deterministic per
+    item, a parallel run is bit-identical to a sequential one. *)
+
 val run_benchmark :
   ?warmup:int ->
   ?domains:int ->

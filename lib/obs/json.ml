@@ -240,6 +240,8 @@ let member key = function
   | _ -> None
 
 let to_int = function Int n -> Some n | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 
 let to_float = function
   | Float f -> Some f

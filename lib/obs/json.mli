@@ -32,6 +32,12 @@ val member : string -> t -> t option
 val to_int : t -> int option
 (** [Int n] gives [Some n]; everything else [None]. *)
 
+val to_str : t -> string option
+(** [Str s] gives [Some s]; everything else [None]. *)
+
+val to_bool : t -> bool option
+(** [Bool b] gives [Some b]; everything else [None]. *)
+
 val to_float : t -> float option
 (** [Float] or [Int] as a float; everything else [None]. *)
 

@@ -1,0 +1,53 @@
+let call_lines ~socket lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines;
+      flush oc;
+      (* Half-close: the server reads until EOF before dispatching the
+         batch, then writes its responses back on the same socket. *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr fd in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let call ~socket commands =
+  let replies =
+    call_lines ~socket (List.map Protocol.encode_command commands)
+  in
+  let parsed = List.map Protocol.parse_response replies in
+  let missing = List.length commands - List.length parsed in
+  if missing > 0 then
+    parsed @ List.init missing (fun _ -> Error "connection closed early")
+  else parsed
+
+let one ~socket command =
+  match call ~socket [ command ] with
+  | [ r ] -> r
+  | _ -> Error "expected exactly one response"
+
+let submit ~socket ?(id = 0) ?deadline_ms request =
+  one ~socket (Protocol.Simulate { id; deadline_ms; request })
+
+let stats ~socket =
+  match one ~socket Protocol.Stats with
+  | Ok (Protocol.Stats_reply s) -> Ok s
+  | Ok _ -> Error "unexpected response to stats"
+  | Error e -> Error e
+
+let shutdown ~socket =
+  match one ~socket Protocol.Shutdown with
+  | Ok Protocol.Bye -> Ok ()
+  | Ok _ -> Error "unexpected response to shutdown"
+  | Error e -> Error e

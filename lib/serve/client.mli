@@ -1,0 +1,26 @@
+(** Blocking client for the simulation service.
+
+    One call = one connection = one batch: write every command line,
+    shut down the write side, read one response line per command. *)
+
+val call_lines : socket:string -> string list -> string list
+(** Raw exchange. Raises [Unix.Unix_error] if the socket is absent or
+    refuses (e.g. no server running). *)
+
+val call : socket:string -> Protocol.command list -> (Protocol.response, string) result list
+(** {!call_lines} plus per-line response parsing; result order matches
+    command order. *)
+
+val submit :
+  socket:string ->
+  ?id:int ->
+  ?deadline_ms:float ->
+  Request.t ->
+  (Protocol.response, string) result
+(** Submit a single simulation request. *)
+
+val stats : socket:string -> (Clusteer_obs.Json.t, string) result
+(** Fetch the server's counter-registry snapshot. *)
+
+val shutdown : socket:string -> (unit, string) result
+(** Ask the server to stop after this connection. *)

@@ -1,0 +1,144 @@
+module Json = Clusteer_obs.Json
+
+type command =
+  | Simulate of { id : int; deadline_ms : float option; request : Request.t }
+  | Stats
+  | Ping
+  | Shutdown
+
+type reject_reason = Queue_full | Timeout
+
+type response =
+  | Result of { id : int; hash : string; cached : bool; result : Json.t }
+  | Rejected of { id : int; reason : reject_reason }
+  | Error_reply of { id : int; message : string }
+  | Stats_reply of Json.t
+  | Pong
+  | Bye
+
+let reject_reason_name = function
+  | Queue_full -> "queue_full"
+  | Timeout -> "timeout"
+
+(* Deadlines are delivery metadata, not request content; they are the
+   one place the wire format carries a decimal float. Encode with
+   enough digits to round-trip ms-scale values exactly for practical
+   purposes; nothing hashes these bytes. *)
+let deadline_json = function
+  | None -> Json.Null
+  | Some ms -> Json.Float ms
+
+let encode_command = function
+  | Simulate { id; deadline_ms; request } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("op", Json.Str "simulate");
+             ("id", Json.Int id);
+             ("deadline_ms", deadline_json deadline_ms);
+             ("request", Request.canonical request);
+           ])
+  | Stats -> {|{"op":"stats"}|}
+  | Ping -> {|{"op":"ping"}|}
+  | Shutdown -> {|{"op":"shutdown"}|}
+
+let ( let* ) = Result.bind
+
+let parse_command line =
+  let* doc = Json.of_string line in
+  match Json.member "op" doc with
+  | Some (Json.Str "simulate") ->
+      let id =
+        Option.value ~default:0 (Option.bind (Json.member "id" doc) Json.to_int)
+      in
+      let deadline_ms =
+        Option.bind (Json.member "deadline_ms" doc) Json.to_float
+      in
+      let* request =
+        match Json.member "request" doc with
+        | Some r -> Request.of_json r
+        | None -> Error "simulate: missing request"
+      in
+      Ok (Simulate { id; deadline_ms; request })
+  | Some (Json.Str "stats") -> Ok Stats
+  | Some (Json.Str "ping") -> Ok Ping
+  | Some (Json.Str "shutdown") -> Ok Shutdown
+  | Some (Json.Str op) -> Error (Printf.sprintf "unknown op %S" op)
+  | _ -> Error "missing op field"
+
+let encode_response = function
+  | Result { id; hash; cached; result } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("status", Json.Str "ok");
+             ("hash", Json.Str hash);
+             ("cached", Json.Bool cached);
+             ("result", result);
+           ])
+  | Rejected { id; reason } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("status", Json.Str "rejected");
+             ("reason", Json.Str (reject_reason_name reason));
+           ])
+  | Error_reply { id; message } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("status", Json.Str "error");
+             ("message", Json.Str message);
+           ])
+  | Stats_reply stats ->
+      Json.to_string
+        (Json.Obj [ ("status", Json.Str "ok"); ("stats", stats) ])
+  | Pong -> {|{"status":"ok","pong":true}|}
+  | Bye -> {|{"status":"ok","bye":true}|}
+
+let encode_result_line ~id ~hash ~cached ~result =
+  Printf.sprintf {|{"id":%d,"status":"ok","hash":%s,"cached":%b,"result":%s}|}
+    id
+    (Json.to_string (Json.Str hash))
+    cached result
+
+let parse_response line =
+  let* doc = Json.of_string line in
+  let id =
+    Option.value ~default:0 (Option.bind (Json.member "id" doc) Json.to_int)
+  in
+  match Option.bind (Json.member "status" doc) Json.to_str with
+  | Some "ok" -> (
+      match Json.member "result" doc with
+      | Some result ->
+          let hash =
+            Option.value ~default:""
+              (Option.bind (Json.member "hash" doc) Json.to_str)
+          in
+          let cached =
+            Option.value ~default:false
+              (Option.bind (Json.member "cached" doc) Json.to_bool)
+          in
+          Ok (Result { id; hash; cached; result })
+      | None -> (
+          match Json.member "stats" doc with
+          | Some stats -> Ok (Stats_reply stats)
+          | None ->
+              if Json.member "pong" doc <> None then Ok Pong
+              else if Json.member "bye" doc <> None then Ok Bye
+              else Error "ok response without payload"))
+  | Some "rejected" -> (
+      match Option.bind (Json.member "reason" doc) Json.to_str with
+      | Some "queue_full" -> Ok (Rejected { id; reason = Queue_full })
+      | Some "timeout" -> Ok (Rejected { id; reason = Timeout })
+      | _ -> Error "rejected response without a known reason")
+  | Some "error" ->
+      let message =
+        Option.value ~default:"unknown error"
+          (Option.bind (Json.member "message" doc) Json.to_str)
+      in
+      Ok (Error_reply { id; message })
+  | _ -> Error "missing status field"

@@ -1,0 +1,105 @@
+(* Hash table over an intrusive doubly linked list: [head] is the
+   most-recently-used end, [tail] the eviction end. Nodes are never
+   shared outside the table, so mutation stays local. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable node_cost : int;
+  mutable prev : 'a node option;  (* towards head / MRU *)
+  mutable next : 'a node option;  (* towards tail / LRU *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  budget : int;
+  on_evict : string -> 'a -> unit;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable used : int;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~budget () =
+  if budget < 0 then invalid_arg "Lru.create: negative budget";
+  {
+    tbl = Hashtbl.create 64;
+    budget;
+    on_evict;
+    head = None;
+    tail = None;
+    used = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+      promote t n;
+      Some n.value
+
+let peek t key =
+  Option.map (fun n -> n.value) (Hashtbl.find_opt t.tbl key)
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let drop t n =
+  Hashtbl.remove t.tbl n.key;
+  unlink t n;
+  t.used <- t.used - n.node_cost
+
+let rec evict_to_budget t =
+  if t.used > t.budget then
+    match t.tail with
+    | None -> ()
+    | Some n ->
+        drop t n;
+        t.on_evict n.key n.value;
+        evict_to_budget t
+
+let add t key ~cost value =
+  if cost < 0 then invalid_arg "Lru.add: negative cost";
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.used <- t.used - n.node_cost + cost;
+      n.value <- value;
+      n.node_cost <- cost;
+      promote t n
+  | None ->
+      let n = { key; value; node_cost = cost; prev = None; next = None } in
+      Hashtbl.add t.tbl key n;
+      push_front t n;
+      t.used <- t.used + cost);
+  evict_to_budget t
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some n -> drop t n
+
+let length t = Hashtbl.length t.tbl
+let cost t = t.used
+let budget t = t.budget
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

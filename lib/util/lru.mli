@@ -1,0 +1,47 @@
+(** String-keyed LRU map with a byte budget.
+
+    Backs the simulation service's content-addressed result cache, but
+    is policy-agnostic: every entry carries an explicit [cost] (bytes,
+    usually) and the map evicts least-recently-used entries whenever
+    the summed cost exceeds the budget. Lookups through {!find}
+    promote the entry to most-recently-used; {!peek} and {!mem} do
+    not. An [on_evict] hook observes every eviction (the service layer
+    uses it to spill evicted results to disk).
+
+    All operations are O(1) expected (hash table + intrusive doubly
+    linked list). Not thread-safe; callers serialize access. *)
+
+type 'a t
+
+val create : ?on_evict:(string -> 'a -> unit) -> budget:int -> unit -> 'a t
+(** [create ~budget ()] makes an empty map holding at most [budget]
+    total cost. Raises [Invalid_argument] if [budget < 0]. A budget of
+    0 admits nothing: every {!add} evicts its own entry immediately
+    (after calling [on_evict]). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit becomes the most-recently-used entry. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without promotion. *)
+
+val mem : 'a t -> string -> bool
+
+val add : 'a t -> string -> cost:int -> 'a -> unit
+(** Insert, or replace an existing binding (replacement re-costs and
+    promotes it). Then evicts from the LRU end until the summed cost
+    fits the budget; [on_evict] fires once per evicted binding, in
+    eviction (least-recently-used first) order. Raises
+    [Invalid_argument] if [cost < 0]. *)
+
+val remove : 'a t -> string -> unit
+(** Drop a binding without calling [on_evict]; no-op when absent. *)
+
+val length : 'a t -> int
+val cost : 'a t -> int
+(** Summed cost of the live entries. *)
+
+val budget : 'a t -> int
+
+val keys : 'a t -> string list
+(** Keys from most- to least-recently used (test hook). *)

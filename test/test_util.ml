@@ -339,6 +339,94 @@ let test_vec_clear () =
   check_int "length reset" 0 (Vec.length v);
   check_int "value reset" 0 (Vec.get v 0)
 
+(* ---- Lru ------------------------------------------------------------ *)
+
+let check_keys = Alcotest.(check (list string))
+
+let test_lru_eviction_order () =
+  let evicted = ref [] in
+  let t =
+    Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~budget:3 ()
+  in
+  Lru.add t "a" ~cost:1 "A";
+  Lru.add t "b" ~cost:1 "B";
+  Lru.add t "c" ~cost:1 "C";
+  check_keys "mru order" [ "c"; "b"; "a" ] (Lru.keys t);
+  (* One unit over budget: the least-recently-used entry goes. *)
+  Lru.add t "d" ~cost:1 "D";
+  check_keys "a evicted first" [ "a" ] (List.rev !evicted);
+  check_keys "survivors" [ "d"; "c"; "b" ] (Lru.keys t);
+  (* A large insertion evicts from the LRU end until it fits. *)
+  Lru.add t "e" ~cost:3 "E";
+  check_keys "b then c then d" [ "a"; "b"; "c"; "d" ] (List.rev !evicted);
+  check_keys "only e" [ "e" ] (Lru.keys t)
+
+let test_lru_hit_promotion () =
+  let t = Lru.create ~budget:3 () in
+  Lru.add t "a" ~cost:1 "A";
+  Lru.add t "b" ~cost:1 "B";
+  Lru.add t "c" ~cost:1 "C";
+  (* Touch "a": it must now survive the next eviction instead of "b". *)
+  Alcotest.(check (option string)) "find hits" (Some "A") (Lru.find t "a");
+  Lru.add t "d" ~cost:1 "D";
+  check_keys "b evicted, a kept" [ "d"; "a"; "c" ] (Lru.keys t);
+  (* peek must NOT promote. *)
+  Alcotest.(check (option string)) "peek hits" (Some "C") (Lru.peek t "c");
+  Lru.add t "e" ~cost:1 "E";
+  check_keys "c evicted despite peek" [ "e"; "d"; "a" ] (Lru.keys t)
+
+let test_lru_byte_accounting () =
+  let t = Lru.create ~budget:100 () in
+  Lru.add t "a" ~cost:40 "A";
+  Lru.add t "b" ~cost:40 "B";
+  check_int "cost sums" 80 (Lru.cost t);
+  Lru.add t "c" ~cost:40 "C";
+  (* 120 > 100: "a" must go, leaving 80. *)
+  check_int "cost after eviction" 80 (Lru.cost t);
+  check_int "two entries" 2 (Lru.length t);
+  Lru.remove t "b";
+  check_int "cost after remove" 40 (Lru.cost t);
+  check_int "budget preserved" 100 (Lru.budget t)
+
+let test_lru_replace_recosts () =
+  let t = Lru.create ~budget:10 () in
+  Lru.add t "a" ~cost:4 "A";
+  Lru.add t "b" ~cost:4 "B";
+  Lru.add t "a" ~cost:6 "A2";
+  check_int "re-costed" 10 (Lru.cost t);
+  Alcotest.(check (option string)) "new value" (Some "A2") (Lru.peek t "a");
+  check_keys "replacement promotes" [ "a"; "b" ] (Lru.keys t)
+
+let test_lru_oversized_entry () =
+  let evicted = ref [] in
+  let t =
+    Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~budget:5 ()
+  in
+  (* An entry bigger than the whole budget is admitted and immediately
+     evicted (spill hook still observes it). *)
+  Lru.add t "big" ~cost:9 "B";
+  check_int "nothing resident" 0 (Lru.length t);
+  check_int "no residual cost" 0 (Lru.cost t);
+  check_keys "evict hook saw it" [ "big" ] !evicted
+
+let test_lru_remove () =
+  let evicted = ref 0 in
+  let t = Lru.create ~on_evict:(fun _ _ -> incr evicted) ~budget:10 () in
+  Lru.add t "a" ~cost:1 "A";
+  Lru.remove t "a";
+  Lru.remove t "a";
+  check_bool "gone" false (Lru.mem t "a");
+  check_int "remove is not eviction" 0 !evicted
+
+let test_lru_rejects_negatives () =
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Lru.create: negative budget") (fun () ->
+      ignore (Lru.create ~budget:(-1) () : unit Lru.t));
+  let t = Lru.create ~budget:1 () in
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Lru.add: negative cost") (fun () ->
+      Lru.add t "a" ~cost:(-1) ())
+
 (* ---- Plot ------------------------------------------------------------ *)
 
 let test_plot_empty () =
@@ -543,6 +631,16 @@ let () =
           Alcotest.test_case "rejects bad chunk" `Quick test_parallel_rejects_bad_chunk;
           Alcotest.test_case "exception keeps backtrace" `Quick
             test_parallel_exception_keeps_backtrace;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "hit promotion" `Quick test_lru_hit_promotion;
+          Alcotest.test_case "byte accounting" `Quick test_lru_byte_accounting;
+          Alcotest.test_case "replace re-costs" `Quick test_lru_replace_recosts;
+          Alcotest.test_case "oversized entry" `Quick test_lru_oversized_entry;
+          Alcotest.test_case "remove" `Quick test_lru_remove;
+          Alcotest.test_case "rejects negatives" `Quick test_lru_rejects_negatives;
         ] );
       ( "plot",
         [
