@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench bench-smoke serve-smoke fmt smoke clean
+.PHONY: all build test bench bench-smoke serve-smoke check fmt smoke clean
 
 all: build
 
@@ -61,6 +61,12 @@ serve-smoke: build
 	wait $$pid; trap - EXIT; \
 	echo "serve-smoke: OK (_build/serve-smoke)"
 
+# Static verification of every built-in workload under each software
+# steering scheme: IR well-formedness, chain/leader invariants and
+# static placement, with warnings promoted to failures.
+check: build
+	dune exec bin/csteer.exe -- check --all --strict
+
 # Formatting is checked only where the formatter exists; the dune rules
 # are always available (`dune build @fmt`) once ocamlformat is installed.
 fmt:
@@ -70,12 +76,13 @@ fmt:
 	  echo "fmt: ocamlformat not installed, skipping"; \
 	fi
 
-# Fast end-to-end confidence: full build, the test suite, a parallel
-# deterministic sweep, the bench smoke, the service-layer smoke, the
-# quickstart example (so examples/ cannot bit-rot silently), and one
-# traced 10k-uop simulation whose Chrome trace must be valid JSON with
+# Fast end-to-end confidence: full build, the test suite, the static
+# verifier over every built-in workload, a parallel deterministic
+# sweep, the bench smoke, the service-layer smoke, the quickstart
+# example (so examples/ cannot bit-rot silently), and one traced
+# 10k-uop simulation whose Chrome trace must be valid JSON with
 # interval telemetry.
-smoke: build test fmt bench-smoke serve-smoke
+smoke: build test check fmt bench-smoke serve-smoke
 	dune exec examples/quickstart.exe
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \

@@ -283,7 +283,12 @@ let compile workload clusters config emit =
           Clusteer_compiler.Diagnostics.of_annot ~program:w.Synth.program
             ~likely:w.Synth.likely ~annot ()
         in
-        Format.printf "%a@." Clusteer_compiler.Diagnostics.pp diag
+        Format.printf "%a@." Clusteer_compiler.Diagnostics.pp diag;
+        (* Partition-quality findings share the analyzer's diagnostic
+           vocabulary, so compile and check output read identically. *)
+        List.iter
+          (fun d -> Format.printf "%a@." Clusteer_isa.Diag.pp d)
+          (Clusteer_compiler.Diagnostics.findings diag)
       end
       else begin
         let assigned =
@@ -312,6 +317,271 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:"Run a software steering pass and summarise the partition")
     Term.(const compile $ workload_arg $ clusters_arg $ config_arg $ emit)
+
+(* ---- check --------------------------------------------------------- *)
+
+module Analysis = Clusteer_analysis
+module Diag = Clusteer_isa.Diag
+
+let split_csv s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+(* Default policy set: the three software schemes whose annotations the
+   analyzer has invariants for, plus the clusters-wide VC variant on
+   bigger machloads (Table 3's configuration list). *)
+let default_check_policies clusters =
+  let base =
+    [
+      Clusteer.Configuration.Ob;
+      Clusteer.Configuration.Rhop;
+      Clusteer.Configuration.Vc { virtual_clusters = 2 };
+    ]
+  in
+  if clusters <> 2 then
+    base @ [ Clusteer.Configuration.Vc { virtual_clusters = clusters } ]
+  else base
+
+let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
+    (profile : Profile.t) config =
+  let clusters = machine.Config.clusters in
+  let w = Synth.build profile in
+  let program = w.Synth.program and likely = w.Synth.likely in
+  let annot, policy =
+    Clusteer.Configuration.prepare config ~program ~likely ~clusters
+      ~region_uops ()
+  in
+  let annot =
+    match annot_file with
+    | None -> annot
+    | Some path -> Clusteer_isa.Annot_io.load ~path
+  in
+  let claimed =
+    if annot.Clusteer_isa.Annot.virtual_clusters > 0 then
+      Some
+        (Clusteer_compiler.Diagnostics.of_annot ~program ~likely ~annot
+           ~region_uops ())
+    else None
+  in
+  let critical =
+    match config with
+    | Clusteer.Configuration.Crit ->
+        Some (Clusteer_compiler.Crit_hints.compute ~program ~likely ~region_uops ())
+    | _ -> None
+  in
+  let events =
+    if dynamic && annot.Clusteer_isa.Annot.virtual_clusters > 0 then begin
+      (* Replay the actual policy on the real trace, recording every
+         steering decision for the DYN invariant pass. *)
+      let recording_policy, recorded = Analysis.Dyn_check.recording policy in
+      let prewarm =
+        Array.to_list
+          (Array.map Clusteer_trace.Mem_model.extent w.Synth.streams)
+      in
+      let engine =
+        Clusteer_uarch.Engine.create ~config:machine ~annot
+          ~policy:recording_policy ~prewarm ()
+      in
+      let gen = Synth.trace w ~seed:1 in
+      let (_ : Stats.t) =
+        Clusteer_uarch.Engine.run ~warmup:0 engine
+          ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+          ~uops:dynamic_uops
+      in
+      Some (recorded ())
+    end
+    else None
+  in
+  let label =
+    Printf.sprintf "%s/%s" profile.Profile.name
+      (Clusteer.Configuration.name config)
+  in
+  let target =
+    Analysis.Checker.target ~label ~region_uops ?claimed ?critical ?events
+      ~program ~likely ~annot ~config:machine ()
+  in
+  (label, Analysis.Checker.run ~passes target)
+
+let check all workloads clusters policies passes annot_file dynamic
+    dynamic_uops region_uops strict json =
+  protect @@ fun () ->
+  let passes =
+    match Analysis.Checker.select (split_csv passes) with
+    | Ok ps -> ps
+    | Error e ->
+        Printf.eprintf "csteer: %s (expected ir, vc, place, dyn)\n" e;
+        exit 2
+  in
+  let profiles =
+    if all then Spec2000.all
+    else
+      match workloads with
+      | None ->
+          Printf.eprintf "csteer: check needs -w WORKLOADS or --all\n";
+          exit 2
+      | Some names ->
+          List.map
+            (fun name ->
+              match Spec2000.find name with
+              | p -> p
+              | exception Not_found ->
+                  Printf.eprintf "unknown workload %S (try `csteer list`)\n"
+                    name;
+                  exit 2)
+            (split_csv names)
+  in
+  let configs =
+    match policies with
+    | None -> default_check_policies clusters
+    | Some names ->
+        List.map
+          (fun name ->
+            match Clusteer.Configuration.of_name name with
+            | Ok c -> c
+            | Error (`Msg e) ->
+                Printf.eprintf "csteer: %s\n" e;
+                exit 2)
+          (split_csv names)
+  in
+  (match annot_file with
+  | Some _ when List.length profiles > 1 || List.length configs > 1 ->
+      Printf.eprintf
+        "csteer: --annot applies to exactly one workload and one policy\n";
+      exit 2
+  | _ -> ());
+  let machine = Config.default ~clusters in
+  let reports =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (check_one ~machine ~passes ~region_uops ~annot_file ~dynamic
+             ~dynamic_uops profile)
+          configs)
+      profiles
+  in
+  let failed =
+    List.exists (fun (_, diags) -> Analysis.Checker.failed ~strict diags) reports
+  in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("strict", Json.Bool strict);
+              ("failed", Json.Bool failed);
+              ( "targets",
+                Json.List
+                  (List.map
+                     (fun (label, diags) ->
+                       Analysis.Checker.report_json ~label diags)
+                     reports) );
+            ]))
+  else begin
+    List.iter
+      (fun (label, diags) ->
+        let errors = Diag.count Diag.Error diags in
+        let warnings = Diag.count Diag.Warning diags in
+        let infos = Diag.count Diag.Info diags in
+        Printf.printf "%s: %d error(s), %d warning(s), %d info\n" label errors
+          warnings infos;
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Info || strict then
+              Format.printf "  %a@." Diag.pp d)
+          diags)
+      reports;
+    Printf.printf "checked %d target(s): %s\n" (List.length reports)
+      (if failed then "FAIL" else "ok")
+  end;
+  if failed then exit 1
+
+let check_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Check every built-in workload profile.")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workloads" ]
+          ~doc:"Comma-separated workload names (e.g. mcf,gzip)."
+          ~docv:"NAMES")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "policies" ]
+          ~doc:
+            "Comma-separated steering configurations to verify (default: \
+             ob,rhop,vc2, plus vcN on an N-cluster machine)."
+          ~docv:"NAMES")
+  in
+  let passes =
+    Arg.(
+      value & opt string ""
+      & info [ "passes" ]
+          ~doc:
+            "Comma-separated pass subset: $(b,ir), $(b,vc), $(b,place), \
+             $(b,dyn). Default: all applicable passes."
+          ~docv:"LIST")
+  in
+  let annot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "annot" ]
+          ~doc:
+            "Verify this annotation file (from $(b,csteer compile --emit)) \
+             instead of the freshly compiled one. Requires a single \
+             workload and policy."
+          ~docv:"FILE")
+  in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Also replay the steering policy on the real trace and verify \
+             the VC-table remap contract (leaders may remap, followers \
+             must follow).")
+  in
+  let dynamic_uops =
+    Arg.(
+      value & opt int 5_000
+      & info [ "dynamic-uops" ]
+          ~doc:"Committed micro-ops to replay under $(b,--dynamic)."
+          ~docv:"N")
+  in
+  let region_uops =
+    Arg.(
+      value & opt int 512
+      & info [ "region-uops" ]
+          ~doc:"Region size used when recomputing chains and slack."
+          ~docv:"N")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as failures (info never fails).")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print one JSON document with per-target diagnostics.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify programs and steering annotations: IR \
+          well-formedness, chain/leader invariants, static placement and \
+          (optionally) the dynamic remap contract")
+    Term.(
+      const check $ all $ workloads $ clusters_arg $ policies $ passes
+      $ annot_file $ dynamic $ dynamic_uops $ region_uops $ strict $ json_out)
 
 (* ---- stats ---------------------------------------------------------- *)
 
@@ -658,8 +928,11 @@ let print_simulate_response ~json line =
           (match ipc with Some v -> Printf.sprintf "%.4f" v | None -> "?")
           (match cycles with Some v -> string_of_int v | None -> "?")
     | Ok (Serve.Protocol.Rejected { reason; _ }) ->
-        Printf.eprintf "csteer: rejected: %s\n"
-          (Serve.Protocol.reject_reason_name reason);
+        Printf.eprintf "csteer: rejected: %s%s\n"
+          (Serve.Protocol.reject_reason_name reason)
+          (match reason with
+          | Serve.Protocol.Check_failed m -> ": " ^ m
+          | Serve.Protocol.Queue_full | Serve.Protocol.Timeout -> "");
         exit 1
     | Ok (Serve.Protocol.Error_reply { message; _ }) ->
         Printf.eprintf "csteer: server error: %s\n" message;
@@ -877,8 +1150,8 @@ let main =
   in
   Cmd.group (Cmd.info "csteer" ~doc)
     [
-      list_cmd; simulate_cmd; compile_cmd; stats_cmd; sweep_cmd; vliw_cmd;
-      experiment_cmd; serve_cmd; submit_cmd; batch_cmd;
+      list_cmd; simulate_cmd; compile_cmd; check_cmd; stats_cmd; sweep_cmd;
+      vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

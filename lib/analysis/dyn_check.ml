@@ -1,0 +1,47 @@
+open Clusteer_isa
+module Uarch = Clusteer_uarch
+module Trace = Clusteer_trace
+
+type event = { uop : int; cluster : int }
+
+let recording (policy : Uarch.Policy.t) =
+  let events = ref [] in
+  let decide view duop =
+    let d = policy.Uarch.Policy.decide view duop in
+    (match d with
+    | Uarch.Policy.Dispatch_to cluster ->
+        events := { uop = Trace.Dynuop.static_id duop; cluster } :: !events
+    | Uarch.Policy.Stall -> ());
+    d
+  in
+  ({ policy with Uarch.Policy.decide }, fun () -> List.rev !events)
+
+let check ~annot ~clusters events =
+  let n = Array.length annot.Annot.vc_of in
+  let nvc = annot.Annot.virtual_clusters in
+  let table = Array.init (max nvc 0) (fun v -> v mod clusters) in
+  let diags = ref [] in
+  List.iteri
+    (fun seq { uop; cluster } ->
+      if uop < 0 || uop >= n then
+        diags :=
+          Diag.errorf ~uop ~code:"DYN001"
+            "event %d names uop %d out of range [0, %d)" seq uop n
+          :: !diags
+      else begin
+        let vc = annot.Annot.vc_of.(uop) in
+        if vc >= 0 && vc < nvc then
+          if annot.Annot.leader.(uop) then
+            (* Leaders may remap: whatever the policy chose becomes the
+               VC's table entry, exactly as the hardware would latch it. *)
+            table.(vc) <- cluster
+          else if table.(vc) <> cluster then
+            diags :=
+              Diag.errorf ~uop ~code:"DYN002"
+                "event %d: non-leader of vc %d steered to cluster %d, table \
+                 says %d"
+                seq vc cluster table.(vc)
+              :: !diags
+      end)
+    events;
+  List.rev !diags

@@ -1,0 +1,31 @@
+(** Dynamic steering-trace invariants for the hybrid VC policy.
+
+    The hardware contract (paper §4.2, Fig. 3) is that the VC→cluster
+    table is consulted for every annotated micro-op but may be
+    {e remapped} only at chain leaders. Replaying a recorded decision
+    stream against an oracle table — initialised exactly like
+    {!Clusteer_steer.Vc_map.make}, updated only at leaders — verifies
+    that a policy implementation honours the contract.
+
+    Codes:
+    - [DYN001] — a recorded event names a static uop id out of range.
+    - [DYN002] — a non-leader micro-op was steered away from its VC's
+      current table entry (an illegal mid-chain remap). *)
+
+open Clusteer_isa
+module Uarch = Clusteer_uarch
+
+type event = {
+  uop : int;  (** static micro-op id *)
+  cluster : int;  (** cluster the policy dispatched it to *)
+}
+
+val recording : Uarch.Policy.t -> Uarch.Policy.t * (unit -> event list)
+(** Wrap a policy so every [Dispatch_to] decision is recorded; the
+    second component returns the events seen so far, oldest first.
+    [Stall] decisions are not events — the engine retries them. *)
+
+val check : annot:Annot.t -> clusters:int -> event list -> Diag.t list
+(** Replay a decision stream against the oracle table. Events for
+    unannotated micro-ops ([vc = -1]) are free choices and always
+    legal. *)

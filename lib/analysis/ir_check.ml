@@ -1,0 +1,229 @@
+open Clusteer_isa
+
+(* Every check re-derives its invariant from the raw block array rather
+   than trusting [Program.uop]/[uop_index] — the index itself is one of
+   the things under test. *)
+
+let expects_dst (op : Opcode.t) =
+  match op with
+  | Opcode.Store | Opcode.Branch -> false
+  | Opcode.Int_alu | Opcode.Int_mul | Opcode.Int_div | Opcode.Fp_add
+  | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Load | Opcode.Copy ->
+      true
+
+let check (p : Program.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let nblocks = Array.length p.Program.blocks in
+  (* IR004: CFG shape. *)
+  if p.Program.entry < 0 || p.Program.entry >= nblocks then
+    add
+      (Diag.errorf ~code:"IR004" "entry block %d out of range [0, %d)"
+         p.Program.entry nblocks);
+  Array.iteri
+    (fun i blk ->
+      if blk.Block.id <> i then
+        add
+          (Diag.errorf ~block:i ~code:"IR004"
+             "block stored at index %d carries id %d" i blk.Block.id);
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= nblocks then
+            add
+              (Diag.errorf ~block:i ~code:"IR004"
+                 "successor %d out of range [0, %d)" s nblocks))
+        blk.Block.succs)
+    p.Program.blocks;
+  (* IR001: dense uop ids, each placed exactly once, index agreement. *)
+  let n = p.Program.uop_count in
+  let placed = Array.make (max n 0) 0 in
+  Array.iteri
+    (fun bi blk ->
+      Array.iteri
+        (fun pos (u : Uop.t) ->
+          let id = u.Uop.id in
+          if id < 0 || id >= n then
+            add
+              (Diag.errorf ~uop:id ~block:bi ~code:"IR001"
+                 "uop id %d out of range [0, %d)" id n)
+          else begin
+            placed.(id) <- placed.(id) + 1;
+            if placed.(id) = 2 then
+              add
+                (Diag.errorf ~uop:id ~block:bi ~code:"IR001"
+                   "uop %d placed more than once" id);
+            if
+              placed.(id) = 1
+              && Array.length p.Program.uop_index > id
+              && p.Program.uop_index.(id) <> (bi, pos)
+            then
+              add
+                (Diag.errorf ~uop:id ~block:bi ~code:"IR001"
+                   "uop index maps uop %d to (block %d, pos %d), found at \
+                    (block %d, pos %d)"
+                   id
+                   (fst p.Program.uop_index.(id))
+                   (snd p.Program.uop_index.(id))
+                   bi pos)
+          end)
+        blk.Block.uops)
+    p.Program.blocks;
+  Array.iteri
+    (fun id count ->
+      if count = 0 then
+        add (Diag.errorf ~uop:id ~code:"IR001" "uop id %d never placed" id))
+    placed;
+  (* Per-uop shape (IR002), register checks (IR003), external
+     references (IR006). *)
+  let check_reg ~uop ~block what (r : Reg.t) =
+    if r.Reg.idx < 0 || r.Reg.idx >= p.Program.nregs_per_class then
+      add
+        (Diag.errorf ~uop ~block ~code:"IR003"
+           "%s register %s outside budget of %d per class" what
+           (Reg.to_string r) p.Program.nregs_per_class)
+  in
+  Array.iteri
+    (fun bi blk ->
+      Array.iter
+        (fun (u : Uop.t) ->
+          let uop = u.Uop.id in
+          let op = u.Uop.opcode in
+          if op = Opcode.Copy then
+            add
+              (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                 "runtime-only Copy opcode in static program text");
+          (match (u.Uop.dst, expects_dst op) with
+          | None, true ->
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                   "%s uop has no destination register" (Opcode.to_string op))
+          | Some _, false ->
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                   "%s uop must not write a register" (Opcode.to_string op))
+          | _ -> ());
+          if Array.length u.Uop.srcs > 2 then
+            add
+              (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                 "%d source operands (at most 2 allowed)"
+                 (Array.length u.Uop.srcs));
+          (* Class agreement binds computation opcodes only: loads and
+             copies legitimately target either register class. *)
+          (match (op, u.Uop.dst) with
+          | (Opcode.Int_alu | Opcode.Int_mul | Opcode.Int_div), Some d
+            when d.Reg.cls <> Reg.Int_class ->
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR003"
+                   "%s result written to FP register %s" (Opcode.to_string op)
+                   (Reg.to_string d))
+          | (Opcode.Fp_add | Opcode.Fp_mul | Opcode.Fp_div), Some d
+            when d.Reg.cls <> Reg.Fp_class ->
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR003"
+                   "%s result written to integer register %s"
+                   (Opcode.to_string op) (Reg.to_string d))
+          | _ -> ());
+          Option.iter (check_reg ~uop ~block:bi "destination") u.Uop.dst;
+          Array.iter (check_reg ~uop ~block:bi "source") u.Uop.srcs;
+          if Opcode.is_mem op then begin
+            if u.Uop.stream < 0 then
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                   "memory uop names no stream")
+            else if u.Uop.stream >= p.Program.stream_count then
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR006"
+                   "stream %d out of range [0, %d)" u.Uop.stream
+                   p.Program.stream_count)
+          end
+          else if u.Uop.stream >= 0 then
+            add
+              (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                 "non-memory uop names stream %d" u.Uop.stream);
+          if op = Opcode.Branch then begin
+            if u.Uop.branch_ref < 0 then
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                   "branch names no behaviour model")
+            else if u.Uop.branch_ref >= p.Program.branch_model_count then
+              add
+                (Diag.errorf ~uop ~block:bi ~code:"IR006"
+                   "branch model %d out of range [0, %d)" u.Uop.branch_ref
+                   p.Program.branch_model_count)
+          end
+          else if u.Uop.branch_ref >= 0 then
+            add
+              (Diag.errorf ~uop ~block:bi ~code:"IR002"
+                 "non-branch uop names branch model %d" u.Uop.branch_ref))
+        blk.Block.uops)
+    p.Program.blocks;
+  (* IR005: branch placement and terminator contract. *)
+  Array.iteri
+    (fun bi blk ->
+      let nu = Array.length blk.Block.uops in
+      Array.iteri
+        (fun pos (u : Uop.t) ->
+          if Uop.is_branch u && pos <> nu - 1 then
+            add
+              (Diag.errorf ~uop:u.Uop.id ~block:bi ~code:"IR005"
+                 "branch at position %d is not the block terminator" pos))
+        blk.Block.uops;
+      let last_is_branch = nu > 0 && Uop.is_branch blk.Block.uops.(nu - 1) in
+      let nsuccs = Array.length blk.Block.succs in
+      if nsuccs >= 2 && not last_is_branch then
+        add
+          (Diag.errorf ~block:bi ~code:"IR005"
+             "%d successors but no terminating branch" nsuccs);
+      if last_is_branch && nsuccs < 2 then
+        add
+          (Diag.errorf ~uop:blk.Block.uops.(nu - 1).Uop.id ~block:bi
+             ~code:"IR005" "terminating branch with %d successor%s" nsuccs
+             (if nsuccs = 1 then "" else "s")))
+    p.Program.blocks;
+  (* IR007 (warning): sources never written anywhere in the program. *)
+  let written = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+      Array.iter
+        (fun (u : Uop.t) ->
+          Option.iter (fun d -> Hashtbl.replace written d ()) u.Uop.dst)
+        blk.Block.uops)
+    p.Program.blocks;
+  let reported = Hashtbl.create 8 in
+  Array.iteri
+    (fun bi blk ->
+      Array.iter
+        (fun (u : Uop.t) ->
+          Array.iter
+            (fun src ->
+              if
+                (not (Hashtbl.mem written src))
+                && not (Hashtbl.mem reported src)
+              then begin
+                Hashtbl.replace reported src ();
+                add
+                  (Diag.warnf ~uop:u.Uop.id ~block:bi ~code:"IR007"
+                     "source register %s is never written" (Reg.to_string src))
+              end)
+            u.Uop.srcs)
+        blk.Block.uops)
+    p.Program.blocks;
+  (* IR008 (warning): blocks unreachable from the entry. *)
+  if nblocks > 0 && p.Program.entry >= 0 && p.Program.entry < nblocks then begin
+    let seen = Array.make nblocks false in
+    let rec visit b =
+      if b >= 0 && b < nblocks && not seen.(b) then begin
+        seen.(b) <- true;
+        Array.iter visit p.Program.blocks.(b).Block.succs
+      end
+    in
+    visit p.Program.entry;
+    Array.iteri
+      (fun b reachable ->
+        if not reachable then
+          add
+            (Diag.warnf ~block:b ~code:"IR008"
+               "block %d unreachable from entry %d" b p.Program.entry))
+      seen
+  end;
+  List.rev !diags

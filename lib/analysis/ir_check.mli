@@ -1,0 +1,35 @@
+(** IR well-formedness verification.
+
+    Re-checks, from first principles, every structural invariant the
+    {!Clusteer_isa.Program.Builder} enforces at construction time —
+    so programs that arrive through other routes (deserialized,
+    hand-assembled, or corrupted in memory) are caught before any
+    compiler pass or simulation trusts them.
+
+    Codes:
+    - [IR001] — static uop ids are not dense: an id is out of
+      [\[0, uop_count)], placed more than once, never placed, or the
+      program's uop index disagrees with the blocks.
+    - [IR002] — operand shape violates the opcode contract: wrong
+      destination presence, more than two sources, a memory stream or
+      branch model reference on the wrong opcode class, or a
+      runtime-only [Copy] in the static program text.
+    - [IR003] — a register operand is out of the program's per-class
+      budget, or a computation's destination class disagrees with the
+      opcode's result class (loads and copies may target either).
+    - [IR004] — CFG shape: entry or a successor id out of range, or a
+      block stored under the wrong index.
+    - [IR005] — branch placement: a branch not in terminal position, a
+      multi-successor block without a terminating branch, or a branch
+      terminating a block with fewer than two successors.
+    - [IR006] — a memory-stream or branch-model reference beyond the
+      program's declared counts.
+    - [IR007] (warning) — a source register read somewhere but written
+      nowhere in the program.
+    - [IR008] (warning) — a block unreachable from the entry. *)
+
+open Clusteer_isa
+
+val check : Program.t -> Diag.t list
+(** All IR findings, in discovery order (callers sort). Never raises,
+    even on badly corrupted programs. *)

@@ -56,6 +56,55 @@ let of_annot ~program ~likely ~annot ?(region_uops = 512) () =
     intra_vc_edges = intra;
   }
 
+let to_json t =
+  let module Json = Clusteer_obs.Json in
+  Json.Obj
+    [
+      ("static_uops", Json.Int t.static_uops);
+      ("regions", Json.Int t.regions);
+      ("chains", Json.Int t.chains);
+      ("mean_chain_length", Json.Float t.mean_chain_length);
+      ("max_chain_length", Json.Int t.max_chain_length);
+      ( "vc_population",
+        Json.List
+          (Array.to_list (Array.map (fun n -> Json.Int n) t.vc_population)) );
+      ("cross_vc_edges", Json.Int t.cross_vc_edges);
+      ("intra_vc_edges", Json.Int t.intra_vc_edges);
+    ]
+
+let findings t =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun vc count ->
+      if count = 0 then
+        add (Diag.infof ~code:"CP001" "virtual cluster %d holds no uops" vc))
+    t.vc_population;
+  let nonzero = Array.to_list t.vc_population |> List.filter (fun n -> n > 0) in
+  (match nonzero with
+  | _ :: _ :: _ ->
+      let lo = List.fold_left min max_int nonzero in
+      let hi = List.fold_left max 0 nonzero in
+      if hi > 4 * lo then
+        add
+          (Diag.infof ~code:"CP002"
+             "vc population imbalance %d:%d exceeds 4:1" hi lo)
+  | _ -> ());
+  let total = t.cross_vc_edges + t.intra_vc_edges in
+  if total > 0 && t.cross_vc_edges * 2 > total then
+    add
+      (Diag.infof ~code:"CP003"
+         "%d of %d dependence edges cross virtual clusters (every crossing \
+          is a potential copy)"
+         t.cross_vc_edges total);
+  if t.chains > 0 && t.mean_chain_length < 2.0 then
+    add
+      (Diag.infof ~code:"CP004"
+         "mean chain length %.2f leaves little for the leader mechanism to \
+          amortize"
+         t.mean_chain_length);
+  List.rev !diags
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%d static micro-ops in %d regions@,\
@@ -63,7 +112,9 @@ let pp ppf t =
      vc population: %a@,\
      dependence edges: %d intra-vc, %d cross-vc (%.0f%% cut)@]"
     t.static_uops t.regions t.chains t.mean_chain_length t.max_chain_length
-    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
     (Array.to_list t.vc_population)
     t.intra_vc_edges t.cross_vc_edges
     (let total = t.intra_vc_edges + t.cross_vc_edges in

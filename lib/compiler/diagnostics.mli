@@ -33,3 +33,17 @@ val of_annot :
     annotation has no virtual clusters. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Clusteer_obs.Json.t
+(** All summary fields, machine-readable; used by [csteer compile
+    --json] and stored alongside analyzer reports. *)
+
+val findings : t -> Diag.t list
+(** Partition-quality findings in the shared diagnostic vocabulary
+    (all [Info] — quality, unlike well-formedness, is advisory):
+    - [CP001] — a virtual cluster holds no micro-ops;
+    - [CP002] — VC population imbalance beyond 4x;
+    - [CP003] — more dependence edges cross VCs than stay inside
+      ({> 50%} cut: every crossing is a potential inter-cluster copy);
+    - [CP004] — mean chain length below 2 (chains too short for the
+      leader mechanism to amortize remap decisions). *)

@@ -29,6 +29,11 @@ val build : Uop.t array -> t
 
 val of_region : Region.t -> t
 
+val iter_edges : t -> (edge -> unit) -> unit
+(** Every edge exactly once, in successor-list order. *)
+
+val edge_count : t -> int
+
 val roots : t -> int list
 (** Nodes with no predecessors. *)
 

@@ -25,6 +25,14 @@ let create_virtual ~scheme ~virtual_clusters ~uop_count =
 let create_static ~scheme ~uop_count =
   blank ~scheme ~virtual_clusters:0 ~uop_count
 
+let copy t =
+  {
+    t with
+    vc_of = Array.copy t.vc_of;
+    leader = Array.copy t.leader;
+    cluster_of = Array.copy t.cluster_of;
+  }
+
 let validate t ~clusters =
   let n = Array.length t.vc_of in
   if Array.length t.leader <> n || Array.length t.cluster_of <> n then

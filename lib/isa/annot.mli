@@ -26,6 +26,10 @@ val create_virtual :
 val create_static : scheme:string -> uop_count:int -> t
 (** All-unassigned physical annotation to be filled by OB/RHOP. *)
 
+val copy : t -> t
+(** Deep copy (fresh arrays). Used by the analyzer's mutation harness
+    to corrupt an annotation without touching the original. *)
+
 val validate : t -> clusters:int -> unit
 (** Check internal consistency: vc ids within [virtual_clusters], static
     clusters within [clusters], leaders only on VC-assigned micro-ops.

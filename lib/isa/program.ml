@@ -27,6 +27,35 @@ let pp ppf t =
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Block.pp)
     (Array.to_list t.blocks)
 
+let of_blocks_unchecked ?(name = "unchecked") ~nregs_per_class
+    ?(stream_count = 0) ?(branch_model_count = 0) ~blocks ~entry () =
+  let max_id = ref (-1) in
+  Array.iter
+    (fun blk ->
+      Array.iter
+        (fun (u : Uop.t) -> if u.Uop.id > !max_id then max_id := u.Uop.id)
+        blk.Block.uops)
+    blocks;
+  let uop_count = !max_id + 1 in
+  let uop_index = Array.make uop_count (-1, -1) in
+  Array.iter
+    (fun blk ->
+      Array.iteri
+        (fun pos (u : Uop.t) ->
+          if u.Uop.id >= 0 then uop_index.(u.Uop.id) <- (blk.Block.id, pos))
+        blk.Block.uops)
+    blocks;
+  {
+    name;
+    blocks;
+    entry;
+    nregs_per_class;
+    uop_count;
+    stream_count;
+    branch_model_count;
+    uop_index;
+  }
+
 module Builder = struct
   type program = t
 

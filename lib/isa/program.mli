@@ -33,6 +33,23 @@ val static_size : t -> int
 
 val pp : Format.formatter -> t -> unit
 
+val of_blocks_unchecked :
+  ?name:string ->
+  nregs_per_class:int ->
+  ?stream_count:int ->
+  ?branch_model_count:int ->
+  blocks:Block.t array ->
+  entry:int ->
+  unit ->
+  t
+(** Assemble a program {b without} the {!Builder}'s validation: blocks
+    are taken as given, [uop_count] is derived from the largest uop id
+    present, and the uop index maps each id to its (last) occurrence.
+    This deliberately admits ill-formed programs — it exists so the
+    static analyzer ([lib/analysis]) can be tested against exactly the
+    malformed inputs the Builder refuses to construct. Everything else
+    should go through {!Builder}. *)
+
 (** Imperative construction API. Typical use:
     {[
       let b = Builder.create ~name:"loop" ~nregs_per_class:32 () in

@@ -6,7 +6,7 @@ type command =
   | Ping
   | Shutdown
 
-type reject_reason = Queue_full | Timeout
+type reject_reason = Queue_full | Timeout | Check_failed of string
 
 type response =
   | Result of { id : int; hash : string; cached : bool; result : Json.t }
@@ -19,6 +19,7 @@ type response =
 let reject_reason_name = function
   | Queue_full -> "queue_full"
   | Timeout -> "timeout"
+  | Check_failed _ -> "check_failed"
 
 (* Deadlines are delivery metadata, not request content; they are the
    one place the wire format carries a decimal float. Encode with
@@ -80,11 +81,15 @@ let encode_response = function
   | Rejected { id; reason } ->
       Json.to_string
         (Json.Obj
-           [
-             ("id", Json.Int id);
-             ("status", Json.Str "rejected");
-             ("reason", Json.Str (reject_reason_name reason));
-           ])
+           ([
+              ("id", Json.Int id);
+              ("status", Json.Str "rejected");
+              ("reason", Json.Str (reject_reason_name reason));
+            ]
+           @
+           match reason with
+           | Check_failed message -> [ ("message", Json.Str message) ]
+           | Queue_full | Timeout -> []))
   | Error_reply { id; message } ->
       Json.to_string
         (Json.Obj
@@ -134,6 +139,12 @@ let parse_response line =
       match Option.bind (Json.member "reason" doc) Json.to_str with
       | Some "queue_full" -> Ok (Rejected { id; reason = Queue_full })
       | Some "timeout" -> Ok (Rejected { id; reason = Timeout })
+      | Some "check_failed" ->
+          let message =
+            Option.value ~default:"request failed validation"
+              (Option.bind (Json.member "message" doc) Json.to_str)
+          in
+          Ok (Rejected { id; reason = Check_failed message })
       | _ -> Error "rejected response without a known reason")
   | Some "error" ->
       let message =

@@ -19,6 +19,7 @@
     {v
     {"id":7,"status":"ok","hash":"<16 hex>","cached":false,"result":{...}}
     {"id":7,"status":"rejected","reason":"queue_full"|"timeout"}
+    {"id":7,"status":"rejected","reason":"check_failed","message":"..."}
     {"id":7,"status":"error","message":"..."}
     {"status":"ok","stats":{"counters":{...},"histograms":{...}}}
     {"status":"ok","pong":true}
@@ -33,7 +34,12 @@ type command =
   | Ping
   | Shutdown  (** finish this connection's batch, then stop serving *)
 
-type reject_reason = Queue_full | Timeout
+type reject_reason =
+  | Queue_full
+  | Timeout
+  | Check_failed of string
+      (** the request decoded but failed static validation (see
+          {!Validate}); the payload is a one-line explanation *)
 
 type response =
   | Result of { id : int; hash : string; cached : bool; result : Clusteer_obs.Json.t }
@@ -44,7 +50,7 @@ type response =
   | Bye
 
 val reject_reason_name : reject_reason -> string
-(** ["queue_full"] / ["timeout"]. *)
+(** ["queue_full"] / ["timeout"] / ["check_failed"]. *)
 
 val encode_command : command -> string
 (** One line, no trailing newline. [Simulate] embeds the request's

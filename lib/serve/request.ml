@@ -44,6 +44,32 @@ let make ~workload ?(phase = 0) ?(clusters = 2)
     overrides;
   }
 
+let apply_overrides (p : Clusteer_workloads.Profile.t) o =
+  let module Profile = Clusteer_workloads.Profile in
+  let p =
+    match o.fp_ratio with
+    | Some v -> { p with Profile.fp_ratio = v }
+    | None -> p
+  in
+  let p =
+    match o.mem_ratio with
+    | Some v -> { p with Profile.mem_ratio = v }
+    | None -> p
+  in
+  let p = match o.ilp with Some v -> { p with Profile.ilp = v } | None -> p in
+  match o.footprint_kb with
+  | Some v -> { p with Profile.footprint_kb = v }
+  | None -> p
+
+(* ---- admission check --------------------------------------------- *)
+
+(* The hook indirection keeps this module free of a dependency on the
+   static analyzer: [Validate.install] (which does depend on
+   [clusteer_analysis]) replaces the default accept-everything hook
+   when the server starts. *)
+let check_hook : (t -> (unit, string) result) ref = ref (fun _ -> Ok ())
+let check t = !check_hook t
+
 (* ---- canonical encoding ------------------------------------------ *)
 
 (* Floats travel as their IEEE-754 bit pattern: integer-exact, no

@@ -65,6 +65,20 @@ val make :
     {!Clusteer_workloads.Spec2000.find} when it names a known profile
     and kept verbatim otherwise (execution will then reject it). *)
 
+val apply_overrides :
+  Clusteer_workloads.Profile.t -> overrides -> Clusteer_workloads.Profile.t
+(** The named profile with the request's overrides applied — shared by
+    the server's resolution step and the admission validator. *)
+
+val check : t -> (unit, string) result
+(** Run the installed admission check (default: accept everything).
+    The server consults this before queuing a cache-miss simulation
+    and answers [Error] with a [check_failed] rejection. *)
+
+val check_hook : (t -> (unit, string) result) ref
+(** Replaceable admission check; {!Validate.install} points it at the
+    static analyzer. Exposed so tests can stub it. *)
+
 val canonical : t -> Clusteer_obs.Json.t
 (** The canonical encoding as a JSON tree (fixed field order). *)
 

@@ -34,6 +34,7 @@ type t = {
   batches : Counters.counter;
   rej_queue_full : Counters.counter;
   rej_timeout : Counters.counter;
+  rej_check : Counters.counter;
   errors : Counters.counter;
   queue_depth_h : Counters.histogram;
   batch_size_h : Counters.histogram;
@@ -42,34 +43,13 @@ type t = {
 
 (* ---- request resolution and execution ---------------------------- *)
 
-let apply_overrides (p : Profile.t) (o : Request.overrides) =
-  let p =
-    match o.Request.fp_ratio with
-    | Some v -> { p with Profile.fp_ratio = v }
-    | None -> p
-  in
-  let p =
-    match o.Request.mem_ratio with
-    | Some v -> { p with Profile.mem_ratio = v }
-    | None -> p
-  in
-  let p =
-    match o.Request.ilp with Some v -> { p with Profile.ilp = v } | None -> p
-  in
-  let p =
-    match o.Request.footprint_kb with
-    | Some v -> { p with Profile.footprint_kb = v }
-    | None -> p
-  in
-  p
-
 let resolve (req : Request.t) =
   match Spec2000.find req.Request.workload with
   | exception Not_found ->
       Error (Printf.sprintf "unknown workload %S" req.Request.workload)
   | profile -> (
       match
-        let profile = apply_overrides profile req.Request.overrides in
+        let profile = Request.apply_overrides profile req.Request.overrides in
         Profile.validate profile;
         profile
       with
@@ -194,6 +174,18 @@ let handle_batch t lines =
                     set i (Protocol.Rejected { id; reason = Protocol.Timeout })
                   end
                   else begin
+                    match Request.check request with
+                    | Error message ->
+                        (* Admission-time static verification: an
+                           ill-formed request never reaches a worker. *)
+                        Counters.incr t.rej_check;
+                        set i
+                          (Protocol.Rejected
+                             {
+                               id;
+                               reason = Protocol.Check_failed message;
+                             })
+                    | Ok () -> (
                     match Hashtbl.find_opt inflight rhash with
                     | Some job -> job.slots <- job.slots @ [ (i, id) ]
                     | None ->
@@ -221,7 +213,7 @@ let handle_batch t lines =
                           jobs := job :: !jobs;
                           Counters.observe t.queue_depth_h
                             (Hashtbl.length inflight)
-                        end
+                        end)
                   end)))
     lines;
   (* Dispatch oldest-deadline-first; deadline-free work runs last, in
@@ -302,6 +294,7 @@ let serve ?(registry = Counters.default) cfg =
       batches = Counters.counter ~registry "serve.batches";
       rej_queue_full = Counters.counter ~registry "serve.rejected.queue_full";
       rej_timeout = Counters.counter ~registry "serve.rejected.timeout";
+      rej_check = Counters.counter ~registry "serve.rejected.check_failed";
       errors = Counters.counter ~registry "serve.errors";
       queue_depth_h = Counters.histogram ~registry "serve.queue.depth";
       batch_size_h = Counters.histogram ~registry "serve.batch.size";
@@ -311,6 +304,7 @@ let serve ?(registry = Counters.default) cfg =
   (* Pre-intern the counters the worker pool merges back, so a stats
      snapshot taken before the first simulation already lists them. *)
   ignore (Counters.counter ~registry "serve.simulations");
+  Validate.install ();
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind sock (Unix.ADDR_UNIX cfg.socket_path)

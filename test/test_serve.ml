@@ -168,6 +168,11 @@ let test_response_roundtrip () =
         };
       Protocol.Rejected { id = 4; reason = Protocol.Queue_full };
       Protocol.Rejected { id = 5; reason = Protocol.Timeout };
+      Protocol.Rejected
+        {
+          id = 7;
+          reason = Protocol.Check_failed "error[VC005] uop 3: missing leader";
+        };
       Protocol.Error_reply { id = 6; message = "boom" };
       Protocol.Stats_reply (Json.Obj [ ("counters", Json.Obj []) ]);
       Protocol.Pong;
@@ -228,6 +233,47 @@ let test_cache_spill_roundtrip () =
   check_int "miss counted" 1 (value "serve.cache.misses")
 
 (* ---- end to end against the real binary --------------------------- *)
+
+(* ---- admission validation ---------------------------------------- *)
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let oversized_vc_request () =
+  (* 200 virtual clusters against mcf's ~hundred static uops: the one
+     wire-reachable ill-formed request shape (VC010). *)
+  match Clusteer.Configuration.of_name "vc200" with
+  | Ok policy -> Request.make ~workload:"mcf" ~policy ~uops:2000 ()
+  | Error (`Msg m) -> Alcotest.fail m
+
+let test_validate_hook () =
+  (* The default hook accepts everything; the analyzer-backed validator
+     accepts well-formed requests and pins down ill-formed ones. *)
+  let good = Request.make ~workload:"gzip-1" ~uops:2000 () in
+  (match Request.check good with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Serve.Validate.check good with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Serve.Validate.check (oversized_vc_request ()) with
+  | Error m -> check_bool "rejection names VC010" true (contains m "VC010")
+  | Ok () -> Alcotest.fail "expected the validator to reject vc200");
+  (* Unknown workloads are the resolution step's business — the
+     validator waves them through so the server can answer precisely. *)
+  (match Serve.Validate.check (Request.make ~workload:"nosuch" ~uops:100 ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The hook is an explicit stub point for tests. *)
+  let saved = !Request.check_hook in
+  Fun.protect ~finally:(fun () -> Request.check_hook := saved) @@ fun () ->
+  Request.check_hook := (fun _ -> Error "stubbed");
+  match Request.check good with
+  | Error "stubbed" -> ()
+  | _ -> Alcotest.fail "stubbed hook was not consulted"
 
 let exe =
   let candidates =
@@ -294,6 +340,13 @@ let test_e2e_cache_hit_and_deadlines () =
   | Ok (Protocol.Rejected { reason = Protocol.Timeout; _ }) -> ()
   | Ok _ -> Alcotest.fail "expected a timeout rejection"
   | Error e -> Alcotest.fail e);
+  (* An ill-formed request is turned away by the admission checker
+     before it reaches a worker. *)
+  (match Serve.Client.submit ~socket:sock (oversized_vc_request ()) with
+  | Ok (Protocol.Rejected { reason = Protocol.Check_failed m; _ }) ->
+      check_bool "rejection message names VC010" true (contains m "VC010")
+  | Ok _ -> Alcotest.fail "expected a check_failed rejection"
+  | Error e -> Alcotest.fail e);
   (* Backpressure: 4 distinct misses against a queue of 2 in one batch. *)
   let cmds =
     List.map
@@ -349,8 +402,9 @@ let test_e2e_cache_hit_and_deadlines () =
       check_bool "simulations ran" true (counter "serve.simulations" >= 3);
       check_int "one timeout" 1 (counter "serve.rejected.timeout");
       check_int "two queue-full" 2 (counter "serve.rejected.queue_full");
+      check_int "one check failure" 1 (counter "serve.rejected.check_failed");
       (* dedup: 2200-uop request simulated once for two answers *)
-      check_int "requests counted" 9 (counter "serve.requests")
+      check_int "requests counted" 10 (counter "serve.requests")
 
 let () =
   Alcotest.run "clusteer_serve"
@@ -383,6 +437,7 @@ let () =
         ] );
       ( "serve",
         [
+          Alcotest.test_case "validate hook" `Quick test_validate_hook;
           Alcotest.test_case "end to end" `Slow test_e2e_cache_hit_and_deadlines;
         ] );
     ]
