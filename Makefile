@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench bench-smoke serve-smoke check fmt smoke clean
+.PHONY: all build test bench bench-smoke serve-smoke obs-smoke check fmt smoke clean
 
 all: build
 
@@ -61,6 +61,27 @@ serve-smoke: build
 	wait $$pid; trap - EXIT; \
 	echo "serve-smoke: OK (_build/serve-smoke)"
 
+# Operational-telemetry slice: one profiled simulation recorded into a
+# run ledger, then read back through `csteer runs` (summary JSON, full
+# entry with GC accounting and phase-timing percentiles) and a local
+# Prometheus dump through `csteer metrics`.
+obs-smoke: build
+	@rm -rf _build/obs-smoke && mkdir -p _build/obs-smoke
+	@set -e; \
+	csteer=_build/default/bin/csteer.exe; d=_build/obs-smoke; \
+	$$csteer simulate -w 164.gzip-1 -p vc2 -n 2000 --ledger $$d/runs \
+	  > $$d/simulate.txt 2> $$d/simulate.log; \
+	grep -q '"kind":"simulate"' $$d/runs/index.jsonl; \
+	$$csteer runs list --dir $$d/runs --json > $$d/list.json; \
+	grep -q '"kind":"simulate"' $$d/list.json; \
+	$$csteer runs show --dir $$d/runs 1 > $$d/run1.json; \
+	grep -q 'engine_minor_words_per_uop' $$d/run1.json; \
+	grep -q 'p99' $$d/run1.json; \
+	$$csteer metrics -w 164.gzip-1 -n 2000 > $$d/metrics.txt; \
+	grep -q '# TYPE engine_copyq_depth histogram' $$d/metrics.txt; \
+	grep -q 'profile_engine_commit_ns_count' $$d/metrics.txt; \
+	echo "obs-smoke: OK (_build/obs-smoke)"
+
 # Static verification of every built-in workload under each software
 # steering scheme: IR well-formedness, chain/leader invariants and
 # static placement, with warnings promoted to failures.
@@ -82,7 +103,7 @@ fmt:
 # example (so examples/ cannot bit-rot silently), and one traced
 # 10k-uop simulation whose Chrome trace must be valid JSON with
 # interval telemetry.
-smoke: build test check fmt bench-smoke serve-smoke
+smoke: build test check fmt bench-smoke serve-smoke obs-smoke
 	dune exec examples/quickstart.exe
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \

@@ -7,7 +7,9 @@
      experiment  regenerate a paper table or figure
      serve       run the long-lived simulation service on a Unix socket
      submit      send one request (or a stats/shutdown command) to a server
-     batch       send a newline-JSON batch of requests to a server *)
+     batch       send a newline-JSON batch of requests to a server
+     metrics     scrape a server (or run one point) as Prometheus text
+     runs        list / show / prune the run ledger *)
 
 open Cmdliner
 module Config = Clusteer_uarch.Config
@@ -117,7 +119,7 @@ let energy_json (e : Clusteer_uarch.Energy.breakdown) =
     ]
 
 let simulate workload clusters config uops phase trace_out trace_format
-    stats_interval json_out =
+    stats_interval json_out ledger_dir profile_flag =
   protect @@ fun () ->
   match Spec2000.find workload with
   | exception Not_found ->
@@ -150,12 +152,42 @@ let simulate workload clusters config uops phase trace_out trace_format
         else None
       in
       Obs.Counters.reset Obs.Counters.default;
-      let result =
-        Runner.run_point ~machine ~configs:[ config ] ~uops
-          ~obs:(fun _ -> Option.map Obs.Collector.sink collector)
-          point
+      (* A ledger entry wants phase timings in its snapshot, so asking
+         for a ledger turns the profiler on. *)
+      let profiled = profile_flag || ledger_dir <> None in
+      let prof = if profiled then Some (Obs.Profile.create ()) else None in
+      let started = Unix.gettimeofday () in
+      let result, wall_s, gc =
+        Runner.measured (fun () ->
+            Runner.run_point ~machine ~configs:[ config ] ~uops
+              ~obs:(fun _ -> Option.map Obs.Collector.sink collector)
+              ?profile:prof point)
       in
       let name, stats = List.hd result.Runner.runs in
+      Option.iter
+        (fun dir ->
+          let ledger = Obs.Ledger.create ~dir in
+          let committed =
+            Obs.Counters.value (Obs.Counters.counter "harness.uops_committed")
+          in
+          let s =
+            Obs.Ledger.append ledger ~kind:"simulate"
+              ~label:
+                (Printf.sprintf "%s/%d/%s" profile.Profile.name phase name)
+              ~config:
+                (Json.Obj
+                   [
+                     ("workload", Json.Str profile.Profile.name);
+                     ("phase", Json.Int phase);
+                     ("config", Json.Str name);
+                     ("clusters", Json.Int clusters);
+                     ("uops", Json.Int uops);
+                   ])
+              ~started ~wall_s ~outcome:"ok" ~uops:committed ~gc
+              Obs.Counters.default
+          in
+          Printf.eprintf "ledger: run %d recorded in %s\n" s.Obs.Ledger.id dir)
+        ledger_dir;
       Option.iter
         (fun path ->
           let c = Option.get collector in
@@ -209,7 +241,7 @@ let simulate workload clusters config uops phase trace_out trace_format
           /. Float.max 1e-9 e.Clusteer_uarch.Energy.total)
           (100. *. e.Clusteer_uarch.Energy.copies
           /. Float.max 1e-9 e.Clusteer_uarch.Energy.dynamic);
-        if collector <> None then
+        if collector <> None || profiled then
           Format.printf "steering counters:@,%a@." Obs.Counters.pp
             Obs.Counters.default
       end
@@ -254,12 +286,31 @@ let simulate_cmd =
             "Print final statistics (plus steering counters and any \
              interval series) as a single JSON document on stdout.")
   in
+  let ledger_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ]
+          ~doc:
+            "Record the run in the ledger at $(docv) (implies \
+             $(b,--profile)); inspect with $(b,csteer runs)."
+          ~docv:"DIR")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the pipeline self-profiler: per-phase wall-time \
+             histograms ($(b,profile.engine.*.ns)) in the counter \
+             registry.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation point under one configuration")
     Term.(
       const simulate $ workload_arg $ clusters_arg $ config_arg
       $ uops_arg 20_000 $ phase $ trace_out $ trace_format $ stats_interval
-      $ json_out)
+      $ json_out $ ledger_dir $ profile_flag)
 
 (* ---- compile ------------------------------------------------------- *)
 
@@ -750,9 +801,35 @@ let subset_profiles = function
       let names = String.split_on_char ',' names in
       Some (List.map Spec2000.find names)
 
-let experiment which uops benchmarks csv_dir domains =
+let experiment which uops benchmarks csv_dir domains ledger_dir =
   protect @@ fun () ->
   let profiles = subset_profiles benchmarks in
+  (* A ledger entry wants phase timings, so it turns the per-shard
+     profiler on; the sweep's merged registry then carries the
+     profile.engine.*.ns histograms the entry snapshots. *)
+  let profiled = ledger_dir <> None in
+  let record_sweep f =
+    Obs.Counters.reset Obs.Counters.default;
+    let started = Unix.gettimeofday () in
+    let run, wall_s, gc = Runner.measured f in
+    Option.iter
+      (fun dir ->
+        let ledger = Obs.Ledger.create ~dir in
+        let committed =
+          Obs.Counters.value (Obs.Counters.counter "harness.uops_committed")
+        in
+        let s =
+          Obs.Ledger.append ledger ~kind:"experiment" ~label:which
+            ~config:
+              (Json.Obj
+                 [ ("experiment", Json.Str which); ("uops", Json.Int uops) ])
+            ~started ~wall_s ~outcome:"ok" ~uops:committed ~gc
+            Obs.Counters.default
+        in
+        Printf.eprintf "ledger: run %d recorded in %s\n" s.Obs.Ledger.id dir)
+      ledger_dir;
+    run
+  in
   match which with
   | "tables" ->
       Experiments.print_table1 ();
@@ -763,7 +840,9 @@ let experiment which uops benchmarks csv_dir domains =
   | "sec21" -> Experiments.print_section21 (Experiments.section21_example ())
   | "fig5" | "fig6" | "fig56" ->
       let run =
-        Experiments.run_2cluster ~uops ?profiles ~progress ?domains ()
+        record_sweep (fun () ->
+            Experiments.run_2cluster ~uops ?profiles ~progress ?domains
+              ~profiled ())
       in
       if which <> "fig6" then begin
         let fig5 = Experiments.figure5_of run in
@@ -787,7 +866,9 @@ let experiment which uops benchmarks csv_dir domains =
       end
   | "fig7" ->
       let run =
-        Experiments.run_4cluster ~uops ?profiles ~progress ?domains ()
+        record_sweep (fun () ->
+            Experiments.run_4cluster ~uops ?profiles ~progress ?domains
+              ~profiled ())
       in
       let fig7 = Experiments.figure7_of run in
       Experiments.print_slowdown_figure
@@ -828,10 +909,21 @@ let experiment_cmd =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
   in
+  let ledger_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ]
+          ~doc:
+            "Record the sweep in the run ledger at $(docv), with per-shard \
+             pipeline profiling; inspect with $(b,csteer runs)."
+          ~docv:"DIR")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
-      const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains)
+      const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains
+      $ ledger_dir)
 
 (* ---- serve / submit / batch ---------------------------------------- *)
 
@@ -842,7 +934,8 @@ let socket_arg =
     & opt string "_build/serve.sock"
     & info [ "s"; "socket" ] ~doc ~docv:"PATH")
 
-let serve socket queue_depth domains cache_mb cache_dir =
+let serve socket queue_depth domains cache_mb cache_dir ledger_dir
+    profile_flag =
   protect @@ fun () ->
   if queue_depth < 1 then begin
     Printf.eprintf "--queue-depth must be positive\n";
@@ -859,6 +952,8 @@ let serve socket queue_depth domains cache_mb cache_dir =
       domains;
       cache_budget = cache_mb * 1024 * 1024;
       cache_dir;
+      ledger_dir;
+      profile = profile_flag;
       log = (fun msg -> Printf.eprintf "csteer serve: %s\n%!" msg);
     }
   in
@@ -899,13 +994,33 @@ let serve_cmd =
              misses from there (e.g. $(b,_cache))."
           ~docv:"DIR")
   in
+  let ledger_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ]
+          ~doc:
+            "Record every batch in the run ledger at $(docv) (implies \
+             $(b,--profile)); inspect with $(b,csteer runs)."
+          ~docv:"DIR")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the pipeline self-profiler: $(b,profile.serve.*.ns) \
+             batch spans and the workers' $(b,profile.engine.*.ns) phase \
+             timings, scrapeable via the $(b,metrics) command.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the batch simulation service on a Unix-domain socket until a \
           client sends shutdown")
     Term.(
-      const serve $ socket_arg $ queue_depth $ domains $ cache_mb $ cache_dir)
+      const serve $ socket_arg $ queue_depth $ domains $ cache_mb $ cache_dir
+      $ ledger_dir $ profile_flag)
 
 let print_simulate_response ~json line =
   if json then print_endline line
@@ -1143,6 +1258,172 @@ let batch_cmd =
        ~doc:"Submit a newline-JSON batch of requests to a running csteer serve")
     Term.(const batch $ socket_arg $ file $ deadline_ms $ results_only)
 
+(* ---- metrics -------------------------------------------------------- *)
+
+let metrics socket workload clusters config uops phase =
+  protect @@ fun () ->
+  match workload with
+  | None -> (
+      (* Live scrape of a running server. *)
+      match Serve.Client.metrics ~socket with
+      | Ok text -> print_string text
+      | Error e ->
+          Printf.eprintf "csteer: %s\n" e;
+          exit 1)
+  | Some workload -> (
+      (* One-shot local dump: run the point under the profiler and
+         expose the process registry. *)
+      match Spec2000.find workload with
+      | exception Not_found ->
+          Printf.eprintf "unknown workload %S (try `csteer list`)\n" workload;
+          exit 1
+      | profile ->
+          let point =
+            match List.nth_opt (Pinpoints.points profile) phase with
+            | Some p -> p
+            | None ->
+                Printf.eprintf "workload has only %d phases\n"
+                  (List.length (Pinpoints.points profile));
+                exit 1
+          in
+          let machine = Config.default ~clusters in
+          Obs.Counters.reset Obs.Counters.default;
+          let prof = Obs.Profile.create () in
+          let (_ : Runner.point_result) =
+            Runner.run_point ~machine ~configs:[ config ] ~uops ~profile:prof
+              point
+          in
+          print_string (Obs.Expo.render Obs.Counters.default))
+
+let metrics_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ]
+          ~doc:
+            "Run one simulation point locally (with the self-profiler) and \
+             dump its registry instead of scraping a server.")
+  in
+  let phase =
+    Arg.(value & opt int 0 & info [ "phase" ] ~doc:"Simulation point index.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Expose counters and histograms as Prometheus text: scrape a \
+          running csteer serve, or run one point locally with $(b,-w)")
+    Term.(
+      const metrics $ socket_arg $ workload $ clusters_arg $ config_arg
+      $ uops_arg 20_000 $ phase)
+
+(* ---- runs ----------------------------------------------------------- *)
+
+let runs_dir_arg =
+  let doc = "Run-ledger directory." in
+  Arg.(value & opt string "runs" & info [ "dir" ] ~doc ~docv:"DIR")
+
+let summary_json (s : Obs.Ledger.summary) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Obs.Ledger.id);
+      ("kind", Json.Str s.Obs.Ledger.kind);
+      ("label", Json.Str s.Obs.Ledger.label);
+      ("started", Json.Float s.Obs.Ledger.started);
+      ("wall_s", Json.Float s.Obs.Ledger.wall_s);
+      ("outcome", Json.Str s.Obs.Ledger.outcome);
+      ("uops", Json.Int s.Obs.Ledger.uops);
+      ("minor_words_per_uop", Json.Float s.Obs.Ledger.minor_words_per_uop);
+      ("file", Json.Str s.Obs.Ledger.file);
+    ]
+
+let runs_list dir json =
+  protect @@ fun () ->
+  let ledger = Obs.Ledger.create ~dir in
+  let summaries = Obs.Ledger.list ledger in
+  if json then
+    print_endline
+      (Json.to_string (Json.List (List.map summary_json summaries)))
+  else if summaries = [] then
+    Printf.printf "no runs recorded in %s\n" dir
+  else begin
+    let header =
+      [| "id"; "kind"; "label"; "wall_s"; "outcome"; "uops"; "mw/uop" |]
+    in
+    let rows =
+      List.map
+        (fun (s : Obs.Ledger.summary) ->
+          [|
+            string_of_int s.Obs.Ledger.id;
+            s.Obs.Ledger.kind;
+            s.Obs.Ledger.label;
+            Printf.sprintf "%.3f" s.Obs.Ledger.wall_s;
+            s.Obs.Ledger.outcome;
+            string_of_int s.Obs.Ledger.uops;
+            Printf.sprintf "%.2f" s.Obs.Ledger.minor_words_per_uop;
+          |])
+        summaries
+    in
+    print_string (Clusteer_util.Table.render ~header rows)
+  end
+
+let runs_show dir id =
+  protect @@ fun () ->
+  let ledger = Obs.Ledger.create ~dir in
+  match Obs.Ledger.load ledger id with
+  | Some doc -> print_endline (Json.to_string doc)
+  | None ->
+      Printf.eprintf "csteer: no run %d in %s\n" id dir;
+      exit 1
+
+let runs_gc dir keep =
+  protect @@ fun () ->
+  if keep < 0 then begin
+    Printf.eprintf "--keep must be non-negative\n";
+    exit 1
+  end;
+  let ledger = Obs.Ledger.create ~dir in
+  let removed = Obs.Ledger.prune ledger ~keep in
+  Printf.printf "removed %d run(s), kept %d in %s\n" removed
+    (List.length (Obs.Ledger.list ledger))
+    dir
+
+let runs_cmd =
+  let list_cmd =
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Print the summaries as one JSON array.")
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List recorded runs (id, kind, wall time, GC)")
+      Term.(const runs_list $ runs_dir_arg $ json)
+  in
+  let show_cmd =
+    let id =
+      Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Run id.")
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Print one run's full ledger entry (config, counter snapshot \
+            with percentiles, GC deltas) as JSON")
+      Term.(const runs_show $ runs_dir_arg $ id)
+  in
+  let gc_cmd =
+    let keep =
+      Arg.(
+        value & opt int 32
+        & info [ "keep" ] ~doc:"How many newest runs to keep." ~docv:"N")
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Delete all but the newest --keep runs")
+      Term.(const runs_gc $ runs_dir_arg $ keep)
+  in
+  Cmd.group
+    (Cmd.info "runs" ~doc:"Inspect and prune the on-disk run ledger")
+    [ list_cmd; show_cmd; gc_cmd ]
+
 let main =
   let doc =
     "clusteer: software-hardware hybrid steering for clustered \
@@ -1151,7 +1432,8 @@ let main =
   Cmd.group (Cmd.info "csteer" ~doc)
     [
       list_cmd; simulate_cmd; compile_cmd; check_cmd; stats_cmd; sweep_cmd;
-      vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd;
+      vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd; metrics_cmd;
+      runs_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -20,17 +20,22 @@ val run_2cluster :
   ?profiles:Profile.t list ->
   ?progress:(string -> unit) ->
   ?domains:int ->
+  ?profiled:bool ->
   unit ->
   suite_run
 (** The Figure 5/6 sweep: 2-cluster machine, configurations OP /
     one-cluster / OB / RHOP / VC(2). Default 20k micro-ops per point
-    over the full 40-point suite. *)
+    over the full 40-point suite. [profiled] attaches a per-shard
+    pipeline self-profiler so the merged registry carries
+    [profile.engine.*.ns] phase timings (see
+    {!Clusteer_obs.Profile}). *)
 
 val run_4cluster :
   ?uops:int ->
   ?profiles:Profile.t list ->
   ?progress:(string -> unit) ->
   ?domains:int ->
+  ?profiled:bool ->
   unit ->
   suite_run
 (** The Figure 7 sweep: 4-cluster machine, OP / OB / RHOP / VC(4→4) /

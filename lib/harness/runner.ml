@@ -36,9 +36,10 @@ let trace_seed (point : Pinpoints.point) =
 let default_warmup uops =
   min (min 10_000 (max 2_000 (uops / 2))) (max 0 (uops - 1))
 
-let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry ~machine
-    ~configs ~uops workload =
+let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry ?profile
+    ~machine ~configs ~uops workload =
   let warmup = Option.value ~default:(default_warmup uops) warmup in
+  let committed = Counters.counter ?registry "harness.uops_committed" in
   List.map
     (fun config ->
       let name = Clusteer.Configuration.name config in
@@ -53,7 +54,7 @@ let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry ~machine
       in
       let engine =
         Engine.create ~config:machine ~annot ~policy ~prewarm ?obs:(obs name)
-          ?registry ()
+          ?registry ?profile ()
       in
       let gen = Synth.trace workload ~seed in
       let stats =
@@ -61,16 +62,20 @@ let run_workload ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry ~machine
           ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
           ~uops
       in
+      (* The ledger attributes committed work to the run through this
+         counter — it rides the registry, so parallel shards merge it
+         like any other instrument. *)
+      Counters.add committed stats.Stats.committed;
       (name, stats))
     configs
 
-let run_point ?warmup ?obs ?registry ~machine ~configs ~uops point =
+let run_point ?warmup ?obs ?registry ?profile ~machine ~configs ~uops point =
   let workload = Synth.build point.Pinpoints.profile in
   (* Every configuration replays the identical dynamic stream: the
      generator is reseeded per point with the same seed. *)
   let runs =
-    run_workload ?warmup ~seed:(trace_seed point) ?obs ?registry ~machine
-      ~configs ~uops workload
+    run_workload ?warmup ~seed:(trace_seed point) ?obs ?registry ?profile
+      ~machine ~configs ~uops workload
   in
   { point; runs }
 
@@ -94,9 +99,14 @@ let map_isolated ?domains ?chunk ?(into = Counters.default) f items =
 
 (* Parallel core: shard (profile x point) pairs over domains. The
    simulation is deterministic per point (a pure function of the trace
-   seed and the machine), so [map_isolated]'s guarantee applies. *)
-let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ~machine
-    ~configs ~uops profiles =
+   seed and the machine), so [map_isolated]'s guarantee applies.
+
+   [profiled] attaches a pipeline self-profiler per shard, over the
+   shard's private registry — concurrent engines never share a span,
+   and the phase-timing histograms merge back with the rest of the
+   shard registry in input order. *)
+let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk
+    ?(profiled = false) ~machine ~configs ~uops profiles =
   let items =
     List.concat_map
       (fun profile ->
@@ -106,15 +116,22 @@ let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ~machine
   map_isolated ?domains ?chunk
     (fun ~registry ((profile : Profile.t), point) ->
       if point.Pinpoints.index = 0 then progress profile.Profile.name;
-      run_point ?warmup ~registry ~machine ~configs ~uops point)
+      let prof =
+        if profiled then Some (Clusteer_obs.Profile.create ~registry ())
+        else None
+      in
+      run_point ?warmup ~registry ?profile:prof ~machine ~configs ~uops point)
     items
 
-let run_benchmark ?warmup ?domains ?chunk ~machine ~configs ~uops profile =
-  run_points ?warmup ?domains ?chunk ~machine ~configs ~uops [ profile ]
+let run_benchmark ?warmup ?domains ?chunk ?profiled ~machine ~configs ~uops
+    profile =
+  run_points ?warmup ?domains ?chunk ?profiled ~machine ~configs ~uops
+    [ profile ]
 
-let run_suite ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
-    profiles =
-  run_points ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops profiles
+let run_suite ?progress ?warmup ?domains ?chunk ?profiled ~machine ~configs
+    ~uops profiles =
+  run_points ?progress ?warmup ?domains ?chunk ?profiled ~machine ~configs
+    ~uops profiles
 
 let rec split_at n xs =
   if n = 0 then ([], xs)
@@ -125,11 +142,11 @@ let rec split_at n xs =
         let taken, remaining = split_at (n - 1) rest in
         (x :: taken, remaining)
 
-let run_grouped ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
-    profiles =
+let run_grouped ?progress ?warmup ?domains ?chunk ?profiled ~machine ~configs
+    ~uops profiles =
   let flat =
-    run_points ?progress ?warmup ?domains ?chunk ~machine ~configs ~uops
-      profiles
+    run_points ?progress ?warmup ?domains ?chunk ?profiled ~machine ~configs
+      ~uops profiles
   in
   let groups, rest =
     List.fold_left
@@ -156,6 +173,16 @@ let weighted_metric results ~config ~f =
       results
   in
   Clusteer_util.Stats.weighted_mean (Array.of_list pairs)
+
+(* Wall-clock and GC accounting around one run, in the shape the run
+   ledger records. *)
+let measured f =
+  let gc0 = Clusteer_obs.Ledger.gc_now () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let gc = Clusteer_obs.Ledger.gc_sub (Clusteer_obs.Ledger.gc_now ()) gc0 in
+  (result, wall_s, gc)
 
 let weighted_pair_metric results ~config_a ~config_b ~f =
   let pairs =

@@ -41,6 +41,7 @@ val run_point :
   ?warmup:int ->
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
   ?registry:Clusteer_obs.Counters.registry ->
+  ?profile:Clusteer_obs.Profile.t ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -55,13 +56,19 @@ val run_point :
     install in that configuration's engine ([None] = uninstrumented,
     the default for every configuration). [registry] receives the
     policies' and the engine's introspection counters (default
-    {!Clusteer_obs.Counters.default}). *)
+    {!Clusteer_obs.Counters.default}). [profile] attaches the pipeline
+    self-profiler to every engine created for the point.
+
+    Each engine run also adds its committed micro-ops to the
+    [harness.uops_committed] counter of [registry] — the figure the
+    run ledger divides GC allocation by. *)
 
 val run_workload :
   ?warmup:int ->
   ?seed:int ->
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
   ?registry:Clusteer_obs.Counters.registry ->
+  ?profile:Clusteer_obs.Profile.t ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -91,6 +98,7 @@ val run_benchmark :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -103,6 +111,7 @@ val run_suite :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -119,6 +128,7 @@ val run_grouped :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -140,3 +150,8 @@ val weighted_pair_metric :
   float
 (** Phase-weighted metric comparing two configurations point by
     point (e.g. slowdown of a vs b). *)
+
+val measured : (unit -> 'a) -> 'a * float * Clusteer_obs.Ledger.gc_delta
+(** [measured f] runs [f] and returns its result together with the
+    wall-clock seconds and [Gc.quick_stat] deltas it cost — the shape
+    the run ledger records for every entry. *)

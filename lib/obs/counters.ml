@@ -73,6 +73,38 @@ let buckets h =
   Array.iteri (fun i n -> if n > 0 then hi := i) h.bucket;
   Array.sub h.bucket 0 (!hi + 1)
 
+(* Bucket [i] covers values v with 2^i <= v+1 < 2^(i+1). *)
+let bucket_lo i = (1 lsl i) - 1
+let bucket_hi i = (1 lsl (i + 1)) - 2
+
+let percentile h p =
+  if h.count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let rank = p *. float_of_int h.count in
+    let result = ref (float_of_int h.max_v) in
+    let cum = ref 0.0 in
+    (try
+       for i = 0 to max_buckets - 1 do
+         let n = h.bucket.(i) in
+         if n > 0 then begin
+           let cum' = !cum +. float_of_int n in
+           if cum' >= rank then begin
+             (* Linear interpolation inside the bucket's value range,
+                clamped to the largest value actually observed. *)
+             let lo = float_of_int (bucket_lo i) in
+             let hi = float_of_int (min (bucket_hi i) h.max_v) in
+             let frac = (rank -. !cum) /. float_of_int n in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end;
+           cum := cum'
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
 let reset registry =
   Hashtbl.iter (fun _ c -> c.value <- 0) registry.counters_tbl;
   Hashtbl.iter
@@ -117,6 +149,9 @@ let to_json registry =
         ("sum", Json.Int h.sum);
         ("max", Json.Int h.max_v);
         ("mean", Json.Float (hist_mean h));
+        ("p50", Json.Float (percentile h 0.5));
+        ("p90", Json.Float (percentile h 0.9));
+        ("p99", Json.Float (percentile h 0.99));
         ( "buckets",
           Json.List
             (Array.to_list (Array.map (fun n -> Json.Int n) (buckets h))) );
@@ -139,7 +174,8 @@ let pp ppf registry =
     (counters registry);
   List.iter
     (fun (n, h) ->
-      Format.fprintf ppf "%-36s n=%d mean=%.2f max=%d@," n h.count (hist_mean h)
-        h.max_v)
+      Format.fprintf ppf "%-36s n=%d mean=%.2f p50=%.1f p90=%.1f p99=%.1f max=%d@,"
+        n h.count (hist_mean h) (percentile h 0.5) (percentile h 0.9)
+        (percentile h 0.99) h.max_v)
     (histograms registry);
   Format.fprintf ppf "@]"

@@ -45,6 +45,22 @@ val hist_mean : histogram -> float
 val buckets : histogram -> int array
 (** Bucket occupancy up to the highest non-empty bucket. *)
 
+val bucket_lo : int -> int
+(** Smallest value bucket [i] covers: [2^i - 1]. *)
+
+val bucket_hi : int -> int
+(** Largest value bucket [i] covers: [2^(i+1) - 2]. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] estimates the [p]-quantile ([p] in \[0,1\],
+    clamped) by linear interpolation inside the power-of-two bucket
+    holding the rank, with the top clamped to the largest value
+    actually observed. Exact when a bucket holds one distinct value;
+    otherwise within the bucket's range. 0 for an empty histogram.
+    Deterministic — a pure function of the bucket contents, so merged
+    shard histograms report the same percentiles as a sequential
+    run's. *)
+
 val reset : registry -> unit
 (** Zero every counter and histogram (registrations survive). *)
 

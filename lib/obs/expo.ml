@@ -1,0 +1,60 @@
+(* Prometheus-style text exposition of a counter registry.
+
+   The output is a pure function of the registry contents: metrics are
+   emitted name-sorted (counters first, then histograms), names are
+   mangled deterministically and floats print through one fixed
+   formatter — so a golden test can pin the exact bytes and a repeated
+   scrape of an idle server is byte-identical. *)
+
+let metric_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* One fixed float formatter for every non-integer sample value. *)
+let fmt_float v = Printf.sprintf "%.6g" v
+
+let render_to_buffer buf registry =
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" m v))
+    (Counters.counters registry);
+  List.iter
+    (fun (name, h) ->
+      let m = metric_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+      (* Cumulative occupancy with the bucket's largest covered value
+         as the [le] bound, up to the highest non-empty bucket. *)
+      let cum = ref 0 in
+      Array.iteri
+        (fun i n ->
+          cum := !cum + n;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m
+               (Counters.bucket_hi i) !cum))
+        (Counters.buckets h);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m
+           (Counters.hist_count h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %d\n" m (Counters.hist_sum h));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" m (Counters.hist_count h));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s_quantile gauge\n" m);
+      List.iter
+        (fun (q, p) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_quantile{q=\"%s\"} %s\n" m q
+               (fmt_float (Counters.percentile h p))))
+        [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ])
+    (Counters.histograms registry)
+
+let render registry =
+  let buf = Buffer.create 1024 in
+  render_to_buffer buf registry;
+  Buffer.contents buf

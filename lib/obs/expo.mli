@@ -1,0 +1,37 @@
+(** Prometheus-style text exposition of a {!Counters} registry.
+
+    Deterministic rendering for the metrics endpoint: counters first,
+    then histograms, each name-sorted. A counter becomes
+
+    {v
+    # TYPE serve_requests counter
+    serve_requests 42
+    v}
+
+    and a histogram becomes the cumulative-bucket form (the [le] bound
+    of power-of-two bucket [i] is its largest covered value,
+    [2^(i+1)-2]) followed by a gauge family of interpolated quantiles:
+
+    {v
+    # TYPE serve_latency_us histogram
+    serve_latency_us_bucket{le="0"} 3
+    serve_latency_us_bucket{le="+Inf"} 10
+    serve_latency_us_sum 1234
+    serve_latency_us_count 10
+    # TYPE serve_latency_us_quantile gauge
+    serve_latency_us_quantile{q="0.5"} 1.5
+    v}
+
+    The output is a pure function of the registry contents — the
+    golden test pins the exact bytes. *)
+
+val metric_name : string -> string
+(** Deterministic name mangling: every character outside
+    [\[a-zA-Z0-9_\]] becomes ['_'] (so ["serve.cache.hits"] renders as
+    ["serve_cache_hits"]). *)
+
+val render : Counters.registry -> string
+(** The full exposition document, one sample per line, trailing
+    newline included. *)
+
+val render_to_buffer : Buffer.t -> Counters.registry -> unit

@@ -1,0 +1,70 @@
+(* Pipeline self-profiler: named wall-clock spans aggregated into the
+   counter registry's histograms.
+
+   A span accumulates elapsed nanoseconds across any number of
+   enter/leave pairs and contributes ONE histogram observation per
+   flush — the engine enters/leaves a phase span every cycle and
+   flushes once per run, so the [profile.*] histograms hold
+   per-run phase totals and their percentiles summarize across runs.
+   Like the event sink, the profiler is an option at every
+   instrumentation site: disabled costs one pattern match and no
+   allocation. *)
+
+type span = {
+  name : string;
+  hist : Counters.histogram;
+  clock : unit -> float;
+  mutable t0 : float;  (* seconds at enter; nan when not inside *)
+  mutable acc_ns : float;  (* accumulated since the last flush *)
+}
+
+type t = {
+  registry : Counters.registry;
+  clock : unit -> float;
+  spans : (string, span) Hashtbl.t;
+  mutable all : span list;
+}
+
+let create ?(registry = Counters.default) ?(clock = Unix.gettimeofday) () =
+  { registry; clock; spans = Hashtbl.create 8; all = [] }
+
+let hist_name name = "profile." ^ name ^ ".ns"
+
+let span t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          name;
+          hist = Counters.histogram ~registry:t.registry (hist_name name);
+          clock = t.clock;
+          t0 = Float.nan;
+          acc_ns = 0.0;
+        }
+      in
+      Hashtbl.add t.spans name s;
+      t.all <- s :: t.all;
+      s
+
+let enter (s : span) = s.t0 <- s.clock ()
+
+let leave (s : span) =
+  if not (Float.is_nan s.t0) then begin
+    s.acc_ns <- s.acc_ns +. (Float.max 0.0 (s.clock () -. s.t0) *. 1e9);
+    s.t0 <- Float.nan
+  end
+
+let flush s =
+  Counters.observe s.hist (int_of_float s.acc_ns);
+  s.acc_ns <- 0.0
+
+let flush_all t = List.iter flush t.all
+
+let time s f =
+  enter s;
+  Fun.protect
+    ~finally:(fun () ->
+      leave s;
+      flush s)
+    f

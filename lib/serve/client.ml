@@ -46,6 +46,12 @@ let stats ~socket =
   | Ok _ -> Error "unexpected response to stats"
   | Error e -> Error e
 
+let metrics ~socket =
+  match one ~socket Protocol.Metrics with
+  | Ok (Protocol.Metrics_reply text) -> Ok text
+  | Ok _ -> Error "unexpected response to metrics"
+  | Error e -> Error e
+
 let shutdown ~socket =
   match one ~socket Protocol.Shutdown with
   | Ok Protocol.Bye -> Ok ()

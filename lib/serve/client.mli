@@ -22,5 +22,9 @@ val submit :
 val stats : socket:string -> (Clusteer_obs.Json.t, string) result
 (** Fetch the server's counter-registry snapshot. *)
 
+val metrics : socket:string -> (string, string) result
+(** Scrape the server's Prometheus-style exposition text (the
+    [metrics] command). *)
+
 val shutdown : socket:string -> (unit, string) result
 (** Ask the server to stop after this connection. *)

@@ -3,6 +3,7 @@ module Json = Clusteer_obs.Json
 type command =
   | Simulate of { id : int; deadline_ms : float option; request : Request.t }
   | Stats
+  | Metrics
   | Ping
   | Shutdown
 
@@ -13,6 +14,7 @@ type response =
   | Rejected of { id : int; reason : reject_reason }
   | Error_reply of { id : int; message : string }
   | Stats_reply of Json.t
+  | Metrics_reply of string
   | Pong
   | Bye
 
@@ -40,6 +42,7 @@ let encode_command = function
              ("request", Request.canonical request);
            ])
   | Stats -> {|{"op":"stats"}|}
+  | Metrics -> {|{"op":"metrics"}|}
   | Ping -> {|{"op":"ping"}|}
   | Shutdown -> {|{"op":"shutdown"}|}
 
@@ -62,6 +65,7 @@ let parse_command line =
       in
       Ok (Simulate { id; deadline_ms; request })
   | Some (Json.Str "stats") -> Ok Stats
+  | Some (Json.Str "metrics") -> Ok Metrics
   | Some (Json.Str "ping") -> Ok Ping
   | Some (Json.Str "shutdown") -> Ok Shutdown
   | Some (Json.Str op) -> Error (Printf.sprintf "unknown op %S" op)
@@ -101,6 +105,11 @@ let encode_response = function
   | Stats_reply stats ->
       Json.to_string
         (Json.Obj [ ("status", Json.Str "ok"); ("stats", stats) ])
+  | Metrics_reply text ->
+      (* The exposition text rides as one JSON string — RFC 8259
+         escaping keeps the newline-JSON framing intact. *)
+      Json.to_string
+        (Json.Obj [ ("status", Json.Str "ok"); ("metrics", Json.Str text) ])
   | Pong -> {|{"status":"ok","pong":true}|}
   | Bye -> {|{"status":"ok","bye":true}|}
 
@@ -131,10 +140,15 @@ let parse_response line =
       | None -> (
           match Json.member "stats" doc with
           | Some stats -> Ok (Stats_reply stats)
-          | None ->
-              if Json.member "pong" doc <> None then Ok Pong
-              else if Json.member "bye" doc <> None then Ok Bye
-              else Error "ok response without payload"))
+          | None -> (
+              match
+                Option.bind (Json.member "metrics" doc) Json.to_str
+              with
+              | Some text -> Ok (Metrics_reply text)
+              | None ->
+                  if Json.member "pong" doc <> None then Ok Pong
+                  else if Json.member "bye" doc <> None then Ok Bye
+                  else Error "ok response without payload")))
   | Some "rejected" -> (
       match Option.bind (Json.member "reason" doc) Json.to_str with
       | Some "queue_full" -> Ok (Rejected { id; reason = Queue_full })

@@ -11,6 +11,7 @@
     {v
     {"op":"simulate","id":7,"deadline_ms":250.0,"request":{...}}
     {"op":"stats"}
+    {"op":"metrics"}
     {"op":"ping"}
     {"op":"shutdown"}
     v}
@@ -22,6 +23,7 @@
     {"id":7,"status":"rejected","reason":"check_failed","message":"..."}
     {"id":7,"status":"error","message":"..."}
     {"status":"ok","stats":{"counters":{...},"histograms":{...}}}
+    {"status":"ok","metrics":"# TYPE serve_requests counter\n..."}
     {"status":"ok","pong":true}
     {"status":"ok","bye":true}
     v} *)
@@ -31,6 +33,9 @@ type command =
       (** [deadline_ms] is relative to arrival at the server; a
           non-positive value is already expired. [None] = no deadline. *)
   | Stats  (** snapshot of the service counter registry *)
+  | Metrics
+      (** Prometheus-style text exposition of the same registry (see
+          {!Clusteer_obs.Expo}) — a live scrape of a running server *)
   | Ping
   | Shutdown  (** finish this connection's batch, then stop serving *)
 
@@ -46,6 +51,8 @@ type response =
   | Rejected of { id : int; reason : reject_reason }
   | Error_reply of { id : int; message : string }
   | Stats_reply of Clusteer_obs.Json.t
+  | Metrics_reply of string
+      (** the exposition document, carried as one JSON string *)
   | Pong
   | Bye
 

@@ -1,5 +1,8 @@
 module Json = Clusteer_obs.Json
 module Counters = Clusteer_obs.Counters
+module Expo = Clusteer_obs.Expo
+module Prof = Clusteer_obs.Profile
+module Ledger = Clusteer_obs.Ledger
 module Profile = Clusteer_workloads.Profile
 module Spec2000 = Clusteer_workloads.Spec2000
 module Pinpoints = Clusteer_workloads.Pinpoints
@@ -13,6 +16,8 @@ type config = {
   domains : int option;
   cache_budget : int;
   cache_dir : string option;
+  ledger_dir : string option;
+  profile : bool;
   log : string -> unit;
 }
 
@@ -23,13 +28,27 @@ let default_config ~socket_path =
     domains = None;
     cache_budget = 64 * 1024 * 1024;
     cache_dir = None;
+    ledger_dir = None;
+    profile = false;
     log = (fun _ -> ());
   }
+
+(* Server-side profiler spans: the batch cycle is single-threaded (the
+   worker pool parallelism lives inside the dispatch span), so these
+   observe straight into the server registry. *)
+type prof_spans = {
+  p_admission : Prof.span;
+  p_dispatch : Prof.span;
+  p_cache : Prof.span;
+}
 
 type t = {
   cfg : config;
   registry : Counters.registry;
   cache : Cache.t;
+  profiled : bool;  (* give each worker job a per-registry profiler *)
+  prof : prof_spans option;
+  ledger : Ledger.t option;
   requests : Counters.counter;
   batches : Counters.counter;
   rej_queue_full : Counters.counter;
@@ -77,10 +96,12 @@ let energy_json (e : Energy.breakdown) =
    document is a pure function of the canonical request (PR 2's
    determinism guarantee), which is what makes the cached bytes
    replayable verbatim. *)
-let execute ~registry (req : Request.t) (point : Pinpoints.point) =
+let execute ~registry ?(profiled = false) (req : Request.t)
+    (point : Pinpoints.point) =
   let machine =
     Clusteer_uarch.Config.default ~clusters:req.Request.clusters
   in
+  let profile = if profiled then Some (Prof.create ~registry ()) else None in
   let workload = Synth.build point.Pinpoints.profile in
   let seed =
     match req.Request.seed with
@@ -93,7 +114,7 @@ let execute ~registry (req : Request.t) (point : Pinpoints.point) =
     | None -> Runner.default_warmup req.Request.uops
   in
   let runs =
-    Runner.run_workload ~warmup ~seed ~registry ~machine
+    Runner.run_workload ~warmup ~seed ~registry ?profile ~machine
       ~configs:[ req.Request.policy ] ~uops:req.Request.uops workload
   in
   let name, stats = List.hd runs in
@@ -127,7 +148,9 @@ type job = {
 type outcome = O_timeout | O_error of string | O_done of string * float
 
 (* Handle one connection's command lines; returns the response lines
-   (one per command, in order) and whether shutdown was requested. *)
+   (one per command, in order), whether shutdown was requested, and
+   the committed micro-ops of the batch's fresh simulations (what the
+   ledger attributes the batch's GC allocation to). *)
 let handle_batch t lines =
   let n = List.length lines in
   Counters.incr t.batches;
@@ -135,9 +158,11 @@ let handle_batch t lines =
   let responses = Array.make n "" in
   let set i r = responses.(i) <- Protocol.encode_response r in
   let stats_slots = ref [] in
+  let metrics_slots = ref [] in
   let jobs = ref [] in
   let inflight : (string, job) Hashtbl.t = Hashtbl.create 8 in
   let shutdown = ref false in
+  (match t.prof with Some p -> Prof.enter p.p_admission | None -> ());
   List.iteri
     (fun i line ->
       match Protocol.parse_command line with
@@ -149,6 +174,7 @@ let handle_batch t lines =
           shutdown := true;
           set i Protocol.Bye
       | Ok Protocol.Stats -> stats_slots := i :: !stats_slots
+      | Ok Protocol.Metrics -> metrics_slots := i :: !metrics_slots
       | Ok (Protocol.Simulate { id; deadline_ms; request }) -> (
           Counters.incr t.requests;
           match resolve request with
@@ -158,7 +184,13 @@ let handle_batch t lines =
           | Ok point -> (
               let now = Unix.gettimeofday () in
               let rhash = Request.hash request in
-              match Cache.find t.cache rhash with
+              let lookup =
+                match t.prof with
+                | Some p ->
+                    Prof.time p.p_cache (fun () -> Cache.find t.cache rhash)
+                | None -> Cache.find t.cache rhash
+              in
+              match lookup with
               | Some cached ->
                   (* The fast path of the whole subsystem: a repeat
                      request is answered from the table, not re-run —
@@ -216,6 +248,11 @@ let handle_batch t lines =
                         end)
                   end)))
     lines;
+  (match t.prof with
+  | Some p ->
+      Prof.leave p.p_admission;
+      Prof.flush p.p_admission
+  | None -> ());
   (* Dispatch oldest-deadline-first; deadline-free work runs last, in
      arrival order. *)
   let queue =
@@ -225,6 +262,7 @@ let handle_batch t lines =
         compare (d a.deadline, a.arrived) (d b.deadline, b.arrived))
       (List.rev !jobs)
   in
+  (match t.prof with Some p -> Prof.enter p.p_dispatch | None -> ());
   let outcomes =
     Runner.map_isolated ?domains:t.cfg.domains ~into:t.registry
       (fun ~registry job ->
@@ -233,10 +271,25 @@ let handle_batch t lines =
         | Some d when now >= d -> O_timeout
         | _ -> (
             Counters.incr (Counters.counter ~registry "serve.simulations");
-            match execute ~registry job.request job.point with
+            match
+              execute ~registry ~profiled:t.profiled job.request job.point
+            with
             | result -> O_done (Json.to_string result, Unix.gettimeofday ())
             | exception e -> O_error (Printexc.to_string e)))
       queue
+  in
+  (match t.prof with
+  | Some p ->
+      Prof.leave p.p_dispatch;
+      Prof.flush p.p_dispatch
+  | None -> ());
+  let sim_uops =
+    List.fold_left2
+      (fun acc job outcome ->
+        match outcome with
+        | O_done _ -> acc + job.request.Request.uops
+        | O_timeout | O_error _ -> acc)
+      0 queue outcomes
   in
   List.iter2
     (fun job outcome ->
@@ -264,11 +317,17 @@ let handle_batch t lines =
                   ~result)
             job.slots)
     queue outcomes;
-  (* Stats snapshots see the whole batch they arrived in. *)
+  (* Stats and metrics snapshots see the whole batch they arrived in. *)
   let stats = lazy (Protocol.encode_response
                       (Protocol.Stats_reply (Counters.to_json t.registry))) in
   List.iter (fun i -> responses.(i) <- Lazy.force stats) !stats_slots;
-  (Array.to_list responses, !shutdown)
+  let metrics =
+    lazy
+      (Protocol.encode_response
+         (Protocol.Metrics_reply (Expo.render t.registry)))
+  in
+  List.iter (fun i -> responses.(i) <- Lazy.force metrics) !metrics_slots;
+  (Array.to_list responses, !shutdown, sim_uops)
 
 (* ---- socket loop -------------------------------------------------- *)
 
@@ -284,12 +343,27 @@ let serve ?(registry = Counters.default) cfg =
   (match Sys.os_type with
   | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ());
+  (* A ledger needs phase timings in its snapshots, so asking for a
+     ledger turns the profiler on too. *)
+  let profiled = cfg.profile || cfg.ledger_dir <> None in
   let t =
     {
       cfg;
       registry;
       cache =
         Cache.create ~registry ?dir:cfg.cache_dir ~budget:cfg.cache_budget ();
+      profiled;
+      prof =
+        (if profiled then
+           let p = Prof.create ~registry () in
+           Some
+             {
+               p_admission = Prof.span p "serve.admission";
+               p_dispatch = Prof.span p "serve.dispatch";
+               p_cache = Prof.span p "serve.cache_lookup";
+             }
+         else None);
+      ledger = Option.map (fun dir -> Ledger.create ~dir) cfg.ledger_dir;
       requests = Counters.counter ~registry "serve.requests";
       batches = Counters.counter ~registry "serve.batches";
       rej_queue_full = Counters.counter ~registry "serve.rejected.queue_full";
@@ -320,7 +394,21 @@ let serve ?(registry = Counters.default) cfg =
        let ic = Unix.in_channel_of_descr fd in
        let oc = Unix.out_channel_of_descr fd in
        let lines = read_lines ic in
-       let replies, shutdown = handle_batch t lines in
+       let started = Unix.gettimeofday () in
+       let gc0 = Ledger.gc_now () in
+       let replies, shutdown, sim_uops = handle_batch t lines in
+       (match t.ledger with
+       | None -> ()
+       | Some ledger ->
+           let wall_s = Unix.gettimeofday () -. started in
+           let gc = Ledger.gc_sub (Ledger.gc_now ()) gc0 in
+           let batch = Counters.value t.batches in
+           ignore
+             (Ledger.append ledger ~kind:"serve_batch"
+                ~label:(Printf.sprintf "batch-%d" batch)
+                ~config:
+                  (Json.Obj [ ("commands", Json.Int (List.length lines)) ])
+                ~started ~wall_s ~outcome:"ok" ~uops:sim_uops ~gc t.registry));
        List.iter
          (fun r ->
            output_string oc r;

@@ -30,7 +30,18 @@
     [serve.rejected.timeout], [serve.errors], and histograms
     [serve.queue.depth] (depth observed at each admission),
     [serve.batch.size] and [serve.latency.us] (per simulate request,
-    arrival to completion). *)
+    arrival to completion).
+
+    The [metrics] command answers a Prometheus-style text scrape of
+    that registry ({!Clusteer_obs.Expo}). With [profile] set (or
+    implied by [ledger_dir]) the self-profiler adds
+    [profile.serve.admission.ns] / [profile.serve.dispatch.ns] (one
+    observation per batch), [profile.serve.cache_lookup.ns] (one per
+    lookup) and the workers' [profile.engine.*.ns] phase timings. With
+    [ledger_dir] set, every batch also appends a
+    {!Clusteer_obs.Ledger} entry ([kind = "serve_batch"]) capturing
+    wall time, GC deltas over the batch, the committed micro-ops of
+    its fresh simulations, and the full registry snapshot. *)
 
 type config = {
   socket_path : string;
@@ -38,12 +49,16 @@ type config = {
   domains : int option;  (** worker-pool width; [None] = harness default *)
   cache_budget : int;  (** in-memory cache byte budget *)
   cache_dir : string option;  (** disk spill directory, e.g. [_cache/] *)
+  ledger_dir : string option;
+      (** record every batch in a {!Clusteer_obs.Ledger} at this
+          directory; implies [profile] *)
+  profile : bool;  (** attach the pipeline self-profiler *)
   log : string -> unit;  (** diagnostic lines (default: drop) *)
 }
 
 val default_config : socket_path:string -> config
-(** queue_depth 64, default domains, 64 MB cache, no disk spill,
-    silent log. *)
+(** queue_depth 64, default domains, 64 MB cache, no disk spill, no
+    ledger, profiler off, silent log. *)
 
 val serve : ?registry:Clusteer_obs.Counters.registry -> config -> unit
 (** Bind the socket (replacing a stale file at that path), accept

@@ -7,6 +7,7 @@ module Vec = Clusteer_util.Vec
 module Obs_event = Clusteer_obs.Event
 module Obs_sink = Clusteer_obs.Sink
 module Obs_counters = Clusteer_obs.Counters
+module Obs_profile = Clusteer_obs.Profile
 
 type kind =
   | Op of Dynuop.t
@@ -31,6 +32,16 @@ type event =
   | Ev_copy_arrive of inst
 
 type fetch_slot = { duop : Dynuop.t; ready_at : int; misp : bool }
+
+(* Self-profiler spans, interned once at creation so the per-cycle
+   instrumented path touches no hashtable. *)
+type prof_spans = {
+  p_fetch : Obs_profile.span;
+  p_dispatch : Obs_profile.span;
+  p_issue : Obs_profile.span;
+  p_writeback : Obs_profile.span;
+  p_commit : Obs_profile.span;
+}
 
 let never = max_int
 
@@ -83,6 +94,9 @@ type t = {
      final statistics are bit-identical to an uninstrumented engine *)
   mutable obs : Obs_sink.t option;
   copyq_depth_hist : Obs_counters.histogram;
+  (* self-profiler: like [obs], [None] means every step is one pattern
+     match away from the uninstrumented path *)
+  prof : prof_spans option;
 }
 
 let queue_index = function
@@ -117,7 +131,7 @@ let reg_code cfg_nregs (r : Reg.t) = Reg.encode ~nregs_per_class:cfg_nregs r
    for the largest budget the workloads use. *)
 let max_nregs_per_class = 64
 
-let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry () =
+let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry ?profile () =
   Config.validate config;
   let clusters = config.Config.clusters in
   let stats = Stats.create ~clusters in
@@ -183,6 +197,18 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry () =
       copy_extra = Array.make clusters 0;
       obs;
       copyq_depth_hist = Obs_counters.histogram ?registry "engine.copyq_depth";
+      prof =
+        (match profile with
+        | None -> None
+        | Some p ->
+            Some
+              {
+                p_fetch = Obs_profile.span p "engine.fetch";
+                p_dispatch = Obs_profile.span p "engine.dispatch";
+                p_issue = Obs_profile.span p "engine.issue";
+                p_writeback = Obs_profile.span p "engine.writeback";
+                p_commit = Obs_profile.span p "engine.commit";
+              });
       view =
         {
           Policy.clusters;
@@ -831,13 +857,36 @@ let fetch t ~source =
 (* ---- main loop --------------------------------------------------- *)
 
 let step t ~source =
-  process_events t;
-  t.loads_this_cycle <- 0;
-  t.stores_this_cycle <- 0;
-  commit t;
-  issue t;
-  dispatch t;
-  fetch t ~source;
+  (match t.prof with
+  | None ->
+      process_events t;
+      t.loads_this_cycle <- 0;
+      t.stores_this_cycle <- 0;
+      commit t;
+      issue t;
+      dispatch t;
+      fetch t ~source
+  | Some p ->
+      (* Same phase order; each phase bracketed by its span. The span
+         accumulates across the whole run and is flushed once in
+         [run], so the histogram holds per-run phase totals. *)
+      Obs_profile.enter p.p_writeback;
+      process_events t;
+      Obs_profile.leave p.p_writeback;
+      t.loads_this_cycle <- 0;
+      t.stores_this_cycle <- 0;
+      Obs_profile.enter p.p_commit;
+      commit t;
+      Obs_profile.leave p.p_commit;
+      Obs_profile.enter p.p_issue;
+      issue t;
+      Obs_profile.leave p.p_issue;
+      Obs_profile.enter p.p_dispatch;
+      dispatch t;
+      Obs_profile.leave p.p_dispatch;
+      Obs_profile.enter p.p_fetch;
+      fetch t ~source;
+      Obs_profile.leave p.p_fetch);
   t.cycle <- t.cycle + 1;
   t.stats.Stats.cycles <- t.stats.Stats.cycles + 1;
   (* Interval telemetry: snapshot on measured-time boundaries so the
@@ -880,4 +929,15 @@ let run ?(warmup = 0) t ~source ~uops =
   t.stats.Stats.l2_misses <- Memsys.l2_misses t.memsys;
   t.stats.Stats.branch_lookups <- Bpred.lookups t.bpred;
   t.stats.Stats.branch_mispredicts <- Bpred.mispredicts t.bpred;
+  (* One histogram observation per phase per run. Only this engine's
+     own spans are flushed — the profiler may be shared with the
+     harness or service layer. *)
+  (match t.prof with
+  | None -> ()
+  | Some p ->
+      Obs_profile.flush p.p_fetch;
+      Obs_profile.flush p.p_dispatch;
+      Obs_profile.flush p.p_issue;
+      Obs_profile.flush p.p_writeback;
+      Obs_profile.flush p.p_commit);
   t.stats

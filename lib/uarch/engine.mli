@@ -29,6 +29,7 @@ val create :
   ?prewarm:(int * int) list ->
   ?obs:Clusteer_obs.Sink.t ->
   ?registry:Clusteer_obs.Counters.registry ->
+  ?profile:Clusteer_obs.Profile.t ->
   unit ->
   t
 (** Fresh machine state. [annot] is the compiler side-channel the
@@ -50,7 +51,14 @@ val create :
     so timestamps line up with the interval samples and the final
     cycle counts. Without a sink every emission site is a single
     pattern match that allocates nothing; simulated behaviour and the
-    final {!Stats.t} are identical to an uninstrumented run. *)
+    final {!Stats.t} are identical to an uninstrumented run.
+
+    [profile] attaches the pipeline self-profiler: each {!run} then
+    contributes one observation of per-phase wall nanoseconds
+    (fetch/dispatch/issue/writeback/commit) to the profiler's
+    [profile.engine.*.ns] histograms. Like [obs], [None] leaves every
+    instrumentation site a single pattern match — disabled profiling
+    costs nothing and changes nothing. *)
 
 val set_sink : t -> Clusteer_obs.Sink.t option -> unit
 (** Install or remove the observability sink mid-run (e.g. to skip the

@@ -28,6 +28,22 @@ let run_capture args =
   Sys.remove tmp;
   (code, out)
 
+(* Like [run_capture] but folds stderr into the captured output, for
+   asserting on diagnostic lines. *)
+let run_capture_all args =
+  let tmp = Filename.temp_file "csteer_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args
+      (Filename.quote tmp)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let out = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  (code, out)
+
 let contains haystack needle =
   let n = String.length needle in
   let rec go i =
@@ -155,6 +171,112 @@ let test_experiment_sec21 () =
   check_int "exit 0" 0 code;
   check_bool "paper delta" true (contains out "(paper: 2)")
 
+let temp_dirname prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let test_ledger_end_to_end () =
+  let dir = temp_dirname "csteer_ledger" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* --ledger implies profiling: the run is recorded with phase-timing
+     percentiles and GC accounting. *)
+  let code, _ =
+    run_capture
+      (Printf.sprintf "simulate -w gzip-1 -p vc2 -n 2000 --ledger %s"
+         (Filename.quote dir))
+  in
+  check_int "simulate exit 0" 0 code;
+  check_bool "index written" true
+    (Sys.file_exists (Filename.concat dir "index.jsonl"));
+  let code, out =
+    run_capture (Printf.sprintf "runs list --dir %s --json" (Filename.quote dir))
+  in
+  check_int "runs list exit 0" 0 code;
+  (match Clusteer_obs.Json.of_string (String.trim out) with
+  | Error e -> Alcotest.failf "runs list --json unparseable: %s" e
+  | Ok (Clusteer_obs.Json.List [ entry ]) ->
+      let module J = Clusteer_obs.Json in
+      (match J.member "kind" entry with
+      | Some (J.Str "simulate") -> ()
+      | _ -> Alcotest.fail "kind must be simulate");
+      check_bool "words/uop recorded" true
+        (J.member "minor_words_per_uop" entry <> None)
+  | Ok _ -> Alcotest.fail "expected exactly one ledger entry");
+  let code, out =
+    run_capture (Printf.sprintf "runs show --dir %s 1" (Filename.quote dir))
+  in
+  check_int "runs show exit 0" 0 code;
+  check_bool "full entry has gc accounting" true
+    (contains out "engine_minor_words_per_uop");
+  check_bool "full entry has phase percentiles" true
+    (contains out "profile.engine.commit.ns");
+  check_bool "full entry has p99" true (contains out "p99");
+  (* gc keeps the newest and reports what it removed. *)
+  let code, _ =
+    run_capture
+      (Printf.sprintf "simulate -w gzip-1 -p op -n 2000 --ledger %s"
+         (Filename.quote dir))
+  in
+  check_int "second run exit 0" 0 code;
+  let code, out =
+    run_capture (Printf.sprintf "runs gc --dir %s --keep 1" (Filename.quote dir))
+  in
+  check_int "runs gc exit 0" 0 code;
+  check_bool "reports removal" true (contains out "removed 1");
+  let code, out =
+    run_capture (Printf.sprintf "runs list --dir %s --json" (Filename.quote dir))
+  in
+  check_int "list after gc exit 0" 0 code;
+  check_bool "newest survives" true (contains out "\"id\":2");
+  check_bool "oldest gone" true (not (contains out "\"id\":1"))
+
+let test_metrics_local_dump () =
+  let code, out = run_capture "metrics -w gzip-1 -n 2000" in
+  check_int "exit 0" 0 code;
+  check_bool "typed counter" true (contains out "# TYPE");
+  check_bool "engine histograms exposed" true
+    (contains out "engine_copyq_depth");
+  check_bool "profiler phases exposed" true
+    (contains out "profile_engine_commit_ns_count 1")
+
+let test_unwritable_paths_diagnose () =
+  (* A file where a directory is needed: mkdir fails with ENOTDIR /
+     EEXIST and the CLI must answer with one diagnostic line and exit
+     1, not a backtrace. *)
+  let file = Filename.temp_file "csteer_notadir" "" in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+  @@ fun () ->
+  let bad = Filename.concat file "sub" in
+  let code, out =
+    run_capture_all
+      (Printf.sprintf "simulate -w gzip-1 -n 500 --ledger %s"
+         (Filename.quote bad))
+  in
+  check_int "ledger path rejected" 1 code;
+  check_bool "one-line diagnostic, not a backtrace" true
+    (contains out "csteer:" && not (contains out "Raised at"));
+  let code, out =
+    run_capture_all
+      (Printf.sprintf "simulate -w gzip-1 -n 500 --trace-out %s"
+         (Filename.quote bad))
+  in
+  check_int "trace path rejected" 1 code;
+  check_bool "one-line diagnostic, not a backtrace" true
+    (contains out "csteer:" && not (contains out "Raised at"));
+  let code, _ =
+    run_capture_all (Printf.sprintf "runs list --dir %s" (Filename.quote bad))
+  in
+  check_int "runs dir rejected" 1 code
+
 let test_unknown_experiment () =
   let code, _ = run_capture "experiment not-a-figure" in
   check_bool "nonzero exit" true (code <> 0)
@@ -176,5 +298,9 @@ let () =
           Alcotest.test_case "experiment tables" `Quick test_experiment_tables;
           Alcotest.test_case "experiment sec21" `Quick test_experiment_sec21;
           Alcotest.test_case "unknown experiment" `Quick test_unknown_experiment;
+          Alcotest.test_case "ledger end to end" `Slow test_ledger_end_to_end;
+          Alcotest.test_case "metrics local dump" `Slow test_metrics_local_dump;
+          Alcotest.test_case "unwritable paths" `Quick
+            test_unwritable_paths_diagnose;
         ] );
     ]

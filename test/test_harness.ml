@@ -117,6 +117,46 @@ let test_runner_tiny_run_completes () =
   let _, stats = List.hd result.Harness.Runner.runs in
   check_bool "commits its budget" true (stats.Stats.committed >= 200)
 
+let test_runner_measured_and_profiled () =
+  (* [measured] wraps a run with wall-clock and GC deltas; a profiled
+     run feeds the phase-timing histograms and the committed-uop
+     counter the ledger divides by. *)
+  let module Obs = Clusteer_obs in
+  let registry = Obs.Counters.create () in
+  let prof = Obs.Profile.create ~registry () in
+  let point = List.hd (Pinpoints.points tiny_profile) in
+  let result, wall_s, gc =
+    Harness.Runner.measured (fun () ->
+        Harness.Runner.run_point ~registry ~profile:prof
+          ~machine:Config.default_2c
+          ~configs:
+            [
+              Clusteer.Configuration.Op;
+              Clusteer.Configuration.Vc { virtual_clusters = 2 };
+            ]
+          ~uops:1000 point)
+  in
+  check_int "both configs ran" 2 (List.length result.Harness.Runner.runs);
+  check_bool "wall clock advanced" true (wall_s >= 0.0);
+  check_bool "allocation accounted" true (gc.Obs.Ledger.minor_words > 0.0);
+  let committed =
+    Obs.Counters.value
+      (Obs.Counters.counter ~registry "harness.uops_committed")
+  in
+  let stats_sum =
+    List.fold_left
+      (fun a (_, s) -> a + s.Stats.committed)
+      0 result.Harness.Runner.runs
+  in
+  check_int "committed counter matches stats" stats_sum committed;
+  check_bool "uop attribution sane" true (committed >= 2000);
+  (* One flush per engine phase per run: two configs = two samples. *)
+  check_int "phase histogram samples" 2
+    (Obs.Counters.hist_count
+       (Obs.Counters.histogram ~registry "profile.engine.commit.ns"));
+  check_bool "words/uop within the hot-path budget era" true
+    (Obs.Ledger.minor_words_per_uop gc ~uops:committed >= 0.0)
+
 let test_trace_seed_no_collisions () =
   (* The old affine formula (seed*31 + index + 101) collided across
      nearby benchmarks — e.g. (seed 1, phase 31) and (seed 2, phase 0)
@@ -273,6 +313,8 @@ let () =
           Alcotest.test_case "default warmup clamps" `Quick
             test_runner_default_warmup_clamps;
           Alcotest.test_case "tiny run completes" `Quick test_runner_tiny_run_completes;
+          Alcotest.test_case "measured and profiled" `Quick
+            test_runner_measured_and_profiled;
           Alcotest.test_case "trace seed collision-free" `Quick
             test_trace_seed_no_collisions;
           Alcotest.test_case "trace seed deterministic" `Quick

@@ -292,6 +292,303 @@ let test_stall_order_matches_stats () =
     (Stats.stall_fields s);
   check_int "total" 28 (Stats.total_stalls s)
 
+(* ---- Percentiles ----------------------------------------------------- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_percentiles () =
+  let r = Counters.create () in
+  let h = Counters.histogram ~registry:r "p" in
+  check_float "empty histogram" 0.0 (Counters.percentile h 0.5);
+  List.iter (Counters.observe h) [ 0; 1; 2; 3 ];
+  (* Buckets [|1;2;1|]: rank 2.0 lands mid-bucket-1 (values 1-2). *)
+  check_float "p50 interpolates" 1.5 (Counters.percentile h 0.5);
+  check_float "p90 clamps to max" 3.0 (Counters.percentile h 0.9);
+  check_float "p99 clamps to max" 3.0 (Counters.percentile h 0.99);
+  check_float "p<=0 clamps" 0.0 (Counters.percentile h (-1.0));
+  check_float "p>=1 clamps" 3.0 (Counters.percentile h 2.0);
+  let u = Counters.histogram ~registry:r "u" in
+  for v = 0 to 99 do
+    Counters.observe u v
+  done;
+  (* Uniform 0..99: rank 50 falls in bucket 5 (31-62, 32 entries) at
+     fraction 19/32; rank 99 in bucket 6, whose top clamps to 99. *)
+  check_float "p50 uniform" 49.40625 (Counters.percentile u 0.5);
+  Alcotest.(check (float 1e-6))
+    "p99 uniform"
+    (63.0 +. (36.0 /. 37.0 *. 36.0))
+    (Counters.percentile u 0.99);
+  (* The JSON snapshot carries the same quantiles. *)
+  match Json.member "histograms" (Counters.to_json r) with
+  | Some (Json.Obj hs) -> (
+      match List.assoc_opt "p" hs with
+      | Some hj -> (
+          match Json.member "p50" hj with
+          | Some (Json.Float f) -> check_float "json p50" 1.5 f
+          | _ -> Alcotest.fail "p50 missing from histogram json")
+      | None -> Alcotest.fail "histogram missing from json")
+  | _ -> Alcotest.fail "histograms object missing"
+
+(* ---- Prometheus exposition ------------------------------------------ *)
+
+let test_expo_golden () =
+  let r = Counters.create () in
+  let c = Counters.counter ~registry:r "serve.requests" in
+  Counters.add c 3;
+  let h = Counters.histogram ~registry:r "lat.us" in
+  List.iter (Counters.observe h) [ 0; 1; 2; 3 ];
+  let golden =
+    String.concat "\n"
+      [
+        "# TYPE serve_requests counter";
+        "serve_requests 3";
+        "# TYPE lat_us histogram";
+        "lat_us_bucket{le=\"0\"} 1";
+        "lat_us_bucket{le=\"2\"} 3";
+        "lat_us_bucket{le=\"6\"} 4";
+        "lat_us_bucket{le=\"+Inf\"} 4";
+        "lat_us_sum 6";
+        "lat_us_count 4";
+        "# TYPE lat_us_quantile gauge";
+        "lat_us_quantile{q=\"0.5\"} 1.5";
+        "lat_us_quantile{q=\"0.9\"} 3";
+        "lat_us_quantile{q=\"0.99\"} 3";
+        "";
+      ]
+  in
+  check_string "pinned exposition bytes" golden (Expo.render r);
+  (* A second scrape of an unchanged registry is byte-identical. *)
+  check_string "scrape is deterministic" (Expo.render r) (Expo.render r)
+
+let test_expo_name_mangling () =
+  let r = Counters.create () in
+  Counters.incr (Counters.counter ~registry:r "steer.remap/vc-2");
+  let text = Expo.render r in
+  check_bool "mangles to [a-zA-Z0-9_]" true
+    (String.length text > 0
+    && String.split_on_char '\n' text
+       |> List.exists (fun l -> l = "steer_remap_vc_2 1"))
+
+(* ---- Self-profiler --------------------------------------------------- *)
+
+let test_profile_spans () =
+  let now = ref 0.0 in
+  let r = Counters.create () in
+  let prof = Profile.create ~registry:r ~clock:(fun () -> !now) () in
+  let s = Profile.span prof "x" in
+  check_bool "span interns by name" true (s == Profile.span prof "x");
+  (* Two enter/leave pairs accumulate into ONE observation per flush. *)
+  Profile.enter s;
+  now := 0.25;
+  Profile.leave s;
+  Profile.enter s;
+  now := 0.75;
+  Profile.leave s;
+  let h = Counters.histogram ~registry:r "profile.x.ns" in
+  check_int "nothing observed before flush" 0 (Counters.hist_count h);
+  Profile.flush s;
+  check_int "one observation per flush" 1 (Counters.hist_count h);
+  check_int "accumulated nanoseconds" 750_000_000 (Counters.hist_sum h);
+  (* A leave without a matching enter is ignored. *)
+  Profile.leave s;
+  Profile.flush s;
+  check_int "unmatched leave ignored" 750_000_000 (Counters.hist_sum h);
+  (* [time] wraps one call into one observation and passes the result. *)
+  let v =
+    Profile.time s (fun () ->
+        now := !now +. 0.125;
+        42)
+  in
+  check_int "time returns the result" 42 v;
+  check_int "time adds one observation" 3 (Counters.hist_count h);
+  check_int "time observes the elapsed ns" 875_000_000 (Counters.hist_sum h);
+  (* flush_all covers every span created from this profiler. *)
+  let s2 = Profile.span prof "y" in
+  Profile.enter s2;
+  now := !now +. 0.5;
+  Profile.leave s2;
+  Profile.flush_all prof;
+  check_int "flush_all flushes new spans" 1
+    (Counters.hist_count (Counters.histogram ~registry:r "profile.y.ns"))
+
+let test_profile_zero_overhead () =
+  (* Same contract as the event sink: an engine without a profiler must
+     produce bit-identical stats to one with it attached. *)
+  let p = independent_program 16 in
+  let run profile =
+    let engine =
+      Engine.create ~config:Config.default_2c
+        ~annot:(Annot.none ~uop_count:p.Program.uop_count)
+        ~policy:(Clusteer_steer.Op.make ())
+        ?profile ()
+    in
+    Engine.run ~warmup:200 engine ~source:(source_of p 1) ~uops:2000
+  in
+  let plain = run None in
+  let r = Counters.create () in
+  let prof = Profile.create ~registry:r () in
+  let profiled = run (Some prof) in
+  check_bool "profiling does not perturb simulation" true
+    (Stats.equal plain profiled);
+  (* One flush per engine phase per run. *)
+  List.iter
+    (fun phase ->
+      check_int
+        (Printf.sprintf "one observation for %s" phase)
+        1
+        (Counters.hist_count
+           (Counters.histogram ~registry:r ("profile.engine." ^ phase ^ ".ns"))))
+    [ "fetch"; "dispatch"; "issue"; "writeback"; "commit" ]
+
+(* ---- Run ledger ------------------------------------------------------ *)
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "clusteer-ledger-%d-%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let d = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let sample_registry () =
+  let r = Counters.create () in
+  Counters.add (Counters.counter ~registry:r "harness.uops_committed") 100;
+  Counters.observe (Counters.histogram ~registry:r "profile.engine.commit.ns") 5;
+  r
+
+let no_gc = { Ledger.minor_words = 0.0; promoted_words = 0.0;
+              major_collections = 0; minor_collections = 0 }
+
+let append_run t ~label =
+  Ledger.append t ~kind:"simulate" ~label ~started:1000.0 ~wall_s:0.5
+    ~outcome:"ok" ~uops:100
+    ~gc:{ no_gc with Ledger.minor_words = 250.0 }
+    (sample_registry ())
+
+let test_ledger_roundtrip () =
+  with_temp_dir (fun dir ->
+      let t = Ledger.create ~dir in
+      check_int "fresh ledger is empty" 0 (List.length (Ledger.list t));
+      let s1 = append_run t ~label:"a" in
+      let s2 = append_run t ~label:"b" in
+      check_int "ids are monotonic" 1 s1.Ledger.id;
+      check_int "ids are monotonic" 2 s2.Ledger.id;
+      check_float "minor words per uop" 2.5 s1.Ledger.minor_words_per_uop;
+      (* Reopening recovers the same summaries and the next id. *)
+      let t' = Ledger.create ~dir in
+      let listed = Ledger.list t' in
+      check_int "reopen sees both runs" 2 (List.length listed);
+      check_string "labels survive" "a" (List.hd listed).Ledger.label;
+      let s3 = append_run t' ~label:"c" in
+      check_int "next id continues" 3 s3.Ledger.id;
+      (* The full entry round-trips with GC stats and counter snapshot. *)
+      match Ledger.load t' 1 with
+      | None -> Alcotest.fail "run 1 must load"
+      | Some doc -> (
+          (match Json.member "kind" doc with
+          | Some (Json.Str k) -> check_string "kind" "simulate" k
+          | _ -> Alcotest.fail "kind missing");
+          (match
+             Option.bind (Json.member "gc" doc)
+               (Json.member "engine_minor_words_per_uop")
+           with
+          | Some (Json.Float f) -> check_float "gc words/uop" 2.5 f
+          | _ -> Alcotest.fail "engine_minor_words_per_uop missing");
+          match
+            Option.bind (Json.member "counters" doc) (Json.member "histograms")
+          with
+          | Some (Json.Obj hs) ->
+              check_bool "profiler snapshot embedded" true
+                (List.mem_assoc "profile.engine.commit.ns" hs)
+          | _ -> Alcotest.fail "counter snapshot missing"))
+
+let test_ledger_crash_recovery () =
+  with_temp_dir (fun dir ->
+      let t = Ledger.create ~dir in
+      ignore (append_run t ~label:"a");
+      ignore (append_run t ~label:"b");
+      (* Simulate a crash mid-append: garbage and a torn line in the
+         index must be skipped, not fatal. *)
+      let oc =
+        open_out_gen
+          [ Open_append; Open_creat ]
+          0o644
+          (Filename.concat dir "index.jsonl")
+      in
+      output_string oc "this is not json\n{\"id\":3,\"ki";
+      close_out oc;
+      let t' = Ledger.create ~dir in
+      check_int "torn lines skipped" 2 (List.length (Ledger.list t'));
+      check_int "ids not reused" 3 (append_run t' ~label:"c").Ledger.id;
+      (* Even with the index gone, run files stop id reuse. *)
+      Sys.remove (Filename.concat dir "index.jsonl");
+      let t'' = Ledger.create ~dir in
+      check_int "index lost, summaries lost" 0 (List.length (Ledger.list t''));
+      check_int "ids recovered from run files" 4
+        (append_run t'' ~label:"d").Ledger.id)
+
+let test_ledger_prune () =
+  with_temp_dir (fun dir ->
+      let t = Ledger.create ~dir in
+      for i = 1 to 3 do
+        ignore (append_run t ~label:(string_of_int i))
+      done;
+      check_int "prune removes the oldest" 2 (Ledger.prune t ~keep:1);
+      (match Ledger.list t with
+      | [ s ] -> check_int "newest survives" 3 s.Ledger.id
+      | l -> Alcotest.failf "expected one summary, got %d" (List.length l));
+      check_bool "pruned file deleted" false
+        (Sys.file_exists (Filename.concat dir "run-000001.json"));
+      check_bool "kept file intact" true
+        (Sys.file_exists (Filename.concat dir "run-000003.json"));
+      (* The rewritten index is what a fresh open sees. *)
+      let t' = Ledger.create ~dir in
+      check_int "prune rewrote the index" 1 (List.length (Ledger.list t'));
+      check_int "prune below count is a no-op" 0 (Ledger.prune t' ~keep:10))
+
+let test_ledger_gc_accounting () =
+  check_float "words per uop" 2.0
+    (Ledger.minor_words_per_uop
+       { no_gc with Ledger.minor_words = 100.0 }
+       ~uops:50);
+  check_float "zero uops guard" 0.0
+    (Ledger.minor_words_per_uop
+       { no_gc with Ledger.minor_words = 100.0 }
+       ~uops:0);
+  let d =
+    Ledger.gc_sub
+      { Ledger.minor_words = 10.0; promoted_words = 4.0;
+        major_collections = 3; minor_collections = 7 }
+      { Ledger.minor_words = 6.0; promoted_words = 1.0;
+        major_collections = 1; minor_collections = 2 }
+  in
+  check_float "delta minor words" 4.0 d.Ledger.minor_words;
+  check_int "delta majors" 2 d.Ledger.major_collections;
+  (match Json.member "engine_minor_words_per_uop" (Ledger.gc_json ~uops:2 d) with
+  | Some (Json.Float f) -> check_float "gc_json ratio" 2.0 f
+  | _ -> Alcotest.fail "gc_json must carry the ratio");
+  (* gc_now really moves when we allocate. *)
+  let before = Ledger.gc_now () in
+  let junk = List.init 10_000 (fun i -> (i, string_of_int i)) in
+  ignore (Sys.opaque_identity junk);
+  let d = Ledger.gc_sub (Ledger.gc_now ()) before in
+  check_bool "allocation is visible" true (d.Ledger.minor_words > 0.0)
+
 let () =
   Alcotest.run "clusteer_obs"
     [
@@ -321,5 +618,24 @@ let () =
           Alcotest.test_case "zero overhead" `Quick test_zero_overhead_guard;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace_wellformed;
           Alcotest.test_case "stall order" `Quick test_stall_order_matches_stats;
+        ] );
+      ( "percentiles",
+        [ Alcotest.test_case "interpolation" `Quick test_percentiles ] );
+      ( "expo",
+        [
+          Alcotest.test_case "golden" `Quick test_expo_golden;
+          Alcotest.test_case "name mangling" `Quick test_expo_name_mangling;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "spans" `Quick test_profile_spans;
+          Alcotest.test_case "zero overhead" `Quick test_profile_zero_overhead;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "crash recovery" `Quick test_ledger_crash_recovery;
+          Alcotest.test_case "prune" `Quick test_ledger_prune;
+          Alcotest.test_case "gc accounting" `Quick test_ledger_gc_accounting;
         ] );
     ]

@@ -142,6 +142,7 @@ let test_command_roundtrip () =
       Protocol.Simulate
         { id = 1; deadline_ms = None; request = Request.make ~workload:"mcf" () };
       Protocol.Stats;
+      Protocol.Metrics;
       Protocol.Ping;
       Protocol.Shutdown;
     ]
@@ -175,6 +176,10 @@ let test_response_roundtrip () =
         };
       Protocol.Error_reply { id = 6; message = "boom" };
       Protocol.Stats_reply (Json.Obj [ ("counters", Json.Obj []) ]);
+      (* Exposition text rides inside a JSON string: the newlines must
+         survive the escape/unescape round trip without breaking the
+         one-line-per-response framing. *)
+      Protocol.Metrics_reply "# TYPE serve_requests counter\nserve_requests 3\n";
       Protocol.Pong;
       Protocol.Bye;
     ]
@@ -406,6 +411,49 @@ let test_e2e_cache_hit_and_deadlines () =
       (* dedup: 2200-uop request simulated once for two answers *)
       check_int "requests counted" 10 (counter "serve.requests")
 
+let test_e2e_metrics_scrape () =
+  let server = start_server [ "--profile" ] in
+  let sock, _ = server in
+  Fun.protect ~finally:(fun () -> stop_server server) @@ fun () ->
+  let scrape () =
+    match Serve.Client.metrics ~socket:sock with
+    | Ok text -> text
+    | Error e -> Alcotest.fail e
+  in
+  (* Value of a plain counter sample line, e.g. "serve_requests 3". *)
+  let metric_value text name =
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i when String.sub line 0 i = name ->
+               int_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | _ -> None)
+    |> Option.value ~default:(-1)
+  in
+  let before = scrape () in
+  check_bool "scrape is typed Prometheus text" true
+    (contains before "# TYPE serve_requests counter");
+  let r0 = metric_value before "serve_requests" in
+  check_bool "request counter present" true (r0 >= 0);
+  (match
+     Serve.Client.submit ~socket:sock
+       (Request.make ~workload:"gzip-1" ~uops:1000 ())
+   with
+  | Ok (Protocol.Result _) -> ()
+  | Ok _ -> Alcotest.fail "unexpected response"
+  | Error e -> Alcotest.fail e);
+  let after = scrape () in
+  check_int "serve.requests advances across scrapes" (r0 + 1)
+    (metric_value after "serve_requests");
+  (* The self-profiler's spans are live in the same scrape. *)
+  check_bool "admission span exposed" true
+    (contains after "# TYPE profile_serve_admission_ns histogram");
+  check_bool "worker engine phases merged in" true
+    (contains after "profile_engine_commit_ns_count 1");
+  check_bool "quantiles exposed" true
+    (contains after "profile_serve_admission_ns_quantile{q=\"0.99\"}")
+
 let () =
   Alcotest.run "clusteer_serve"
     [
@@ -439,5 +487,6 @@ let () =
         [
           Alcotest.test_case "validate hook" `Quick test_validate_hook;
           Alcotest.test_case "end to end" `Slow test_e2e_cache_hit_and_deadlines;
+          Alcotest.test_case "metrics scrape" `Slow test_e2e_metrics_scrape;
         ] );
     ]
