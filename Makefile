@@ -17,13 +17,21 @@ bench:
 # allocation study only, at reduced trace length. Fails if the BENCH
 # JSON is not produced or a steering policy started allocating on the
 # decision path.
+# The throughput study enforces the scaling floor (>=1.5x at 2
+# domains, >=3x at 4; exits 1 with a one-line diagnostic on a miss)
+# and records the speedup table in the run ledger at
+# _build/bench-runs. Hosts that cannot run the checked domain count in
+# parallel print an explicit SKIP instead — see bench/main.ml.
 bench-smoke: build
+	@rm -rf _build/bench-runs
 	CLUSTEER_BENCH_STUDY=throughput CLUSTEER_BENCH_UOPS=2000 \
+	  CLUSTEER_BENCH_REQUIRE_SPEEDUP=1 CLUSTEER_BENCH_LEDGER=_build/bench-runs \
 	  CLUSTEER_BENCH_JSON=_build/bench.json dune exec bench/main.exe
 	@grep -q '"suite_throughput"' _build/bench.json
 	@grep -q '"steering_alloc_words_per_decide":{"op":0.0,"op-parallel":0.0,"dep":0.0,"vc2":0.0}' \
 	  _build/bench.json
-	@echo "bench-smoke: OK (_build/bench.json)"
+	@grep -q '"kind":"bench"' _build/bench-runs/index.jsonl
+	@echo "bench-smoke: OK (_build/bench.json, ledger _build/bench-runs)"
 
 # End-to-end slice of the service layer: start a server on a temp
 # socket, submit the same small batch twice, and assert over the wire

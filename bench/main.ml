@@ -5,7 +5,16 @@
 
    Environment knobs:
      CLUSTEER_BENCH_UOPS   micro-ops per simulation point (default 20000)
-     CLUSTEER_BENCH_FAST   set to 1 to sweep a 10-benchmark subset *)
+     CLUSTEER_BENCH_FAST   set to 1 to sweep a 10-benchmark subset
+     CLUSTEER_BENCH_STUDY  "throughput" runs just the throughput study
+     CLUSTEER_BENCH_REQUIRE_SPEEDUP
+                           set to 1 to enforce the suite-speedup floor
+                           (>=1.5x at 2 domains, >=3x at 4); checks the
+                           host cannot run in parallel are SKIPped,
+                           bit-identity mismatches always fail
+     CLUSTEER_BENCH_LEDGER record the throughput study in the run
+                           ledger at this directory
+     CLUSTEER_BENCH_JSON   where to write the BENCH JSON (bench.json) *)
 
 open Bechamel
 module Config = Clusteer_uarch.Config
@@ -608,8 +617,21 @@ let minor_words_per_decide policy view duop =
   done;
   (Gc.minor_words () -. before) /. float_of_int rounds
 
+(* Enforced scaling floor for `make bench-smoke`
+   (CLUSTEER_BENCH_REQUIRE_SPEEDUP=1): the shared-nothing harness must
+   reach these suite speedups or the study exits 1 with a one-line
+   diagnostic. The escape hatch for small CI machines is automatic: a
+   domain count the host cannot actually run in parallel
+   ([Domain.recommended_domain_count () < domains]) downgrades that
+   check to an explicit SKIP line. Bit-identity across domain counts
+   has no hatch — a mismatch always fails. *)
+let required_speedup domains =
+  if domains >= 4 then 3.0 else if domains >= 2 then 1.5 else 0.0
+
 let run_throughput_study () =
   heading "Throughput study: parallel harness + zero-allocation steering";
+  let started = Unix.gettimeofday () in
+  let gc_start = Obs.Ledger.gc_now () in
   (* 1. Suite throughput vs domain count. Each measurement replays the
      identical work (the harness is deterministic), so uops/sec is
      directly comparable across domain counts. On a single-core host
@@ -632,46 +654,112 @@ let run_throughput_study () =
       0 suite
   in
   let total_uops = npoints * List.length configs * per_point_uops in
-  let measure domains =
+  let measure ?strategy domains =
+    let gc0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let results =
-      Runner.run_suite ~domains ~machine:Config.default_2c ~configs
+      Runner.run_suite ~domains ?strategy ~machine:Config.default_2c ~configs
         ~uops:per_point_uops suite
     in
-    (results, Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    let gc1 = Gc.quick_stat () in
+    ( results,
+      dt,
+      gc1.Gc.minor_words -. gc0.Gc.minor_words,
+      gc1.Gc.minor_collections - gc0.Gc.minor_collections )
   in
-  let baseline, t1 = measure 1 in
+  let baseline, t1, mw1, mc1 = measure 1 in
   Printf.printf "%d points x %d configs x %d uops (%d uops per sweep)\n"
     npoints (List.length configs) per_point_uops total_uops;
-  Printf.printf "%-8s %10s %14s %9s %10s\n" "domains" "wall s" "uops/sec"
-    "speedup" "identical";
-  let rows =
-    List.map
-      (fun domains ->
-        let results, dt =
-          if domains = 1 then (baseline, t1) else measure domains
-        in
-        let identical =
-          List.for_all2
-            (fun (a : Runner.point_result) (b : Runner.point_result) ->
-              List.for_all2
-                (fun (_, x) (_, y) -> Stats.equal x y)
-                a.Runner.runs b.Runner.runs)
-            baseline results
-        in
-        let ups = float_of_int total_uops /. dt in
-        Printf.printf "%-8d %10.3f %14.0f %8.2fx %10b\n" domains dt ups
-          (t1 /. dt) identical;
-        Obs.Json.Obj
-          [
-            ("domains", Obs.Json.Int domains);
-            ("seconds", Obs.Json.Float dt);
-            ("uops_per_sec", Obs.Json.Float ups);
-            ("speedup", Obs.Json.Float (t1 /. dt));
-            ("identical", Obs.Json.Bool identical);
-          ])
-      [ 1; 2; 4 ]
+  Printf.printf "%-14s %10s %14s %9s %10s %13s %9s\n" "domains" "wall s"
+    "uops/sec" "speedup" "identical" "minor words" "minor gcs";
+  let strategy_name = function
+    | Clusteer_util.Parallel.Static -> "static"
+    | Clusteer_util.Parallel.Steal -> "steal"
   in
+  let row ~strategy ~domains (results, dt, mw, mc) =
+    let identical =
+      List.for_all2
+        (fun (a : Runner.point_result) (b : Runner.point_result) ->
+          List.for_all2
+            (fun (_, x) (_, y) -> Stats.equal x y)
+            a.Runner.runs b.Runner.runs)
+        baseline results
+    in
+    let ups = float_of_int total_uops /. dt in
+    let sname = strategy_name strategy in
+    let label =
+      if strategy = Clusteer_util.Parallel.Static then string_of_int domains
+      else Printf.sprintf "%d (%s)" domains sname
+    in
+    Printf.printf "%-14s %10.3f %14.0f %8.2fx %10b %13.2e %9d\n" label dt ups
+      (t1 /. dt) identical mw mc;
+    ( Obs.Json.Obj
+        [
+          ("domains", Obs.Json.Int domains);
+          ("strategy", Obs.Json.Str sname);
+          ("seconds", Obs.Json.Float dt);
+          ("uops_per_sec", Obs.Json.Float ups);
+          ("speedup", Obs.Json.Float (t1 /. dt));
+          ("identical", Obs.Json.Bool identical);
+          ("minor_words", Obs.Json.Float mw);
+          ("minor_collections", Obs.Json.Int mc);
+        ],
+      (strategy, domains, t1 /. dt, identical) )
+  in
+  let r1 =
+    row ~strategy:Clusteer_util.Parallel.Static ~domains:1
+      (baseline, t1, mw1, mc1)
+  in
+  let r2 = row ~strategy:Clusteer_util.Parallel.Static ~domains:2 (measure 2) in
+  let r4 = row ~strategy:Clusteer_util.Parallel.Static ~domains:4 (measure 4) in
+  (* Comparison row: the opt-in stealing schedule at the widest domain
+     count, so the ledger records what the dynamic cursor costs (or
+     buys) on this host. Never threshold-checked. *)
+  let rsteal =
+    row ~strategy:Clusteer_util.Parallel.Steal ~domains:4
+      (measure ~strategy:Clusteer_util.Parallel.Steal 4)
+  in
+  let measured_rows = [ r1; r2; r4; rsteal ] in
+  let rows = List.map fst measured_rows in
+  let host_domains = Domain.recommended_domain_count () in
+  let require = Sys.getenv_opt "CLUSTEER_BENCH_REQUIRE_SPEEDUP" = Some "1" in
+  let failures = ref [] in
+  List.iter
+    (fun (strategy, domains, speedup, identical) ->
+      if not identical then
+        failures :=
+          Printf.sprintf
+            "bench-smoke: FAIL results at %d domains (%s) not bit-identical \
+             to the sequential run"
+            domains
+            (strategy_name strategy)
+          :: !failures;
+      if
+        require
+        && strategy = Clusteer_util.Parallel.Static
+        && domains > 1
+      then
+        let required = required_speedup domains in
+        if host_domains < domains then
+          Printf.printf
+            "bench-smoke: SKIP speedup check at %d domains (host recommends \
+             %d domain%s, cannot run %d in parallel)\n"
+            domains host_domains
+            (if host_domains = 1 then "" else "s")
+            domains
+        else if speedup < required then
+          failures :=
+            Printf.sprintf
+              "bench-smoke: FAIL suite speedup at %d domains %.2fx < \
+               required %.2fx"
+              domains speedup required
+            :: !failures
+        else
+          Printf.printf
+            "bench-smoke: OK suite speedup at %d domains %.2fx >= %.2fx\n"
+            domains speedup required)
+    (List.map snd measured_rows);
   (* 2. Minor-heap words allocated per steering decision, against a
      constant-location probe view: the fast-path contract is 0.0 for
      every policy. *)
@@ -730,9 +818,51 @@ let run_throughput_study () =
   write_bench_json
     [
       ("suite_throughput", Obs.Json.List rows);
+      ("host_recommended_domains", Obs.Json.Int host_domains);
+      ("speedup_enforced", Obs.Json.Bool require);
+      ( "speedup_required",
+        Obs.Json.Obj
+          [
+            ("2", Obs.Json.Float (required_speedup 2));
+            ("4", Obs.Json.Float (required_speedup 4));
+          ] );
       ("steering_alloc_words_per_decide", Obs.Json.Obj alloc_fields);
       ("engine_minor_words_per_uop", Obs.Json.Float engine_words);
-    ]
+    ];
+  (* Run-ledger record of the speedup table (CLUSTEER_BENCH_LEDGER=DIR,
+     set by `make bench-smoke`): the same durable trail `csteer
+     experiment --ledger` leaves, so scaling regressions show up in
+     `csteer runs list` next to everything else. *)
+  let outcome = if !failures = [] then "ok" else "fail" in
+  (match Sys.getenv_opt "CLUSTEER_BENCH_LEDGER" with
+  | Some dir -> (
+      try
+        let ledger = Obs.Ledger.create ~dir in
+        let committed =
+          Obs.Counters.value (Obs.Counters.counter "harness.uops_committed")
+        in
+        let gc = Obs.Ledger.gc_sub (Obs.Ledger.gc_now ()) gc_start in
+        let s =
+          Obs.Ledger.append ledger ~kind:"bench" ~label:"suite_throughput"
+            ~config:
+              (Obs.Json.Obj
+                 [
+                   ("suite_throughput", Obs.Json.List rows);
+                   ("host_recommended_domains", Obs.Json.Int host_domains);
+                   ("speedup_enforced", Obs.Json.Bool require);
+                 ])
+            ~started ~wall_s:(Unix.gettimeofday () -. started) ~outcome
+            ~uops:committed ~gc Obs.Counters.default
+        in
+        Printf.printf "bench ledger: run %d recorded in %s\n" s.Obs.Ledger.id
+          dir
+      with Sys_error msg -> Printf.eprintf "bench ledger not written: %s\n" msg)
+  | None -> ());
+  (* Fail last, after the JSON and ledger evidence is on disk. *)
+  if !failures <> [] then begin
+    List.iter print_endline (List.rev !failures);
+    exit 1
+  end
 
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 

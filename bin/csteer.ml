@@ -801,9 +801,12 @@ let subset_profiles = function
       let names = String.split_on_char ',' names in
       Some (List.map Spec2000.find names)
 
-let experiment which uops benchmarks csv_dir domains ledger_dir =
+let experiment which uops benchmarks csv_dir domains steal ledger_dir =
   protect @@ fun () ->
   let profiles = subset_profiles benchmarks in
+  let strategy =
+    if steal then Clusteer_util.Parallel.Steal else Clusteer_util.Parallel.Static
+  in
   (* A ledger entry wants phase timings, so it turns the per-shard
      profiler on; the sweep's merged registry then carries the
      profile.engine.*.ns histograms the entry snapshots. *)
@@ -842,7 +845,7 @@ let experiment which uops benchmarks csv_dir domains ledger_dir =
       let run =
         record_sweep (fun () ->
             Experiments.run_2cluster ~uops ?profiles ~progress ?domains
-              ~profiled ())
+              ~strategy ~profiled ())
       in
       if which <> "fig6" then begin
         let fig5 = Experiments.figure5_of run in
@@ -868,7 +871,7 @@ let experiment which uops benchmarks csv_dir domains ledger_dir =
       let run =
         record_sweep (fun () ->
             Experiments.run_4cluster ~uops ?profiles ~progress ?domains
-              ~profiled ())
+              ~strategy ~profiled ())
       in
       let fig7 = Experiments.figure7_of run in
       Experiments.print_slowdown_figure
@@ -909,6 +912,15 @@ let experiment_cmd =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
   in
+  let steal =
+    let doc =
+      "Distribute simulation points dynamically (atomic-cursor work \
+       stealing) instead of the default pre-partitioned shared-nothing \
+       shards. Results are bit-identical either way; the static default \
+       is faster on this uniform workload."
+    in
+    Arg.(value & flag & info [ "steal" ] ~doc)
+  in
   let ledger_dir =
     Arg.(
       value
@@ -923,7 +935,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
       const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains
-      $ ledger_dir)
+      $ steal $ ledger_dir)
 
 (* ---- serve / submit / batch ---------------------------------------- *)
 

@@ -71,16 +71,22 @@ let table3 ~clusters =
       Vc { virtual_clusters = 2 };
     ]
 
-let prepare t ~program ~likely ~clusters ?(region_uops = 512) ?registry () =
-  let scheme =
-    match t with
-    | Op | One_cluster | Op_parallel | Mod_n _ | Dep | Crit | Thermal ->
-        Compiler.Passes.Sw_none
-    | Ob -> Compiler.Passes.Sw_ob
-    | Rhop -> Compiler.Passes.Sw_rhop { seed = 1 }
-    | Vc { virtual_clusters } -> Compiler.Passes.Sw_vc { virtual_clusters }
+let prepare t ~program ~likely ~clusters ?(region_uops = 512) ?annot ?registry
+    () =
+  let annot =
+    match annot with
+    | Some annot -> annot
+    | None ->
+        let scheme =
+          match t with
+          | Op | One_cluster | Op_parallel | Mod_n _ | Dep | Crit | Thermal ->
+              Compiler.Passes.Sw_none
+          | Ob -> Compiler.Passes.Sw_ob
+          | Rhop -> Compiler.Passes.Sw_rhop { seed = 1 }
+          | Vc { virtual_clusters } -> Compiler.Passes.Sw_vc { virtual_clusters }
+        in
+        Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops ()
   in
-  let annot = Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops () in
   let policy =
     match t with
     | Op -> Steer.Op.make ?registry ()

@@ -54,6 +54,7 @@ val prepare :
   likely:(int -> int option) ->
   clusters:int ->
   ?region_uops:int ->
+  ?annot:Annot.t ->
   ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   Annot.t * Clusteer_uarch.Policy.t
@@ -61,4 +62,12 @@ val prepare :
     counters (default {!Clusteer_obs.Counters.default}). The parallel
     harness passes a private registry per shard so concurrent runs
     never share mutable counter state, then merges the shards back
-    deterministically. *)
+    deterministically.
+
+    [annot] supplies a previously compiled annotation and skips the
+    compiler pass. The pass is deterministic in (configuration,
+    program, likely, clusters, region_uops), so the harness caches the
+    annotation per (profile, configuration) within a domain and passes
+    it back here; the returned policy is always fresh (policies are
+    stateful). Must only be given an annotation produced by {!prepare}
+    on the same configuration and inputs. *)

@@ -7,14 +7,28 @@
     {!run_benchmark}, {!run_suite} and {!run_grouped} shard their
     (profile × simulation-point) work items across OCaml domains
     ([domains], default {!Clusteer_util.Parallel.default_domains}).
-    Each shard simulates against a {b private} counter registry passed
-    down to the policies and the engine, so concurrent shards never
-    share mutable observability state; the shard registries are merged
-    into {!Clusteer_obs.Counters.default} in input order once all
-    shards complete. Since each point's simulation is a pure function
-    of its trace seed and the machine, and since the merge is
-    order-preserving, a parallel run produces results (and merged
-    counter totals) identical to a sequential [domains:1] run. *)
+    Under the default {!Clusteer_util.Parallel.Static} strategy the
+    items are pre-partitioned into contiguous per-domain shards before
+    spawn; each domain simulates against {b private} state — a counter
+    registry passed down to the policies and the engine, an optional
+    self-profiler, and a reuse context of cached workloads, compiled
+    annotations and reset-in-place engines — so concurrent shards
+    never share mutable state and the per-point allocation rate stays
+    low (OCaml 5 minor collections are stop-the-world across all
+    domains; the allocation-heavy per-item rebuild is what made the
+    earlier harness anti-scale). Shard registries are merged into
+    {!Clusteer_obs.Counters.default} in shard (= input) order once all
+    shards complete. Under {!Clusteer_util.Parallel.Steal} items are
+    claimed dynamically off a shared cursor and each item rebuilds its
+    state against a per-item registry — kept for genuinely uneven work
+    (the service layer's request batches).
+
+    Since each point's simulation is a pure function of its trace seed
+    and the machine, and since the merges are order-preserving (and
+    {!Clusteer_obs.Counters.merge} is commutative and associative over
+    disjoint observation streams), both strategies and every domain
+    count produce results and merged counter totals bit-identical to a
+    sequential [domains:1] run. *)
 
 open Clusteer_uarch
 open Clusteer_workloads
@@ -82,22 +96,29 @@ val run_workload :
 val map_isolated :
   ?domains:int ->
   ?chunk:int ->
+  ?strategy:Clusteer_util.Parallel.strategy ->
   ?into:Clusteer_obs.Counters.registry ->
   (registry:Clusteer_obs.Counters.registry -> 'a -> 'b) ->
   'a list ->
   'b list
 (** Registry-isolated parallel map: run [f] over the items on up to
-    [domains] domains, handing each item a {b private} counter
-    registry, then merge the per-item registries into [into] (default
-    {!Clusteer_obs.Counters.default}) in input order. Results keep
-    input order. This is the primitive behind {!run_suite} and the
-    service layer's worker pool: as long as [f] is deterministic per
-    item, a parallel run is bit-identical to a sequential one. *)
+    [domains] domains, handing [f] a {b private} counter registry —
+    one per contiguous shard under {!Clusteer_util.Parallel.Static}
+    (the default), one per item under
+    {!Clusteer_util.Parallel.Steal} — then merge the private
+    registries into [into] (default {!Clusteer_obs.Counters.default})
+    in input order. Results keep input order. [chunk] only applies to
+    the stealing strategy. Both groupings merge to bit-identical
+    totals ({!Clusteer_obs.Counters.merge} is commutative and
+    associative); as long as [f] is deterministic per item, a parallel
+    run is bit-identical to a sequential one. This is the primitive
+    behind {!run_suite} and the service layer's worker pool. *)
 
 val run_benchmark :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
@@ -111,6 +132,7 @@ val run_suite :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
@@ -128,6 +150,7 @@ val run_grouped :
   ?warmup:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->

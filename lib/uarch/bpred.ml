@@ -39,3 +39,8 @@ let accuracy t =
 let reset_stats t =
   t.lookups <- 0;
   t.mispredicts <- 0
+
+let reset t =
+  Array.fill t.counters 0 (Array.length t.counters) 2;
+  t.history <- 0;
+  reset_stats t

@@ -20,3 +20,7 @@ val lookups : t -> int
 val mispredicts : t -> int
 val accuracy : t -> float
 val reset_stats : t -> unit
+
+val reset : t -> unit
+(** Back to the post-{!create} state: counters weakly-taken, history
+    and statistics cleared. Used by engine reuse across runs. *)

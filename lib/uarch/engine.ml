@@ -45,11 +45,17 @@ type prof_spans = {
 
 let never = max_int
 
+(* [annot], [policy], [frontend_depth] and [view] are mutable so the
+   harness can {!reset} an engine to run a different configuration on
+   the same preallocated machine state — per-domain engine reuse is
+   what keeps the parallel sweep's allocation rate (and with it the
+   stop-the-world minor-GC frequency) down. *)
 type t = {
   cfg : Config.t;
-  annot : Annot.t;
-  policy : Policy.t;
-  frontend_depth : int;  (* fetch-to-dispatch + serialized-steer stages *)
+  mutable annot : Annot.t;
+  mutable policy : Policy.t;
+  mutable frontend_depth : int;
+      (* fetch-to-dispatch + serialized-steer stages *)
   stats : Stats.t;
   memsys : Memsys.t;
   bpred : Bpred.t;
@@ -83,7 +89,7 @@ type t = {
   (* per-cycle port counters *)
   mutable loads_this_cycle : int;
   mutable stores_this_cycle : int;
-  view : Policy.view;
+  mutable view : Policy.view;
   (* dispatch-loop scratch, reused every cycle so the per-uop path
      allocates nothing: tags needing copies (deduped) and per-source-
      cluster pending-copy counts for the copy-queue capacity check *)
@@ -131,6 +137,58 @@ let reg_code cfg_nregs (r : Reg.t) = Reg.encode ~nregs_per_class:cfg_nregs r
    for the largest budget the workloads use. *)
 let max_nregs_per_class = 64
 
+(* Initial architectural values live in every cluster: machine state
+   that predates the trace is assumed resident everywhere. *)
+let seed_rename ~rename ~tag_loc ~tag_ready ~tag_origin ~all_mask =
+  Array.iteri
+    (fun code _ ->
+      let tag = Vec.push tag_loc all_mask in
+      ignore (Vec.push tag_ready all_mask);
+      ignore (Vec.push tag_origin 0);
+      rename.(code) <- tag)
+    rename
+
+(* The policy's read-only window into the machine. Rebuilt on
+   {!reset} because it carries the (new) annotation; the closures
+   always read through [t], so the rebuild is about the [annot] field
+   only. *)
+let make_view t =
+  {
+    Policy.clusters = t.cfg.Config.clusters;
+    cycle = (fun () -> t.cycle);
+    inflight = (fun c -> t.inflight.(c));
+    queue_free =
+      (fun c q -> queue_size t.cfg q - t.occupancy.(c).(queue_index q));
+    src_locations =
+      (fun duop ->
+        Array.map
+          (fun src ->
+            let tag = t.rename.(reg_code max_nregs_per_class src) in
+            Bitset.of_mask (Vec.get t.tag_loc tag))
+          duop.Dynuop.suop.Uop.srcs);
+    src_locations_into =
+      (fun duop buf ->
+        let srcs = duop.Dynuop.suop.Uop.srcs in
+        let n = Array.length srcs in
+        for i = 0 to n - 1 do
+          let tag = t.rename.(reg_code max_nregs_per_class srcs.(i)) in
+          buf.(i) <- Bitset.of_mask (Vec.get t.tag_loc tag)
+        done;
+        n);
+    reg_location =
+      (fun r ->
+        let tag = t.rename.(reg_code max_nregs_per_class r) in
+        Bitset.of_mask (Vec.get t.tag_loc tag));
+    annot = t.annot;
+  }
+
+(* Policies using the serialized dependence-check/vote hardware pay
+   the extra decode stages of 2.1. *)
+let frontend_depth_of config (policy : Policy.t) =
+  config.Config.fetch_to_dispatch
+  +
+  if policy.Policy.uses_vote_unit then config.Config.steer_serial_stages else 0
+
 let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry ?profile () =
   Config.validate config;
   let clusters = config.Config.clusters in
@@ -140,27 +198,13 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry ?profile () =
   let tag_origin = Vec.create ~default:0 () in
   let rename = Array.make (2 * max_nregs_per_class) (-1) in
   let all_mask = (Bitset.full clusters :> int) in
-  (* Initial architectural values live in every cluster: machine state
-     that predates the trace is assumed resident everywhere. *)
-  Array.iteri
-    (fun code _ ->
-      let tag = Vec.push tag_loc all_mask in
-      ignore (Vec.push tag_ready all_mask);
-      ignore (Vec.push tag_origin 0);
-      rename.(code) <- tag)
-    rename;
-  let rec t =
+  seed_rename ~rename ~tag_loc ~tag_ready ~tag_origin ~all_mask;
+  let t =
     {
       cfg = config;
       annot;
       policy;
-      (* Policies using the serialized dependence-check/vote hardware
-         pay the extra decode stages of 2.1. *)
-      frontend_depth =
-        (config.Config.fetch_to_dispatch
-        +
-        if policy.Policy.uses_vote_unit then config.Config.steer_serial_stages
-        else 0);
+      frontend_depth = frontend_depth_of config policy;
       stats;
       memsys = Memsys.create config;
       bpred = Bpred.create ~bits:config.Config.bpred_bits;
@@ -209,39 +253,60 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry ?profile () =
                 p_writeback = Obs_profile.span p "engine.writeback";
                 p_commit = Obs_profile.span p "engine.commit";
               });
+      (* Placeholder, replaced right below: the real view's closures
+         need [t] itself. *)
       view =
         {
           Policy.clusters;
-          cycle = (fun () -> t.cycle);
-          inflight = (fun c -> t.inflight.(c));
-          queue_free =
-            (fun c q -> queue_size t.cfg q - t.occupancy.(c).(queue_index q));
-          src_locations =
-            (fun duop ->
-              Array.map
-                (fun src ->
-                  let tag = t.rename.(reg_code max_nregs_per_class src) in
-                  Bitset.of_mask (Vec.get t.tag_loc tag))
-                duop.Dynuop.suop.Uop.srcs);
-          src_locations_into =
-            (fun duop buf ->
-              let srcs = duop.Dynuop.suop.Uop.srcs in
-              let n = Array.length srcs in
-              for i = 0 to n - 1 do
-                let tag = t.rename.(reg_code max_nregs_per_class srcs.(i)) in
-                buf.(i) <- Bitset.of_mask (Vec.get t.tag_loc tag)
-              done;
-              n);
-          reg_location =
-            (fun r ->
-              let tag = t.rename.(reg_code max_nregs_per_class r) in
-              Bitset.of_mask (Vec.get t.tag_loc tag));
+          cycle = (fun () -> 0);
+          inflight = (fun _ -> 0);
+          queue_free = (fun _ _ -> 0);
+          src_locations = (fun _ -> [||]);
+          src_locations_into = (fun _ _ -> 0);
+          reg_location = (fun _ -> Bitset.of_mask 0);
           annot;
         };
     }
   in
+  t.view <- make_view t;
   List.iter (fun (base, bytes) -> Memsys.prewarm t.memsys ~base ~bytes) prewarm;
   t
+
+let reset ?(prewarm = []) ?obs t ~annot ~policy =
+  t.annot <- annot;
+  t.policy <- policy;
+  t.frontend_depth <- frontend_depth_of t.cfg policy;
+  Stats.reset t.stats;
+  Memsys.reset t.memsys;
+  Bpred.reset t.bpred;
+  Tracecache.reset t.tcache;
+  t.cycle <- 0;
+  t.next_iseq <- 0;
+  Ring.clear t.fetchq;
+  t.fetch_resume <- 0;
+  Vec.clear t.tag_loc;
+  Vec.clear t.tag_ready;
+  Vec.clear t.tag_origin;
+  let all_mask = (Bitset.full t.cfg.Config.clusters :> int) in
+  seed_rename ~rename:t.rename ~tag_loc:t.tag_loc ~tag_ready:t.tag_ready
+    ~tag_origin:t.tag_origin ~all_mask;
+  Hashtbl.reset t.waiters;
+  Ring.clear t.rob;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.occupancy;
+  Array.fill t.inflight 0 (Array.length t.inflight) 0;
+  Array.iter (fun qs -> Array.iter Pqueue.clear qs) t.ready_q;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.unit_free;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.link_free;
+  t.lsq_used <- 0;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.regs_used;
+  t.misses_outstanding <- 0;
+  Hashtbl.reset t.pending_store;
+  Pqueue.clear t.events;
+  t.loads_this_cycle <- 0;
+  t.stores_this_cycle <- 0;
+  t.obs <- obs;
+  t.view <- make_view t;
+  List.iter (fun (base, bytes) -> Memsys.prewarm t.memsys ~base ~bytes) prewarm
 
 let stats t = t.stats
 let set_sink t obs = t.obs <- obs

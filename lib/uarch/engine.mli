@@ -60,6 +60,29 @@ val create :
     instrumentation site a single pattern match — disabled profiling
     costs nothing and changes nothing. *)
 
+val reset :
+  ?prewarm:(int * int) list ->
+  ?obs:Clusteer_obs.Sink.t ->
+  t ->
+  annot:Annot.t ->
+  policy:Policy.t ->
+  unit
+(** Return the engine to the post-{!create} state on the {b same}
+    machine configuration, installing a new annotation/policy pair
+    (and optionally a new sink / prewarm ranges). Every piece of
+    microarchitectural state — caches, predictor, trace cache, rename
+    tags, queues, scoreboards, statistics — is re-initialised in
+    place, so a run after [reset] is bit-identical to a run on a
+    freshly created engine, without re-allocating the (large) machine
+    structures. This is what lets the parallel harness keep one engine
+    per (domain × configuration) alive across simulation points. The
+    counter registry and self-profiler bindings made at {!create} time
+    are retained.
+
+    Note the engine's {!Stats.t} is reset in place: callers that keep
+    results across a reset must {!Stats.copy} them first (the harness
+    does). *)
+
 val set_sink : t -> Clusteer_obs.Sink.t option -> unit
 (** Install or remove the observability sink mid-run (e.g. to skip the
     warmup phase). *)

@@ -60,3 +60,8 @@ let l2_misses t = Cache.misses t.l2
 let reset_stats t =
   Cache.reset_stats t.l1;
   Cache.reset_stats t.l2
+
+let reset t =
+  Cache.invalidate_all t.l1;
+  Cache.invalidate_all t.l2;
+  reset_stats t

@@ -32,3 +32,7 @@ val l1_misses : t -> int
 val l2_hits : t -> int
 val l2_misses : t -> int
 val reset_stats : t -> unit
+
+val reset : t -> unit
+(** Back to the post-{!create} state: every line invalidated in both
+    levels, statistics zeroed. Used by engine reuse across runs. *)

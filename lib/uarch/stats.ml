@@ -53,6 +53,8 @@ let create ~clusters =
     per_cluster_dispatched = Array.make clusters 0;
   }
 
+let copy t = { t with per_cluster_dispatched = Array.copy t.per_cluster_dispatched }
+
 let reset t =
   t.cycles <- 0;
   t.committed <- 0;

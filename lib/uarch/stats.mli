@@ -40,6 +40,11 @@ val create : clusters:int -> t
 val reset : t -> unit
 (** Zero every counter (used at the end of the warmup phase). *)
 
+val copy : t -> t
+(** Independent deep copy (the per-cluster array included). The
+    harness hands copies out when it reuses an engine across points:
+    the next {!reset} must not clobber results already returned. *)
+
 val ipc : t -> float
 
 val allocation_stalls : t -> int

@@ -57,3 +57,9 @@ let misses t = t.misses
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.recency 0 (Array.length t.recency) 0;
+  t.clock <- 0;
+  reset_stats t

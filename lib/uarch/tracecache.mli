@@ -27,3 +27,7 @@ val lookup : t -> static_id:int -> bool
 val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
+
+val reset : t -> unit
+(** Back to the post-{!create} state: every line invalid, recency and
+    statistics cleared. Used by engine reuse across runs. *)

@@ -75,6 +75,122 @@ let test_chunked_sharding_equals_sequential () =
         a.runs b.runs)
     seq par
 
+(* ---- static vs stealing strategy agreement ------------------------ *)
+
+(* The two scheduling strategies differ in everything the harness is
+   allowed to vary — item→domain mapping, per-shard state reuse vs
+   per-item rebuild, registry granularity — so agreement here pins the
+   whole shared-nothing refactor: random suites must produce
+   bit-identical per-point statistics AND bit-identical merged counter
+   registries under both strategies, for any domain count. *)
+let prop_strategies_agree =
+  let open QCheck in
+  let profile_gen =
+    Gen.map2
+      (fun name phases -> { (Spec2000.find name) with Profile.phases })
+      (Gen.oneofl [ "gzip-1"; "galgel"; "swim" ])
+      (Gen.int_range 1 2)
+  in
+  let case =
+    make
+      ~print:(fun (profiles, domains) ->
+        Printf.sprintf "domains=%d suite=[%s]" domains
+          (String.concat "; "
+             (List.map
+                (fun (p : Profile.t) ->
+                  Printf.sprintf "%s x%d" p.Profile.name p.Profile.phases)
+                profiles)))
+      (Gen.pair
+         (Gen.list_size (Gen.int_range 1 3) profile_gen)
+         (Gen.int_range 1 8))
+  in
+  Test.make ~name:"static and stealing strategies agree" ~count:8 case
+    (fun (profiles, domains) ->
+      let run strategy =
+        (* The suite merges shard registries into the default registry;
+           start each run from the same zeroed state so the registry
+           JSONs are directly comparable. *)
+        Clusteer_obs.Counters.reset Clusteer_obs.Counters.default;
+        let results =
+          Harness.Runner.run_suite ~domains ~strategy
+            ~machine:Config.default_2c ~configs:mini_configs ~uops:500
+            profiles
+        in
+        let stats_json =
+          List.map
+            (fun (r : Harness.Runner.point_result) ->
+              List.map
+                (fun (name, s) -> (name, Json.to_string (Stats.to_json s)))
+                r.runs)
+            results
+        in
+        let registry_json =
+          Json.to_string
+            (Clusteer_obs.Counters.to_json Clusteer_obs.Counters.default)
+        in
+        (stats_json, registry_json)
+      in
+      run Clusteer_util.Parallel.Static = run Clusteer_util.Parallel.Steal)
+
+(* ---- shared trace buffer vs fresh generators ----------------------- *)
+
+(* [run_workload] feeds every configuration from one shared,
+   lazily-extended trace buffer (the warmup stream is generated once
+   per point, not once per configuration). The replay must stay
+   bit-identical to the naive form — a fresh generator per
+   configuration — and commit exactly the asked-for budget per run. *)
+let test_shared_trace_matches_fresh_generators () =
+  let profile = { (Spec2000.find "gzip-1") with Profile.phases = 1 } in
+  let workload = Synth.build profile in
+  let machine = Config.default_2c in
+  let uops = 1200 and seed = 42 in
+  let registry = Clusteer_obs.Counters.create () in
+  let shared =
+    Harness.Runner.run_workload ~seed ~registry ~machine ~configs:mini_configs
+      ~uops workload
+  in
+  let manual =
+    List.map
+      (fun config ->
+        let annot, policy =
+          Clusteer.Configuration.prepare config
+            ~program:workload.Synth.program ~likely:workload.Synth.likely
+            ~clusters:machine.Config.clusters ()
+        in
+        let prewarm =
+          Array.to_list
+            (Array.map Clusteer_trace.Mem_model.extent workload.Synth.streams)
+        in
+        let engine =
+          Engine.create ~config:machine ~annot ~policy ~prewarm ()
+        in
+        let gen = Synth.trace workload ~seed in
+        let stats =
+          Engine.run
+            ~warmup:(Harness.Runner.default_warmup uops)
+            engine
+            ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+            ~uops
+        in
+        (Clusteer.Configuration.name config, stats))
+      mini_configs
+  in
+  List.iter2
+    (fun (name_a, sa) (name_b, sb) ->
+      Alcotest.(check string) "same config" name_a name_b;
+      check_bool
+        (name_a ^ " met the measured budget") true
+        (sa.Stats.committed >= uops);
+      check_bool (name_a ^ " shared trace bit-identical") true
+        (Stats.equal sa sb))
+    shared manual;
+  (* The warmup hoist must not change what gets attributed to the run:
+     the counter is exactly the measured commits, summed per config. *)
+  check_int "committed counter sums the per-config commits"
+    (List.fold_left (fun acc (_, s) -> acc + s.Stats.committed) 0 shared)
+    (Clusteer_obs.Counters.value
+       (Clusteer_obs.Counters.counter ~registry "harness.uops_committed"))
+
 (* ---- fast-path policies vs list-based references ------------------- *)
 
 (* Straightforward list-based reimplementations of the steering
@@ -318,6 +434,9 @@ let () =
             test_suite_parallel_equals_sequential;
           Alcotest.test_case "chunked sharding" `Slow
             test_chunked_sharding_equals_sequential;
+          QCheck_alcotest.to_alcotest prop_strategies_agree;
+          Alcotest.test_case "shared trace = fresh generators" `Slow
+            test_shared_trace_matches_fresh_generators;
         ] );
       ( "fast-path",
         [

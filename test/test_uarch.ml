@@ -374,6 +374,62 @@ let test_engine_branch_mispredict_costs () =
   check_bool "mispredicts cost cycles" true
     (random.Stats.cycles > predictable.Stats.cycles)
 
+let test_engine_reset_equals_fresh () =
+  (* Dirty an engine with one policy and trace seed, then [Engine.reset]
+     it in place onto a different policy and seed: caches, predictor,
+     trace cache, rename state and every queue must return to their
+     post-create state, so the replay is bit-identical to a freshly
+     created engine. This is the contract the parallel harness's
+     engine-reuse cache leans on. *)
+  let b = Program.Builder.create ~name:"reset" ~nregs_per_class:16 () in
+  let s = Program.Builder.stream b in
+  let m = Program.Builder.branch_model b in
+  let blk = Program.Builder.reserve_block b in
+  let exit_ = Program.Builder.reserve_block b in
+  let uops =
+    [
+      Program.Builder.uop b Opcode.Load ~dst:(Reg.int 0) ~srcs:[| Reg.int 1 |]
+        ~stream:s ();
+      Program.Builder.uop b Opcode.Int_alu ~dst:(Reg.int 2)
+        ~srcs:[| Reg.int 0 |] ();
+      Program.Builder.uop b Opcode.Branch ~srcs:[| Reg.int 2 |] ~branch_ref:m
+        ();
+    ]
+  in
+  Program.Builder.define_block b blk uops ~succs:[ exit_; blk ];
+  Program.Builder.define_block b exit_ [] ~succs:[];
+  let program = Program.Builder.finish b ~entry:blk in
+  let streams =
+    [| Mem_model.Strided { base = 0; stride = 0o10; footprint = 4096 } |]
+  in
+  let branches = [| Branch_model.Bernoulli 0.7 |] in
+  let annot = Annot.none ~uop_count:program.Program.uop_count in
+  let prewarm = [ (0, 4096) ] in
+  let dirty =
+    Engine.create ~config:Config.default_2c ~annot
+      ~policy:(Clusteer_steer.Op.make ()) ~prewarm ()
+  in
+  ignore
+    (Engine.run dirty ~source:(source_of program ~branches ~streams 1)
+       ~uops:1500);
+  Engine.reset ~prewarm dirty ~annot ~policy:(Clusteer_steer.Dep.make ());
+  let reused =
+    Engine.run dirty ~source:(source_of program ~branches ~streams 2)
+      ~uops:1500
+  in
+  let fresh_engine =
+    Engine.create ~config:Config.default_2c ~annot
+      ~policy:(Clusteer_steer.Dep.make ()) ~prewarm ()
+  in
+  let fresh =
+    Engine.run fresh_engine ~source:(source_of program ~branches ~streams 2)
+      ~uops:1500
+  in
+  check_bool "reset-in-place bit-identical to fresh" true
+    (Stats.equal reused fresh);
+  check_bool "the run did real work" true
+    (fresh.Stats.committed >= 1500 && fresh.Stats.branch_mispredicts > 0)
+
 let test_engine_warmup_resets () =
   let p = independent_program 16 in
   let engine =
@@ -679,6 +735,8 @@ let () =
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "load latency" `Quick test_engine_load_latency_counted;
           Alcotest.test_case "mispredict cost" `Quick test_engine_branch_mispredict_costs;
+          Alcotest.test_case "reset equals fresh" `Quick
+            test_engine_reset_equals_fresh;
           Alcotest.test_case "warmup resets" `Quick test_engine_warmup_resets;
           Alcotest.test_case "rob stall on miss" `Quick test_engine_rob_stall_on_long_miss;
           Alcotest.test_case "rejects bad args" `Quick test_engine_rejects_bad_args;

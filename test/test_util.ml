@@ -515,6 +515,103 @@ let test_parallel_exception_keeps_backtrace () =
            (fun x -> if x = 17 then failwith "chunked boom" else x)
            (List.init 32 Fun.id)))
 
+let test_parallel_steal_matches_sequential () =
+  let xs = List.init 53 Fun.id in
+  let f x = (x * 7) mod 11 in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "steal chunk %d" chunk)
+        (List.map f xs)
+        (Parallel.map ~domains:4 ~chunk ~strategy:Parallel.Steal f xs))
+    [ 1; 2; 5; 53; 100 ]
+
+let test_parallel_steal_propagates_exception () =
+  Alcotest.check_raises "steal worker failure" (Failure "steal boom")
+    (fun () ->
+      ignore
+        (Parallel.map ~domains:3 ~chunk:2 ~strategy:Parallel.Steal
+           (fun x -> if x = 9 then failwith "steal boom" else x)
+           (List.init 20 Fun.id)))
+
+let test_parallel_failure_stops_per_element () =
+  (* One big chunk per worker: after element 0 poisons the run, the
+     owning worker must notice before each subsequent element rather
+     than draining its whole chunk. Surviving elements sleep, so a
+     chunk-granular check would evaluate ~100 elements; the
+     per-element check stops almost immediately. *)
+  let n = 200 in
+  let evaluated = Atomic.make 0 in
+  (try
+     ignore
+       (Parallel.map ~domains:2 ~chunk:100 ~strategy:Parallel.Steal
+          (fun x ->
+            Atomic.incr evaluated;
+            if x = 0 then failwith "poison" else Unix.sleepf 0.002)
+          (List.init n Fun.id));
+     Alcotest.fail "expected the poisoned run to raise"
+   with Failure msg when msg = "poison" -> ());
+  check_bool
+    (Printf.sprintf "stopped early (evaluated %d of %d)" (Atomic.get evaluated) n)
+    true
+    (Atomic.get evaluated < 50)
+
+let test_parallel_map_sharded_basics () =
+  let xs = List.init 40 Fun.id in
+  let f state x =
+    incr state;
+    x * 2
+  in
+  let results, states =
+    Parallel.map_sharded ~domains:4 ~init:(fun _ -> ref 0) ~f xs
+  in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun x -> x * 2) xs)
+    results;
+  check_int "one state per worker" 4 (List.length states);
+  check_int "every element visited exactly once" 40
+    (List.fold_left (fun acc r -> acc + !r) 0 states)
+
+let test_parallel_map_sharded_shard_order () =
+  (* Worker [w] owns the contiguous slice [w*n/d, (w+1)*n/d); the
+     returned states must come back in shard order so callers can merge
+     them deterministically. *)
+  let xs = List.init 8 Fun.id in
+  let f seen x =
+    seen := x :: !seen;
+    x
+  in
+  let _, states =
+    Parallel.map_sharded ~domains:4 ~init:(fun _ -> ref []) ~f xs
+  in
+  Alcotest.(check (list int)) "states in shard (= input) order"
+    xs
+    (List.concat_map (fun seen -> List.rev !seen) states)
+
+let test_parallel_map_sharded_single_worker () =
+  let results, states =
+    Parallel.map_sharded ~domains:1 ~init:(fun w -> w) ~f:(fun w x -> x + w)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "sequential path" [ 1; 2; 3 ] results;
+  Alcotest.(check (list int)) "single shard 0" [ 0 ] states
+
+let test_parallel_map_sharded_empty () =
+  let results, states =
+    Parallel.map_sharded ~domains:4 ~init:(fun _ -> ()) ~f:(fun () x -> x) []
+  in
+  Alcotest.(check (list int)) "no results" [] results;
+  check_int "no states" 0 (List.length states)
+
+let test_parallel_map_sharded_propagates_exception () =
+  Alcotest.check_raises "sharded worker failure" (Failure "shard boom")
+    (fun () ->
+      ignore
+        (Parallel.map_sharded ~domains:3
+           ~init:(fun _ -> ())
+           ~f:(fun () x -> if x = 11 then failwith "shard boom" else x)
+           (List.init 20 Fun.id)))
+
 (* ---- Table / Csv ---------------------------------------------------- *)
 
 let test_table_render () =
@@ -631,6 +728,22 @@ let () =
           Alcotest.test_case "rejects bad chunk" `Quick test_parallel_rejects_bad_chunk;
           Alcotest.test_case "exception keeps backtrace" `Quick
             test_parallel_exception_keeps_backtrace;
+          Alcotest.test_case "steal matches sequential" `Quick
+            test_parallel_steal_matches_sequential;
+          Alcotest.test_case "steal propagates exception" `Quick
+            test_parallel_steal_propagates_exception;
+          Alcotest.test_case "failure stops per element" `Quick
+            test_parallel_failure_stops_per_element;
+          Alcotest.test_case "map_sharded basics" `Quick
+            test_parallel_map_sharded_basics;
+          Alcotest.test_case "map_sharded shard order" `Quick
+            test_parallel_map_sharded_shard_order;
+          Alcotest.test_case "map_sharded single worker" `Quick
+            test_parallel_map_sharded_single_worker;
+          Alcotest.test_case "map_sharded empty" `Quick
+            test_parallel_map_sharded_empty;
+          Alcotest.test_case "map_sharded propagates exception" `Quick
+            test_parallel_map_sharded_propagates_exception;
         ] );
       ( "lru",
         [
