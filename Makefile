@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench bench-smoke serve-smoke obs-smoke check fmt smoke clean
+.PHONY: all build test bench bench-smoke serve-smoke obs-smoke tune-smoke check fmt smoke clean
 
 all: build
 
@@ -90,6 +90,28 @@ obs-smoke: build
 	grep -q 'profile_engine_commit_ns_count' $$d/metrics.txt; \
 	echo "obs-smoke: OK (_build/obs-smoke)"
 
+# One full champion/challenger cycle of the auto-tuner on a tiny
+# budget: a 4-evaluation grid over two workloads, per-evaluation
+# ledger entries, the study report re-read as JSON, and the winner
+# promoted to a champion artifact. This is exactly the worked session
+# EXPERIMENTS.md walks through.
+tune-smoke: build
+	@rm -rf _build/tune-smoke && mkdir -p _build/tune-smoke
+	@set -e; \
+	csteer=_build/default/bin/csteer.exe; d=_build/tune-smoke; \
+	$$csteer tune run --space vc --search grid --max-evals 4 \
+	  -w gzip-1,vpr-1 -n 4000 --out $$d/tune --ledger $$d/runs \
+	  > $$d/run.txt 2> $$d/run.log; \
+	grep -q 'study written' $$d/run.txt; \
+	grep -q '"kind":"tune"' $$d/runs/index.jsonl; \
+	[ "$$(grep -c '"kind":"tune"' $$d/runs/index.jsonl)" -ge 4 ]; \
+	$$csteer tune report --study $$d/tune/study.json --json > $$d/report.json; \
+	grep -q '"kind":"tune_study"' $$d/report.json; \
+	grep -q '"challenger_wins"' $$d/report.json; \
+	$$csteer tune promote --study $$d/tune/study.json > $$d/promote.txt; \
+	grep -q '"kind":"tune_champion"' $$d/tune/champion.json; \
+	echo "tune-smoke: OK (_build/tune-smoke)"
+
 # Static verification of every built-in workload under each software
 # steering scheme: IR well-formedness, chain/leader invariants and
 # static placement, with warnings promoted to failures.
@@ -107,11 +129,11 @@ fmt:
 
 # Fast end-to-end confidence: full build, the test suite, the static
 # verifier over every built-in workload, a parallel deterministic
-# sweep, the bench smoke, the service-layer smoke, the quickstart
-# example (so examples/ cannot bit-rot silently), and one traced
-# 10k-uop simulation whose Chrome trace must be valid JSON with
-# interval telemetry.
-smoke: build test check fmt bench-smoke serve-smoke obs-smoke
+# sweep, the bench smoke, the service-layer smoke, the auto-tuner
+# cycle, the quickstart example (so examples/ cannot bit-rot
+# silently), and one traced 10k-uop simulation whose Chrome trace must
+# be valid JSON with interval telemetry.
+smoke: build test check fmt bench-smoke serve-smoke obs-smoke tune-smoke
 	dune exec examples/quickstart.exe
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \

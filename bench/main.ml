@@ -6,7 +6,8 @@
    Environment knobs:
      CLUSTEER_BENCH_UOPS   micro-ops per simulation point (default 20000)
      CLUSTEER_BENCH_FAST   set to 1 to sweep a 10-benchmark subset
-     CLUSTEER_BENCH_STUDY  "throughput" runs just the throughput study
+     CLUSTEER_BENCH_STUDY  "throughput" runs just the throughput study;
+                           "tune" runs one tiny auto-tuner cycle
      CLUSTEER_BENCH_REQUIRE_SPEEDUP
                            set to 1 to enforce the suite-speedup floor
                            (>=1.5x at 2 domains, >=3x at 4); checks the
@@ -864,6 +865,56 @@ let run_throughput_study () =
     exit 1
   end
 
+(* ---- auto-tuner study ---------------------------------------------------- *)
+
+(* CLUSTEER_BENCH_STUDY=tune: one tiny champion/challenger cycle of
+   the auto-tuner (deterministic 4-evaluation grid over the "vc" space
+   on two workloads — the same shape `make tune-smoke` drives through
+   the CLI), timed end to end. Reports evaluations/sec and the study
+   verdict as BENCH JSON so tuner-throughput regressions are visible
+   next to the simulation numbers. *)
+let run_tune_study () =
+  heading "Tune study: champion/challenger auto-tuner cycle";
+  let module Tune = Clusteer_tune in
+  let space =
+    match Tune.Param_space.find "vc" with
+    | Ok s -> s
+    | Error (`Msg m) -> failwith m
+  in
+  let workloads = List.map Spec2000.find [ "gzip-1"; "vpr-1" ] in
+  let max_evals = 4 in
+  let tune_uops = min uops 4_000 in
+  let t0 = Unix.gettimeofday () in
+  let study =
+    Tune.Study.run ~space ~algo:Tune.Search.Grid ~seed:1 ~max_evals ~workloads
+      ~clusters:2 ~uops:tune_uops ~tie_seeds:1
+      ~progress:(fun line -> Printf.printf "  %s\n" line)
+      ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let evals = List.length study.Tune.Study.evals in
+  let winner = Tune.Study.winner study in
+  Printf.printf "%d evaluations in %.3f s (%.2f evals/sec)\n" evals dt
+    (float_of_int evals /. dt);
+  Printf.printf "winner: %s (score %.4f)\n"
+    (Tune.Param_space.label space winner.Tune.Study.candidate)
+    winner.Tune.Study.score;
+  write_bench_json
+    [
+      ("tune_space", Obs.Json.Str (Tune.Param_space.name space));
+      ("tune_search", Obs.Json.Str study.Tune.Study.search);
+      ("tune_evals", Obs.Json.Int evals);
+      ("tune_uops", Obs.Json.Int tune_uops);
+      ("tune_seconds", Obs.Json.Float dt);
+      ("tune_evals_per_sec", Obs.Json.Float (float_of_int evals /. dt));
+      ("tune_winner_score", Obs.Json.Float winner.Tune.Study.score);
+      ( "tune_winner_label",
+        Obs.Json.Str (Tune.Param_space.label space winner.Tune.Study.candidate)
+      );
+      ( "tune_challenger_wins",
+        Obs.Json.Bool study.Tune.Study.ab.Tune.Study.challenger_wins );
+    ]
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro_point profile =
@@ -1031,9 +1082,10 @@ let () =
      study (the `make bench-smoke` entry point). *)
   match Sys.getenv_opt "CLUSTEER_BENCH_STUDY" with
   | Some "throughput" -> run_throughput_study ()
+  | Some "tune" -> run_tune_study ()
   | Some other ->
-      Printf.eprintf "unknown CLUSTEER_BENCH_STUDY %S (try: throughput)\n"
-        other;
+      Printf.eprintf
+        "unknown CLUSTEER_BENCH_STUDY %S (try: throughput, tune)\n" other;
       exit 2
   | None ->
   run_tables ();

@@ -1436,6 +1436,220 @@ let runs_cmd =
     (Cmd.info "runs" ~doc:"Inspect and prune the on-disk run ledger")
     [ list_cmd; show_cmd; gc_cmd ]
 
+(* ---- tune ----------------------------------------------------------- *)
+
+module Tune = Clusteer_tune
+
+let space_conv =
+  let print ppf s =
+    Format.pp_print_string ppf (Tune.Param_space.name s)
+  in
+  Arg.conv (Tune.Param_space.find, print)
+
+let algo_conv =
+  let print ppf a =
+    Format.pp_print_string ppf (Tune.Search.algo_to_string a)
+  in
+  Arg.conv (Tune.Search.algo_of_string, print)
+
+let space_arg =
+  let doc = "Parameter space to search: vc or op." in
+  Arg.(
+    value
+    & opt space_conv (List.hd Tune.Param_space.spaces)
+    & info [ "space" ] ~doc ~docv:"SPACE")
+
+let study_file_arg =
+  let doc = "Study artifact to read." in
+  Arg.(
+    value
+    & opt string (Filename.concat "tune" "study.json")
+    & info [ "study" ] ~doc ~docv:"FILE")
+
+let tune_run space algo seed max_evals benchmarks clusters uops domains out
+    champion_file ledger_dir epsilon_pct tie_seeds json =
+  protect @@ fun () ->
+  if max_evals <= 0 then begin
+    Printf.eprintf "csteer: --max-evals must be positive\n";
+    exit 1
+  end;
+  let workloads =
+    match
+      try subset_profiles benchmarks
+      with Not_found ->
+        Printf.eprintf "csteer: unknown workload in %s\n"
+          (Option.value ~default:"" benchmarks);
+        exit 1
+    with
+    | Some ps -> ps
+    | None -> Spec2000.all
+  in
+  let champion_file =
+    Option.value champion_file
+      ~default:(Filename.concat out "champion.json")
+  in
+  let incumbent =
+    match Tune.Study.load_champion ~space ~file:champion_file with
+    | Ok c -> c
+    | Error msg ->
+        Printf.eprintf "csteer: %s\n" msg;
+        exit 1
+  in
+  let ledger = Option.map (fun dir -> Obs.Ledger.create ~dir) ledger_dir in
+  let progress line = Printf.eprintf "  %s\n%!" line in
+  let study =
+    Tune.Study.run ~space ~algo ~seed ~max_evals ~workloads ~clusters ~uops
+      ?domains ?ledger ?incumbent ~epsilon_pct ~tie_seeds ~progress ()
+  in
+  let study_file = Filename.concat out "study.json" in
+  Tune.Study.save ~file:study_file study;
+  if json then print_endline (Json.to_string (Tune.Study.to_json study))
+  else begin
+    Tune.Study.report Format.std_formatter study;
+    Printf.printf "study written to %s\n" study_file
+  end
+
+let tune_report file json =
+  protect @@ fun () ->
+  match Tune.Study.load ~file with
+  | Error msg ->
+      Printf.eprintf "csteer: %s: %s\n" file msg;
+      exit 1
+  | Ok study ->
+      if json then print_endline (Json.to_string (Tune.Study.to_json study))
+      else Tune.Study.report Format.std_formatter study
+
+let tune_promote file out =
+  protect @@ fun () ->
+  match Tune.Study.load ~file with
+  | Error msg ->
+      Printf.eprintf "csteer: %s: %s\n" file msg;
+      exit 1
+  | Ok study ->
+      let out =
+        Option.value out
+          ~default:(Filename.concat (Filename.dirname file) "champion.json")
+      in
+      Tune.Study.save_champion ~file:out study;
+      let w = Tune.Study.winner study in
+      let space =
+        match Tune.Param_space.find study.Tune.Study.space with
+        | Ok s -> s
+        | Error (`Msg m) ->
+            Printf.eprintf "csteer: %s\n" m;
+            exit 1
+      in
+      Printf.printf "%s: %s (score %.4f) -> %s\n"
+        (if study.Tune.Study.ab.Tune.Study.challenger_wins then "promoted"
+         else "champion retained")
+        (Tune.Param_space.label space w.Tune.Study.candidate)
+        w.Tune.Study.score out
+
+let tune_cmd =
+  let run_cmd =
+    let algo =
+      let doc = "Search driver: grid, random or hill." in
+      Arg.(
+        value
+        & opt algo_conv Tune.Search.Random
+        & info [ "search" ] ~doc ~docv:"ALGO")
+    in
+    let seed =
+      let doc = "Search seed (random draws and hill restarts)." in
+      Arg.(value & opt int 1 & info [ "seed" ] ~doc ~docv:"N")
+    in
+    let max_evals =
+      let doc = "Evaluation budget: distinct candidates to score." in
+      Arg.(value & opt int 12 & info [ "max-evals" ] ~doc ~docv:"N")
+    in
+    let benchmarks =
+      let doc =
+        "Comma-separated workload subset (default: the whole pool)."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "w"; "workloads" ] ~doc ~docv:"NAMES")
+    in
+    let domains =
+      let doc = "Worker domains for each evaluation's sweep." in
+      Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+    in
+    let out =
+      let doc = "Directory for the study artifact." in
+      Arg.(value & opt string "tune" & info [ "out" ] ~doc ~docv:"DIR")
+    in
+    let champion_file =
+      let doc =
+        "Champion artifact defending the study (default: \
+         $(i,OUT)/champion.json; absent file means the paper default \
+         defends)."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "champion" ] ~doc ~docv:"FILE")
+    in
+    let ledger_dir =
+      let doc = "Record one ledger entry per evaluation under DIR." in
+      Arg.(value & opt (some string) None & info [ "ledger" ] ~doc ~docv:"DIR")
+    in
+    let epsilon_pct =
+      let doc = "AB tie band: IPC deltas within this percentage tie." in
+      Arg.(
+        value & opt float 0.5 & info [ "tie-epsilon-pct" ] ~doc ~docv:"PCT")
+    in
+    let tie_seeds =
+      let doc = "Extra salted trace streams used to re-measure ties." in
+      Arg.(value & opt int 2 & info [ "tie-seeds" ] ~doc ~docv:"N")
+    in
+    let json =
+      Arg.(
+        value & flag & info [ "json" ] ~doc:"Print the study as JSON.")
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Search the parameter space under a budget and compare the best \
+            candidate AB against the reigning champion")
+      Term.(
+        const tune_run $ space_arg $ algo $ seed $ max_evals $ benchmarks
+        $ clusters_arg $ uops_arg 20_000 $ domains $ out $ champion_file
+        $ ledger_dir $ epsilon_pct $ tie_seeds $ json)
+  in
+  let report_cmd =
+    let json =
+      Arg.(
+        value & flag & info [ "json" ] ~doc:"Print the study as JSON.")
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Render a saved study: leaderboard, AB table and verdict")
+      Term.(const tune_report $ study_file_arg $ json)
+  in
+  let promote_cmd =
+    let out =
+      let doc =
+        "Champion artifact to write (default: champion.json next to the \
+         study)."
+      in
+      Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+    in
+    Cmd.v
+      (Cmd.info "promote"
+         ~doc:
+           "Persist the study's winner as the champion artifact future \
+            studies defend")
+      Term.(const tune_promote $ study_file_arg $ out)
+  in
+  Cmd.group
+    (Cmd.info "tune"
+       ~doc:
+         "Closed-loop steering parameter tuning with champion/challenger \
+          studies")
+    [ run_cmd; report_cmd; promote_cmd ]
+
 let main =
   let doc =
     "clusteer: software-hardware hybrid steering for clustered \
@@ -1445,7 +1659,7 @@ let main =
     [
       list_cmd; simulate_cmd; compile_cmd; check_cmd; stats_cmd; sweep_cmd;
       vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd; metrics_cmd;
-      runs_cmd;
+      runs_cmd; tune_cmd;
     ]
 
 let () = exit (Cmd.eval main)

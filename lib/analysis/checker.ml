@@ -10,13 +10,14 @@ type target = {
   annot : Annot.t;
   config : Uarch.Config.t;
   region_uops : int;
+  max_chain : int;
   claimed : Compiler.Diagnostics.t option;
   critical : bool array option;
   slack_threshold : int;
   events : Dyn_check.event list option;
 }
 
-let target ?label ?(region_uops = 512) ?claimed ?critical
+let target ?label ?(region_uops = 512) ?(max_chain = 0) ?claimed ?critical
     ?(slack_threshold = 0) ?events ~program ~likely ~annot ~config () =
   {
     label = Option.value label ~default:program.Program.name;
@@ -25,6 +26,7 @@ let target ?label ?(region_uops = 512) ?claimed ?critical
     annot;
     config;
     region_uops;
+    max_chain;
     claimed;
     critical;
     slack_threshold;
@@ -54,7 +56,7 @@ let vc_pass =
       (fun t ->
         let structural =
           Vc_check.check ~program:t.program ~likely:t.likely ~annot:t.annot
-            ~region_uops:t.region_uops ()
+            ~region_uops:t.region_uops ~max_chain:t.max_chain ()
         in
         let summary =
           match t.claimed with

@@ -16,6 +16,9 @@ type target = {
   annot : Annot.t;
   config : Uarch.Config.t;
   region_uops : int;
+  max_chain : int;
+      (** chain-length cap the annotation was compiled with (0 =
+          unlimited); see {!Vc_check.check} *)
   claimed : Compiler.Diagnostics.t option;
       (** compiler-reported partition summary to cross-check (VC008) *)
   critical : bool array option;  (** criticality hints to verify (PL005) *)
@@ -27,6 +30,7 @@ type target = {
 val target :
   ?label:string ->
   ?region_uops:int ->
+  ?max_chain:int ->
   ?claimed:Compiler.Diagnostics.t ->
   ?critical:bool array ->
   ?slack_threshold:int ->
@@ -38,7 +42,7 @@ val target :
   unit ->
   target
 (** Build a target; [label] defaults to the program name, [region_uops]
-    to 512, [slack_threshold] to 0. *)
+    to 512, [max_chain] to 0 (unlimited), [slack_threshold] to 0. *)
 
 type pass = { name : string; applies : target -> bool; run : target -> Diag.t list }
 

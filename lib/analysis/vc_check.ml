@@ -18,7 +18,7 @@ let ragged (p : Program.t) (a : Annot.t) =
       bad "cluster_of" (Array.length a.Annot.cluster_of);
     ]
 
-let check ~program ~likely ~annot ?(region_uops = 512) () =
+let check ~program ~likely ~annot ?(region_uops = 512) ?max_chain () =
   match ragged program annot with
   | _ :: _ as diags -> diags
   | [] ->
@@ -49,17 +49,17 @@ let check ~program ~likely ~annot ?(region_uops = 512) () =
                  "leader mark on a uop with no virtual cluster"))
         annot.Annot.vc_of;
       (* VC005/VC006: recompute chain-leader marks per region and
-         compare with the annotation (the mirror of
-         [Compiler.Chains.mark_region]). *)
+         compare with the annotation. Uses the same
+         [Compiler.Chains.iter_chain_starts] the compiler's
+         [mark_region] uses, so checker and compiler (including the
+         [max_chain] cap) can never drift. *)
       let regions = Region.build ~program ~likely ~max_uops:region_uops in
       List.iter
         (fun (region : Region.t) ->
-          let prev_vc = ref (-2) in
-          Array.iter
-            (fun (u : Uop.t) ->
-              let id = u.Uop.id in
-              let vc = annot.Annot.vc_of.(id) in
-              let expected = vc <> !prev_vc && vc <> -1 in
+          Compiler.Chains.iter_chain_starts ?max_chain
+            ~vc_of:(fun id -> annot.Annot.vc_of.(id))
+            region
+            (fun id ~vc ~start:expected ->
               let marked = annot.Annot.leader.(id) in
               let block = Program.block_of_uop program id in
               if expected && not marked then
@@ -70,9 +70,7 @@ let check ~program ~likely ~annot ?(region_uops = 512) () =
               else if marked && vc <> -1 && not expected then
                 add
                   (Diag.errorf ~uop:id ~block ~region:region.Region.id
-                     ~code:"VC006" "leader mark inside a chain of vc %d" vc);
-              prev_vc := vc)
-            region.Region.uops)
+                     ~code:"VC006" "leader mark inside a chain of vc %d" vc)))
         regions;
       (* VC007 (info): empty virtual clusters. *)
       let population = Array.make (max nvc 0) 0 in

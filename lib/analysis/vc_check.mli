@@ -34,10 +34,18 @@ val check :
   likely:(int -> int option) ->
   annot:Annot.t ->
   ?region_uops:int ->
+  ?max_chain:int ->
   unit ->
   Diag.t list
 (** Structural checks VC001–VC007, VC009 and VC010. The annotation
-    must be a virtual-cluster one ([virtual_clusters > 0]). *)
+    must be a virtual-cluster one ([virtual_clusters > 0]).
+
+    [max_chain] (micro-ops, default 0 = unlimited) must match the
+    chain-length cap the annotation was compiled with: the VC005/VC006
+    leader recomputation goes through the same
+    {!Clusteer_compiler.Chains.iter_chain_starts} iterator as the
+    compiler, so a capped annotation checked with the wrong cap is
+    reported as VC005/VC006 drift. *)
 
 val check_summary :
   program:Program.t ->

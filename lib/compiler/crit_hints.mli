@@ -17,5 +17,10 @@ val compute :
   unit ->
   bool array
 (** [compute ~program ~likely ()] marks every static micro-op whose
-    slack within its region DDG is at most [slack_threshold] (default
-    0, i.e. exactly the critical paths). *)
+    slack within its region DDG is at most [slack_threshold] (unit:
+    cycles of estimated schedule slack, {!Clusteer_ddg.Critical};
+    default 0, i.e. exactly the critical paths — larger values widen
+    the "critical" set). [region_uops] (unit: static micro-ops,
+    default 512) is the same region budget the partitioning passes
+    use. Both are swept by the auto-tuner through
+    [Clusteer.Configuration.params]. *)

@@ -12,10 +12,12 @@ let scheme_name = function
   | Sw_rhop _ -> "rhop"
   | Sw_vc { virtual_clusters } -> Printf.sprintf "vc%d" virtual_clusters
 
-let run scheme ~program ~likely ~clusters ?(region_uops = 512) () =
+let run scheme ~program ~likely ~clusters ?(region_uops = 512) ?issue_width
+    ?comm_latency ?crit_min_scale ?max_chain () =
   match scheme with
   | Sw_none -> Annot.none ~uop_count:program.Program.uop_count
   | Sw_ob -> Ob.compile ~program ~likely ~clusters ~region_uops ()
   | Sw_rhop { seed } -> Rhop.compile ~program ~likely ~clusters ~region_uops ~seed ()
   | Sw_vc { virtual_clusters } ->
-      Vc_partition.compile ~program ~likely ~virtual_clusters ~region_uops ()
+      Vc_partition.compile ~program ~likely ~virtual_clusters ~region_uops
+        ?issue_width ?comm_latency ?crit_min_scale ?max_chain ()

@@ -21,7 +21,15 @@ val run :
   likely:(int -> int option) ->
   clusters:int ->
   ?region_uops:int ->
+  ?issue_width:float ->
+  ?comm_latency:float ->
+  ?crit_min_scale:float ->
+  ?max_chain:int ->
   unit ->
   Annot.t
 (** Produce the annotation for [scheme] targeting a machine with
-    [clusters] physical clusters. *)
+    [clusters] physical clusters. The optional knobs parameterize the
+    VC partitioner ({!Vc_partition}: estimator issue width and
+    communication latency, placement criticality weight, chain-length
+    cap) and are ignored by the other schemes; defaults reproduce the
+    paper. *)

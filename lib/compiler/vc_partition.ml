@@ -3,12 +3,15 @@ open Clusteer_ddg
 
 (* Critical instructions should chase their producers regardless of
    contention; fully slack instructions should fill the lightest VC.
-   Map slack ratio in [0,1] to a contention scale in [min_scale, 1]. *)
-let contention_scale_of_slack crit =
+   Map slack ratio in [0,1] to a contention scale in [min_scale, 1].
+   [min_scale] is the placement criticality weight: at 0 a zero-slack
+   instruction ignores contention entirely and always follows its
+   producers; at 1 criticality is ignored and every instruction is
+   priced purely on completion time (§4.2's behaviour disabled). *)
+let contention_scale_of_slack ?(min_scale = 0.15) crit =
   let max_slack =
     Array.fold_left max 1 crit.Critical.slack |> float_of_int
   in
-  let min_scale = 0.15 in
   fun node ->
     let ratio = float_of_int crit.Critical.slack.(node) /. max_slack in
     min_scale +. ((1.0 -. min_scale) *. ratio)
@@ -82,11 +85,13 @@ let seed_critical_paths g crit ~virtual_clusters =
   forced
 
 let assign_region g ~virtual_clusters ?(issue_width = 2.0)
-    ?(comm_latency = 1.0) () =
+    ?(comm_latency = 1.0) ?crit_min_scale () =
   let crit = Critical.analyze g in
   let est =
     Estimate.create ~parts:virtual_clusters ~issue_width ~comm_latency
-      ~contention_scale:(contention_scale_of_slack crit) g
+      ~contention_scale:(contention_scale_of_slack ?min_scale:crit_min_scale
+                           crit)
+      g
   in
   let forced = seed_critical_paths g crit ~virtual_clusters in
   let n = Ddg.node_count g in
@@ -117,7 +122,7 @@ let assign_region g ~virtual_clusters ?(issue_width = 2.0)
   assignment
 
 let compile ~program ~likely ~virtual_clusters ?(region_uops = 512)
-    ?(issue_width = 2.0) () =
+    ?(issue_width = 2.0) ?(comm_latency = 1.0) ?crit_min_scale ?max_chain () =
   let annot =
     Annot.create_virtual ~scheme:"vc" ~virtual_clusters
       ~uop_count:program.Program.uop_count
@@ -126,12 +131,15 @@ let compile ~program ~likely ~virtual_clusters ?(region_uops = 512)
   List.iter
     (fun region ->
       let g = Ddg.of_region region in
-      let assignment = assign_region g ~virtual_clusters ~issue_width () in
+      let assignment =
+        assign_region g ~virtual_clusters ~issue_width ~comm_latency
+          ?crit_min_scale ()
+      in
       Array.iteri
         (fun node (u : Uop.t) ->
           annot.Annot.vc_of.(u.Uop.id) <- assignment.(node))
         region.Region.uops;
-      Chains.mark_region annot region)
+      Chains.mark_region ?max_chain annot region)
     regions;
   Annot.validate annot ~clusters:1;
   annot

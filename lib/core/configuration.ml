@@ -60,6 +60,31 @@ let description = function
   | Crit -> "Criticality-aware steering (after Salverda-Zilles)"
   | Thermal -> "Thermal activity-migration steering (after Chaparro et al.)"
 
+type params = {
+  remap_threshold : int;
+  stall_threshold : int;
+  imbalance_limit : int;
+  region_uops : int;
+  issue_width : float;
+  comm_latency : float;
+  crit_min_scale : float;
+  max_chain : int;
+  slack_threshold : int;
+}
+
+let default_params =
+  {
+    remap_threshold = 8;
+    stall_threshold = 36;
+    imbalance_limit = 200;
+    region_uops = 512;
+    issue_width = 2.0;
+    comm_latency = 1.0;
+    crit_min_scale = 0.15;
+    max_chain = 0;
+    slack_threshold = 0;
+  }
+
 let table3 ~clusters =
   if clusters <= 2 then [ Op; One_cluster; Ob; Rhop; Vc { virtual_clusters = 2 } ]
   else
@@ -71,8 +96,11 @@ let table3 ~clusters =
       Vc { virtual_clusters = 2 };
     ]
 
-let prepare t ~program ~likely ~clusters ?(region_uops = 512) ?annot ?registry
-    () =
+let prepare t ~program ~likely ~clusters ?region_uops
+    ?(params = default_params) ?annot ?registry () =
+  (* An explicit [region_uops] wins over [params] for backward
+     compatibility; both default to the paper's 512-uop budget. *)
+  let region_uops = Option.value region_uops ~default:params.region_uops in
   let annot =
     match annot with
     | Some annot -> annot
@@ -85,21 +113,30 @@ let prepare t ~program ~likely ~clusters ?(region_uops = 512) ?annot ?registry
           | Rhop -> Compiler.Passes.Sw_rhop { seed = 1 }
           | Vc { virtual_clusters } -> Compiler.Passes.Sw_vc { virtual_clusters }
         in
-        Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops ()
+        Compiler.Passes.run scheme ~program ~likely ~clusters ~region_uops
+          ~issue_width:params.issue_width ~comm_latency:params.comm_latency
+          ~crit_min_scale:params.crit_min_scale ~max_chain:params.max_chain ()
   in
   let policy =
     match t with
-    | Op -> Steer.Op.make ?registry ()
-    | Op_parallel -> Steer.Op_parallel.make ()
+    | Op ->
+        Steer.Op.make ~stall_threshold:params.stall_threshold
+          ~imbalance_limit:params.imbalance_limit ?registry ()
+    | Op_parallel ->
+        Steer.Op_parallel.make ~stall_threshold:params.stall_threshold
+          ~imbalance_limit:params.imbalance_limit ()
     | One_cluster -> Steer.One_cluster.make ()
     | Ob -> Steer.Static.make ~name:"ob" ~annot
     | Rhop -> Steer.Static.make ~name:"rhop" ~annot
-    | Vc _ -> Steer.Vc_map.make ?registry ~annot ~clusters ()
+    | Vc _ ->
+        Steer.Vc_map.make ~remap_threshold:params.remap_threshold ?registry
+          ~annot ~clusters ()
     | Mod_n { n } -> Steer.Mod_n.make ~n ()
     | Dep -> Steer.Dep.make ?registry ()
     | Crit ->
         let critical =
-          Compiler.Crit_hints.compute ~program ~likely ~region_uops ()
+          Compiler.Crit_hints.compute ~program ~likely ~region_uops
+            ~slack_threshold:params.slack_threshold ()
         in
         Steer.Crit.make ~critical ()
     | Thermal -> Steer.Thermal_aware.make ()

@@ -48,17 +48,81 @@ val table3 : clusters:int -> t list
 (** The configurations evaluated against each other for a machine of
     the given size (2 → Fig. 5 set, 4 → Fig. 7 set). *)
 
+type params = {
+  remap_threshold : int;
+      (** {!Clusteer_steer.Vc_map} remap hysteresis (in-flight
+          micro-ops, default 8): a chain leader re-maps its VC to the
+          least-loaded physical cluster only when the current target's
+          occupancy exceeds the minimum by more than this margin
+          (§3's "certain threshold"). 0 re-maps at every leader; large
+          values freeze the initial mapping. *)
+  stall_threshold : int;
+      (** {!Clusteer_steer.Op} stall-over-steer bound (free IQ slots,
+          default 36): OP stalls dispatch rather than mis-steer when
+          the preferred cluster has fewer free issue-queue slots than
+          this ([15]'s tuned constant). *)
+  imbalance_limit : int;
+      (** {!Clusteer_steer.Op} imbalance override (in-flight micro-op
+          difference, default 200): when the occupancy gap between
+          clusters exceeds this, OP steers to the lightest cluster
+          regardless of operand locality. *)
+  region_uops : int;
+      (** Superblock region budget (static micro-ops, default 512):
+          the compiler's region builder stops growing a region at this
+          many micro-ops (§4.1's scheduling-region size). *)
+  issue_width : float;
+      (** {!Clusteer_compiler.Vc_partition} estimator issue bandwidth
+          (micro-ops/cycle, default 2.0): per-VC issue width assumed by
+          the §4.2 static completion-time estimator — Table 2's
+          per-cluster INT issue width. *)
+  comm_latency : float;
+      (** {!Clusteer_compiler.Vc_partition} estimator communication
+          cost (cycles, default 1.0): estimated penalty for a cross-VC
+          operand — Table 2's 1-cycle point-to-point link. *)
+  crit_min_scale : float;
+      (** Placement criticality weight (dimensionless in \[0, 1\],
+          default 0.15): contention-scale floor applied to zero-slack
+          instructions in the VC partitioner. 0 makes critical chains
+          follow their producers unconditionally; 1 disables
+          criticality-aware placement (§5.3). *)
+  max_chain : int;
+      (** Chain-length cap (micro-ops, default 0 = unlimited): the
+          compiler starts a fresh chain — i.e. inserts an extra chain
+          leader, giving the hardware an extra re-mapping opportunity —
+          whenever a same-VC run reaches this length. The paper's
+          chains are maximal (§4.2); this is a tuner extension. See
+          {!Clusteer_compiler.Chains}. *)
+  slack_threshold : int;
+      (** {!Clusteer_compiler.Crit_hints} criticality cut-off (cycles
+          of slack, default 0): micro-ops with at most this much slack
+          are marked critical for the [Crit] policy ([24]). *)
+}
+(** Every tunable steering/compiler knob in one record — the single
+    source of truth the auto-tuner's parameter space
+    ({!Clusteer_tune.Param_space}) encodes into. Field defaults
+    ({!default_params}) reproduce the paper's Table 2/§4 constants
+    exactly, so [prepare ~params:default_params] is identical to
+    [prepare] without [?params]. *)
+
+val default_params : params
+(** The paper's constants; see each field of {!params}. *)
+
 val prepare :
   t ->
   program:Program.t ->
   likely:(int -> int option) ->
   clusters:int ->
   ?region_uops:int ->
+  ?params:params ->
   ?annot:Annot.t ->
   ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   Annot.t * Clusteer_uarch.Policy.t
-(** [registry] is where the policy registers its introspection
+(** [params] tunes every knob at once (default {!default_params});
+    [region_uops], kept for backward compatibility, overrides
+    [params.region_uops] when given explicitly.
+
+    [registry] is where the policy registers its introspection
     counters (default {!Clusteer_obs.Counters.default}). The parallel
     harness passes a private registry per shard so concurrent runs
     never share mutable counter state, then merges the shards back
@@ -66,7 +130,8 @@ val prepare :
 
     [annot] supplies a previously compiled annotation and skips the
     compiler pass. The pass is deterministic in (configuration,
-    program, likely, clusters, region_uops), so the harness caches the
+    program, likely, clusters, region_uops, params), so the harness
+    caches the
     annotation per (profile, configuration) within a domain and passes
     it back here; the returned policy is always fresh (policies are
     stateful). Must only be given an annotation produced by {!prepare}

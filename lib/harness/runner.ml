@@ -29,6 +29,23 @@ let trace_seed (point : Pinpoints.point) =
   let z = logxor z (shift_right_logical z 31) in
   to_int (shift_right_logical z 2)
 
+(* Salted variant for replicated measurements (the tuner's AB
+   tie-breaks): salt 0 is the identity — exactly [trace_seed] — so
+   every existing caller and determinism test is unaffected; a nonzero
+   salt derives an independent but equally deterministic stream for
+   the same point by running (salt, base seed) through the same
+   splitmix64 finalizer. *)
+let salted_trace_seed ~salt (point : Pinpoints.point) =
+  let base = trace_seed point in
+  if salt = 0 then base
+  else
+    let open Int64 in
+    let z = add (mul (of_int salt) 0x9E3779B97F4A7C15L) (of_int base) in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    to_int (shift_right_logical z 2)
+
 (* Default warmup: half the measured length, capped — enough to fill
    the L1 and train the predictor at the scaled-down trace sizes — and
    always strictly below the measured budget, so tiny runs (fewer than
@@ -107,7 +124,7 @@ let fresh_reuse () =
 let shard_minor_heap_words = 1 lsl 20
 
 let run_workload_cached ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry
-    ?profile ?reuse ~machine ~configs ~uops workload =
+    ?profile ?reuse ?params ~machine ~configs ~uops workload =
   let warmup = Option.value ~default:(default_warmup uops) warmup in
   let committed = Counters.counter ?registry "harness.uops_committed" in
   let tb = shared_trace workload ~seed in
@@ -123,7 +140,7 @@ let run_workload_cached ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry
       let annot, policy =
         Clusteer.Configuration.prepare config ~program:workload.Synth.program
           ~likely:workload.Synth.likely ~clusters:machine.Config.clusters
-          ?annot:cached_annot ?registry ()
+          ?params ?annot:cached_annot ?registry ()
       in
       (match (reuse, cached_annot) with
       | Some r, None ->
@@ -162,13 +179,13 @@ let run_workload_cached ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry
       (name, stats))
     configs
 
-let run_workload ?warmup ?seed ?obs ?registry ?profile ~machine ~configs ~uops
-    workload =
-  run_workload_cached ?warmup ?seed ?obs ?registry ?profile ~machine ~configs
-    ~uops workload
+let run_workload ?warmup ?seed ?obs ?registry ?profile ?params ~machine
+    ~configs ~uops workload =
+  run_workload_cached ?warmup ?seed ?obs ?registry ?profile ?params ~machine
+    ~configs ~uops workload
 
-let run_point_cached ?warmup ?obs ?registry ?profile ?reuse ~machine ~configs
-    ~uops point =
+let run_point_cached ?warmup ?obs ?registry ?profile ?reuse ?params
+    ?(trace_salt = 0) ~machine ~configs ~uops point =
   let workload =
     match reuse with
     | Some r -> (
@@ -183,14 +200,16 @@ let run_point_cached ?warmup ?obs ?registry ?profile ?reuse ~machine ~configs
   (* Every configuration replays the identical dynamic stream: the
      generator is reseeded per point with the same seed. *)
   let runs =
-    run_workload_cached ?warmup ~seed:(trace_seed point) ?obs ?registry
-      ?profile ?reuse ~machine ~configs ~uops workload
+    run_workload_cached ?warmup
+      ~seed:(salted_trace_seed ~salt:trace_salt point)
+      ?obs ?registry ?profile ?reuse ?params ~machine ~configs ~uops workload
   in
   { point; runs }
 
-let run_point ?warmup ?obs ?registry ?profile ~machine ~configs ~uops point =
-  run_point_cached ?warmup ?obs ?registry ?profile ~machine ~configs ~uops
-    point
+let run_point ?warmup ?obs ?registry ?profile ?params ?trace_salt ~machine
+    ~configs ~uops point =
+  run_point_cached ?warmup ?obs ?registry ?profile ?params ?trace_salt
+    ~machine ~configs ~uops point
 
 (* Registry-isolated parallel map. Under {!Parallel.Static} (the
    default) the items are pre-partitioned into contiguous per-domain
@@ -252,7 +271,7 @@ let map_isolated ?domains ?chunk ?(strategy = Parallel.Static)
    and absent from default-mode registries (the determinism contract
    compares those). *)
 let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ?strategy
-    ?(profiled = false) ~machine ~configs ~uops profiles =
+    ?(profiled = false) ?params ?trace_salt ~machine ~configs ~uops profiles =
   let items =
     List.concat_map
       (fun profile ->
@@ -263,15 +282,15 @@ let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ?strategy
     if point.Pinpoints.index = 0 then progress profile.Profile.name;
     match prof with
     | None ->
-        run_point_cached ?warmup ~registry ?reuse ~machine ~configs ~uops
-          point
+        run_point_cached ?warmup ~registry ?reuse ?params ?trace_salt
+          ~machine ~configs ~uops point
     | Some p ->
         let span = Clusteer_obs.Profile.span p "harness.point" in
         let gc0 = Gc.quick_stat () in
         let result =
           Clusteer_obs.Profile.time span (fun () ->
-              run_point_cached ?warmup ~registry ~profile:p ?reuse ~machine
-                ~configs ~uops point)
+              run_point_cached ?warmup ~registry ~profile:p ?reuse ?params
+                ?trace_salt ~machine ~configs ~uops point)
         in
         let gc1 = Gc.quick_stat () in
         let add name v = Counters.add (Counters.counter ~registry name) v in
@@ -319,15 +338,15 @@ let run_points ?(progress = fun _ -> ()) ?warmup ?domains ?chunk ?strategy
         shards;
       results
 
-let run_benchmark ?warmup ?domains ?chunk ?strategy ?profiled ~machine ~configs
-    ~uops profile =
-  run_points ?warmup ?domains ?chunk ?strategy ?profiled ~machine ~configs
-    ~uops [ profile ]
+let run_benchmark ?warmup ?domains ?chunk ?strategy ?profiled ?params
+    ?trace_salt ~machine ~configs ~uops profile =
+  run_points ?warmup ?domains ?chunk ?strategy ?profiled ?params ?trace_salt
+    ~machine ~configs ~uops [ profile ]
 
-let run_suite ?progress ?warmup ?domains ?chunk ?strategy ?profiled ~machine
-    ~configs ~uops profiles =
-  run_points ?progress ?warmup ?domains ?chunk ?strategy ?profiled ~machine
-    ~configs ~uops profiles
+let run_suite ?progress ?warmup ?domains ?chunk ?strategy ?profiled ?params
+    ?trace_salt ~machine ~configs ~uops profiles =
+  run_points ?progress ?warmup ?domains ?chunk ?strategy ?profiled ?params
+    ?trace_salt ~machine ~configs ~uops profiles
 
 let rec split_at n xs =
   if n = 0 then ([], xs)
@@ -338,11 +357,11 @@ let rec split_at n xs =
         let taken, remaining = split_at (n - 1) rest in
         (x :: taken, remaining)
 
-let run_grouped ?progress ?warmup ?domains ?chunk ?strategy ?profiled ~machine
-    ~configs ~uops profiles =
+let run_grouped ?progress ?warmup ?domains ?chunk ?strategy ?profiled ?params
+    ?trace_salt ~machine ~configs ~uops profiles =
   let flat =
-    run_points ?progress ?warmup ?domains ?chunk ?strategy ?profiled ~machine
-      ~configs ~uops profiles
+    run_points ?progress ?warmup ?domains ?chunk ?strategy ?profiled ?params
+      ?trace_salt ~machine ~configs ~uops profiles
   in
   let groups, rest =
     List.fold_left

@@ -45,6 +45,13 @@ val trace_seed : Pinpoints.point -> int
     (seed, index) pairs map to distinct trace seeds across the whole
     realistic range (the previous affine formula collided). *)
 
+val salted_trace_seed : salt:int -> Pinpoints.point -> int
+(** {!trace_seed} re-mixed with [salt] through the same splitmix64
+    finalizer. [salt = 0] is the identity (exactly {!trace_seed});
+    each nonzero salt derives an independent, equally deterministic
+    dynamic stream for the same point. The auto-tuner's AB tie-breaks
+    replicate measurements over salts [1..n]. *)
+
 val default_warmup : int -> int
 (** Default warmup for a measured budget of [uops] committed
     micro-ops: half the measured length, clamped to \[2,000, 10,000\]
@@ -56,6 +63,8 @@ val run_point :
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
   ?registry:Clusteer_obs.Counters.registry ->
   ?profile:Clusteer_obs.Profile.t ->
+  ?params:Clusteer.Configuration.params ->
+  ?trace_salt:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -73,6 +82,13 @@ val run_point :
     {!Clusteer_obs.Counters.default}). [profile] attaches the pipeline
     self-profiler to every engine created for the point.
 
+    [params] tunes every steering/compiler knob at once (default
+    {!Clusteer.Configuration.default_params}); it applies uniformly to
+    every configuration of the call, which keeps the per-domain
+    annotation caches (keyed by configuration name) sound.
+    [trace_salt] (default 0 = the canonical stream) replays the point
+    on the {!salted_trace_seed} stream instead.
+
     Each engine run also adds its committed micro-ops to the
     [harness.uops_committed] counter of [registry] — the figure the
     run ledger divides GC allocation by. *)
@@ -83,6 +99,7 @@ val run_workload :
   ?obs:(string -> Clusteer_obs.Sink.t option) ->
   ?registry:Clusteer_obs.Counters.registry ->
   ?profile:Clusteer_obs.Profile.t ->
+  ?params:Clusteer.Configuration.params ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -120,6 +137,8 @@ val run_benchmark :
   ?chunk:int ->
   ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
+  ?params:Clusteer.Configuration.params ->
+  ?trace_salt:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -134,6 +153,8 @@ val run_suite :
   ?chunk:int ->
   ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
+  ?params:Clusteer.Configuration.params ->
+  ?trace_salt:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->
@@ -152,6 +173,8 @@ val run_grouped :
   ?chunk:int ->
   ?strategy:Clusteer_util.Parallel.strategy ->
   ?profiled:bool ->
+  ?params:Clusteer.Configuration.params ->
+  ?trace_salt:int ->
   machine:Config.t ->
   configs:Clusteer.Configuration.t list ->
   uops:int ->

@@ -32,6 +32,9 @@ val member : string -> t -> t option
 val to_int : t -> int option
 (** [Int n] gives [Some n]; everything else [None]. *)
 
+val to_list : t -> t list option
+(** [List l] gives [Some l]; everything else [None]. *)
+
 val to_str : t -> string option
 (** [Str s] gives [Some s]; everything else [None]. *)
 

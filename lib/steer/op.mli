@@ -21,11 +21,13 @@ val make :
   ?registry:Clusteer_obs.Counters.registry ->
   unit ->
   Clusteer_uarch.Policy.t
-(** [stall_threshold] (default 36): minimum free issue-queue slots
-    another cluster must have before OP steers away from the preferred
-    cluster instead of stalling. [imbalance_limit] (default 200):
-    in-flight count difference beyond which balance overrides
-    dependences.
+(** [stall_threshold] (unit: free issue-queue slots, default 36, the
+    constant [15] tunes): minimum free issue-queue slots another
+    cluster must have before OP steers away from the preferred cluster
+    instead of stalling. [imbalance_limit] (unit: in-flight micro-op
+    difference, default 200): occupancy gap beyond which balance
+    overrides dependences. Both knobs are swept by the auto-tuner
+    through [Clusteer.Configuration.params].
 
     Tie-breaking in the least-loaded selection rotates its scan start
     by the policy's decision count, so exact ties (equal votes, equal

@@ -22,11 +22,14 @@ val make :
     The initial table maps virtual cluster [v] to physical cluster
     [v mod clusters]. A leader remaps its VC only when the current
     cluster leads the least-loaded one by more than [remap_threshold]
-    in-flight micro-ops. Threshold 0 is the paper's semantics (always
+    in-flight micro-ops (§3's "certain threshold"; unit: in-flight
+    micro-ops). Threshold 0 is the paper's literal semantics (always
     move to the least-loaded cluster); the default of 8 adds the
     hysteresis the ablation bench found to pay for itself — it trades
     a little balance for far fewer remap-induced copies. Micro-ops
-    without a VC assignment go to the least-loaded cluster.
+    without a VC assignment go to the least-loaded cluster. The knob
+    is swept by the auto-tuner through
+    [Clusteer.Configuration.params.remap_threshold].
 
     The policy registers introspection counters into [registry]
     (default {!Clusteer_obs.Counters.default}): [vc.decisions],

@@ -1,0 +1,86 @@
+(** Typed description of the steering/compiler parameter space the
+    auto-tuner searches.
+
+    A space is an ordered list of parameters, each with a finite,
+    ordered menu of values; a {e candidate} is one value-index per
+    parameter (an [int array] the search drivers can enumerate,
+    perturb and hash without knowing what the values mean).
+    {!materialize} turns a candidate into the
+    {!Clusteer.Configuration.t} to run and the
+    {!Clusteer.Configuration.params} record to run it with — that
+    record is the single source of truth for what each knob does
+    (units, defaults, paper references); this module only picks points
+    from it.
+
+    Two built-in spaces:
+    - ["vc"] — the hybrid scheme's knobs: virtual-cluster count,
+      {!Clusteer.Configuration.params.remap_threshold},
+      {!Clusteer.Configuration.params.crit_min_scale},
+      {!Clusteer.Configuration.params.max_chain} and
+      {!Clusteer.Configuration.params.region_uops}.
+    - ["op"] — the OP baseline's knobs:
+      {!Clusteer.Configuration.params.stall_threshold} and
+      {!Clusteer.Configuration.params.imbalance_limit}.
+
+    Every space's default candidate reproduces the paper's constants
+    exactly ({!Clusteer.Configuration.default_params}). *)
+
+type value = Int of int | Float of float
+
+type param = {
+  p_name : string;  (** e.g. ["remap_threshold"] *)
+  p_doc : string;  (** one line, with units *)
+  p_values : value array;  (** the menu, in sweep order *)
+  p_default : int;  (** index of the paper's default in [p_values] *)
+}
+
+type t
+
+val name : t -> string
+val params : t -> param array
+
+val spaces : t list
+(** The built-in spaces, ["vc"] first. *)
+
+val find : string -> (t, [ `Msg of string ]) result
+(** Look a space up by name (case-insensitive). *)
+
+val dims : t -> int array
+(** Menu size per parameter. *)
+
+val cardinality : t -> int
+(** Product of {!dims}: the number of distinct candidates. *)
+
+val default_candidate : t -> int array
+(** The paper's configuration as a candidate. *)
+
+val nth : t -> int -> int array
+(** Candidate [i] in lexicographic order (first parameter most
+    significant). Raises [Invalid_argument] outside
+    [\[0, cardinality)]. *)
+
+val validate : t -> int array -> (unit, string) result
+(** Arity and per-parameter range check. *)
+
+val bindings : t -> int array -> (string * value) list
+(** Parameter name -> chosen value, in space order. *)
+
+val materialize :
+  t -> int array -> Clusteer.Configuration.t * Clusteer.Configuration.params
+(** The configuration and knob record a candidate denotes. *)
+
+val label : t -> int array -> string
+(** Compact human label, e.g.
+    ["vc=2 remap_threshold=8 crit_min_scale=0.15 ..."]. *)
+
+val value_to_string : value -> string
+val value_to_json : value -> Clusteer_obs.Json.t
+
+val candidate_to_json : t -> int array -> Clusteer_obs.Json.t
+(** [{"indices":[...],"bindings":{...}}] — indices are authoritative
+    for decoding; bindings are for humans. *)
+
+val candidate_of_json :
+  t -> Clusteer_obs.Json.t -> (int array, string) result
+(** Inverse of {!candidate_to_json} (reads ["indices"], validates
+    against the space). *)

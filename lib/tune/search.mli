@@ -1,0 +1,32 @@
+(** Search drivers over a {!Param_space}.
+
+    All three drivers are deterministic: the candidate sequence is a
+    pure function of (space, algorithm, seed, budget) and — for hill
+    climbing — of the scores the evaluator returns, which are
+    themselves deterministic (the harness's determinism contract). No
+    candidate is ever evaluated twice. *)
+
+type algo =
+  | Grid  (** exhaustive lexicographic enumeration, budget-truncated *)
+  | Random
+      (** seeded uniform sampling without replacement (splitmix64);
+          the paper-default candidate is always evaluated first *)
+  | Hill
+      (** coordinate-descent hill climbing from the paper default:
+          probe every ±1 neighbour of the current best, move to the
+          best improving one; on convergence, restart from a seeded
+          random unseen candidate *)
+
+val algo_to_string : algo -> string
+val algo_of_string : string -> (algo, [ `Msg of string ]) result
+
+val run :
+  Param_space.t ->
+  algo:algo ->
+  seed:int ->
+  max_evals:int ->
+  eval:(int array -> float) ->
+  (int array * float) list
+(** Evaluate up to [max_evals] distinct candidates (higher score =
+    better) and return every (candidate, score) pair in evaluation
+    order. [seed] only matters to [Random] and [Hill]. *)

@@ -1,0 +1,133 @@
+(** Champion/challenger tuning studies.
+
+    {!run} drives one closed loop: search the space under a budget,
+    score every candidate on the workload pool, pick the best
+    challenger and compare it AB against the incumbent champion. The
+    study is the on-disk artifact ([tune/study.json]); {!promote}
+    derives the champion artifact ([tune/champion.json]) from it.
+
+    {2 Objective}
+
+    A candidate's score is the geometric mean, across benchmarks, of
+    the phase-weighted IPC of its configuration
+    ({!Clusteer_harness.Runner.weighted_metric} over each benchmark's
+    simulation points) — the paper's summary statistic applied to
+    absolute IPC rather than speedup, so a study needs no baseline
+    run.
+
+    {2 AB comparison and tie-breaking}
+
+    Champion and challenger are compared per benchmark: a delta within
+    [epsilon_pct] percent is a tie; ties are re-measured over
+    [tie_seeds] extra deterministic trace streams
+    ({!Clusteer_harness.Runner.salted_trace_seed}, salts [1..n]) and
+    re-classified on the mean, so a knife-edge benchmark only decides
+    the study when it is consistently better on independent streams.
+    The challenger wins the study when it wins strictly more
+    benchmarks than it loses.
+
+    {2 Determinism}
+
+    Everything recorded in the study JSON is a pure function of
+    (space, algorithm, seed, budget, workloads, machine, uops): no
+    timestamps, no wall-clock, no host state. Same seed and budget =>
+    bit-identical [study.json]. Wall-clock and GC cost go to the run
+    ledger (one entry of kind ["tune"] per evaluation), never into the
+    study. *)
+
+type eval = {
+  candidate : int array;
+  score : float;  (** geomean of per-benchmark phase-weighted IPC *)
+  per_benchmark : (string * float) list;  (** benchmark -> weighted IPC *)
+}
+
+type verdict = Win | Loss | Tie  (** from the challenger's viewpoint *)
+
+type row = {
+  benchmark : string;
+  champion_ipc : float;
+  challenger_ipc : float;
+  delta_pct : float;  (** challenger vs champion, percent *)
+  verdict : verdict;
+  tie_broken : bool;  (** decided only after salted re-measurement *)
+}
+
+type ab = {
+  epsilon_pct : float;
+  tie_seeds : int;
+  rows : row list;
+  wins : int;
+  losses : int;
+  ties : int;
+  challenger_wins : bool;
+}
+
+type t = {
+  space : string;
+  search : string;
+  seed : int;
+  max_evals : int;
+  clusters : int;
+  uops : int;
+  workloads : string list;
+  evals : eval list;  (** in evaluation order *)
+  champion : eval;  (** incumbent (or paper default when none) *)
+  challenger : eval;  (** best-scoring searched candidate *)
+  incumbent_loaded : bool;  (** champion came from a champion artifact *)
+  ab : ab;
+}
+
+val run :
+  space:Param_space.t ->
+  algo:Search.algo ->
+  seed:int ->
+  max_evals:int ->
+  workloads:Clusteer_workloads.Profile.t list ->
+  clusters:int ->
+  uops:int ->
+  ?domains:int ->
+  ?ledger:Clusteer_obs.Ledger.t ->
+  ?incumbent:int array ->
+  ?epsilon_pct:float ->
+  ?tie_seeds:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
+(** Run one study. [incumbent] is the reigning champion's candidate
+    (from a champion artifact); without one the paper default defends.
+    [epsilon_pct] defaults to 0.5, [tie_seeds] to 2. The incumbent is
+    scored outside the [max_evals] search budget when the search did
+    not visit it. [progress] receives one short line per evaluation.
+
+    Also maintains the [tune.evals], [tune.uops_committed] and
+    [tune.tie_breaks] counters in
+    {!Clusteer_obs.Counters.default}. *)
+
+val winner : t -> eval
+(** The configuration the study concludes should reign: the challenger
+    when [ab.challenger_wins], otherwise the champion. *)
+
+val to_json : t -> Clusteer_obs.Json.t
+val of_json : Clusteer_obs.Json.t -> (t, string) result
+
+val save : file:string -> t -> unit
+(** Write [to_json] tmp-then-rename (creating the directory). *)
+
+val load : file:string -> (t, string) result
+
+val champion_json : t -> Clusteer_obs.Json.t
+(** The champion artifact {!winner} denotes:
+    [{"space":...,"candidate":{...},"score":...,"config":...}]. *)
+
+val save_champion : file:string -> t -> unit
+
+val load_champion :
+  space:Param_space.t -> file:string -> (int array option, string) result
+(** Read a champion artifact back as an incumbent candidate for a new
+    study. [Ok None] when [file] does not exist; [Error] when it
+    exists but does not decode against [space] (e.g. it was promoted
+    from a different space). *)
+
+val report : Format.formatter -> t -> unit
+(** Human-readable report: study header, leaderboard, AB table and
+    verdict. *)
