@@ -1,6 +1,6 @@
 # Convenience targets; everything below is plain dune + the CLI.
 
-.PHONY: all build test bench bench-smoke serve-smoke obs-smoke tune-smoke check fmt smoke clean
+.PHONY: all build test bench bench-smoke serve-smoke obs-smoke tune-smoke topo-smoke check fmt smoke clean
 
 all: build
 
@@ -112,6 +112,34 @@ tune-smoke: build
 	grep -q '"kind":"tune_champion"' $$d/tune/champion.json; \
 	echo "tune-smoke: OK (_build/tune-smoke)"
 
+# Interconnect-topology slice: an adversarial workload on a 2x2 mesh
+# must surface the topology-aware steering counters
+# (steer.remap.hops appears only on non-uniform fabrics) and stay
+# bit-identical across runs; the topology inspector round-trips; and
+# the topology bench study emits one BENCH JSON line per fabric.
+topo-smoke: build
+	@rm -rf _build/topo-smoke && mkdir -p _build/topo-smoke
+	@set -e; \
+	csteer=_build/default/bin/csteer.exe; d=_build/topo-smoke; \
+	$$csteer simulate -w adv-fanout -c 4 --topology mesh2x2 -p vc2 \
+	  -n 3000 --json > $$d/mesh1.json 2> $$d/mesh.log; \
+	$$csteer simulate -w adv-fanout -c 4 --topology mesh2x2 -p vc2 \
+	  -n 3000 --json > $$d/mesh2.json 2>> $$d/mesh.log; \
+	cmp $$d/mesh1.json $$d/mesh2.json; \
+	grep -q '"steer.remap.hops"' $$d/mesh1.json; \
+	grep -q '"kind":"mesh"' $$d/mesh1.json; \
+	$$csteer simulate -w adv-fanout -c 4 -p vc2 -n 3000 --json \
+	  > $$d/p2p.json 2>> $$d/mesh.log; \
+	! grep -q '"steer.remap.hops"' $$d/p2p.json; \
+	$$csteer topo show hier2x4 --json > $$d/hier.json; \
+	grep -q '"uplink_latency":4' $$d/hier.json; \
+	CLUSTEER_BENCH_STUDY=topo CLUSTEER_BENCH_UOPS=2000 \
+	  CLUSTEER_BENCH_JSON=$$d/bench.json dune exec bench/main.exe \
+	  > $$d/bench.txt; \
+	grep -q '"topology_study"' $$d/bench.json; \
+	grep -q '"topology":"hier2x4"' $$d/bench.json; \
+	echo "topo-smoke: OK (_build/topo-smoke)"
+
 # Static verification of every built-in workload under each software
 # steering scheme: IR well-formedness, chain/leader invariants and
 # static placement, with warnings promoted to failures.
@@ -130,10 +158,11 @@ fmt:
 # Fast end-to-end confidence: full build, the test suite, the static
 # verifier over every built-in workload, a parallel deterministic
 # sweep, the bench smoke, the service-layer smoke, the auto-tuner
-# cycle, the quickstart example (so examples/ cannot bit-rot
-# silently), and one traced 10k-uop simulation whose Chrome trace must
-# be valid JSON with interval telemetry.
-smoke: build test check fmt bench-smoke serve-smoke obs-smoke tune-smoke
+# cycle, the interconnect-topology slice, the quickstart example (so
+# examples/ cannot bit-rot silently), and one traced 10k-uop
+# simulation whose Chrome trace must be valid JSON with interval
+# telemetry.
+smoke: build test check fmt bench-smoke serve-smoke obs-smoke tune-smoke topo-smoke
 	dune exec examples/quickstart.exe
 	dune exec bin/csteer.exe -- simulate -w mcf -n 10000 \
 	  --trace-out _build/smoke_trace.json --trace-format json \

@@ -7,7 +7,8 @@
      CLUSTEER_BENCH_UOPS   micro-ops per simulation point (default 20000)
      CLUSTEER_BENCH_FAST   set to 1 to sweep a 10-benchmark subset
      CLUSTEER_BENCH_STUDY  "throughput" runs just the throughput study;
-                           "tune" runs one tiny auto-tuner cycle
+                           "tune" runs one tiny auto-tuner cycle;
+                           "topo" runs the interconnect-topology study
      CLUSTEER_BENCH_REQUIRE_SPEEDUP
                            set to 1 to enforce the suite-speedup floor
                            (>=1.5x at 2 domains, >=3x at 4); checks the
@@ -19,6 +20,7 @@
 
 open Bechamel
 module Config = Clusteer_uarch.Config
+module Topology = Clusteer_topo.Topology
 module Stats = Clusteer_uarch.Stats
 module Experiments = Clusteer_harness.Experiments
 module Runner = Clusteer_harness.Runner
@@ -340,8 +342,9 @@ let run_topology_study () =
         (snd (List.hd runs)).Stats.cycles
       in
       Printf.printf "%-12s %16d %12d %12d\n" profile.Profile.name
-        (cycles Config.Point_to_point) (cycles Config.Bus)
-        (cycles Config.Ring))
+        (cycles (Topology.p2p ~clusters:4 ()))
+        (cycles (Topology.bus ~clusters:4 ()))
+        (cycles (Topology.ring ~clusters:4 ())))
     (ablation_profiles ())
 
 (* Extension study 3: the VLIW substrate (§3.3) — software-only
@@ -393,6 +396,7 @@ let run_energy_study () =
     {
       Config.default_2c with
       Config.clusters = 1;
+      topology = Topology.p2p ~clusters:1 ();
       int_issue_width = 4;
       fp_issue_width = 4;
       int_iq_size = 96;
@@ -444,7 +448,12 @@ let run_link_latency_study () =
     (fun profile ->
       let point = List.hd (Pinpoints.points profile) in
       let gap latency =
-        let machine = { Config.default_2c with Config.link_latency = latency } in
+        let machine =
+          {
+            Config.default_2c with
+            Config.topology = Topology.p2p ~link_latency:latency ~clusters:2 ();
+          }
+        in
         let runs =
           (Runner.run_point ~machine
              ~configs:
@@ -915,6 +924,87 @@ let run_tune_study () =
         Obs.Json.Bool study.Tune.Study.ab.Tune.Study.challenger_wins );
     ]
 
+(* ---- interconnect-topology study ----------------------------------------- *)
+
+(* CLUSTEER_BENCH_STUDY=topo: price the interconnect fabrics the
+   topology subsystem models (lib/topo) on an 8-cluster machine. The
+   adversarial workloads are built to stress inter-cluster copies, so
+   the mesh and hierarchical fabrics must visibly move the copy-stall
+   and link-transfer counters off the paper's free point-to-point
+   baseline; `make topo-smoke` greps the hier2x4 entries out of the
+   BENCH JSON. *)
+let run_topo_study () =
+  heading "Topology study: copy cost across interconnect fabrics (8 clusters)";
+  let bench_uops = min uops 5_000 in
+  let topologies =
+    [
+      Topology.p2p ~clusters:8 ();
+      Topology.ring ~clusters:8 ();
+      Topology.mesh ~cols:4 ~rows:2 ();
+      Topology.hier ~groups:2 ~group_size:4 ();
+    ]
+  in
+  let workloads =
+    Clusteer_workloads.Adversarial.all
+    @ [ ("mcf", Synth.build (Spec2000.find "mcf")) ]
+  in
+  let configs =
+    [
+      Clusteer.Configuration.Op;
+      Clusteer.Configuration.Vc { virtual_clusters = 2 };
+    ]
+  in
+  Printf.printf "%-10s %-12s %-6s %8s %12s %12s %12s\n" "topology" "workload"
+    "config" "ipc" "copies/kuop" "copy_stall%" "links/kuop";
+  let entries =
+    List.concat_map
+      (fun topology ->
+        let machine = { (Config.default ~clusters:8) with Config.topology } in
+        List.concat_map
+          (fun (wname, w) ->
+            let runs =
+              Runner.run_workload ~machine ~configs ~uops:bench_uops w
+            in
+            List.map
+              (fun (cname, (s : Stats.t)) ->
+                let per_kuop v =
+                  1000.0 *. float_of_int v
+                  /. float_of_int (max 1 s.Stats.committed)
+                in
+                let stall_pct =
+                  100.0
+                  *. float_of_int s.Stats.stall_copyq_full
+                  /. float_of_int (max 1 s.Stats.cycles)
+                in
+                Printf.printf
+                  "%-10s %-12s %-6s %8.3f %12.1f %11.1f%% %12.1f\n"
+                  (Topology.name topology) wname cname (Stats.ipc s)
+                  (per_kuop s.Stats.copies_generated)
+                  stall_pct
+                  (per_kuop s.Stats.link_transfers);
+                Obs.Json.Obj
+                  [
+                    ("topology", Obs.Json.Str (Topology.name topology));
+                    ("workload", Obs.Json.Str wname);
+                    ("config", Obs.Json.Str cname);
+                    ("ipc", Obs.Json.Float (Stats.ipc s));
+                    ( "copies_per_kuop",
+                      Obs.Json.Float (per_kuop s.Stats.copies_generated) );
+                    ("copy_stall_pct", Obs.Json.Float stall_pct);
+                    ( "links_per_kuop",
+                      Obs.Json.Float (per_kuop s.Stats.link_transfers) );
+                  ])
+              runs)
+          workloads)
+      topologies
+  in
+  write_bench_json
+    [
+      ("topo_clusters", Obs.Json.Int 8);
+      ("topo_uops", Obs.Json.Int bench_uops);
+      ("topology_study", Obs.Json.List entries);
+    ]
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro_point profile =
@@ -1083,9 +1173,10 @@ let () =
   match Sys.getenv_opt "CLUSTEER_BENCH_STUDY" with
   | Some "throughput" -> run_throughput_study ()
   | Some "tune" -> run_tune_study ()
+  | Some "topo" -> run_topo_study ()
   | Some other ->
       Printf.eprintf
-        "unknown CLUSTEER_BENCH_STUDY %S (try: throughput, tune)\n" other;
+        "unknown CLUSTEER_BENCH_STUDY %S (try: throughput, tune, topo)\n" other;
       exit 2
   | None ->
   run_tables ();

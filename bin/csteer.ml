@@ -23,6 +23,7 @@ module Synth = Clusteer_workloads.Synth
 module Runner = Clusteer_harness.Runner
 module Experiments = Clusteer_harness.Experiments
 module Serve = Clusteer_serve
+module Topology = Clusteer_topo.Topology
 
 (* Every subcommand body runs under this guard: an unwritable output
    path (--trace-out, CSV/report destinations, a dead server socket)
@@ -47,6 +48,38 @@ let workload_arg =
 let clusters_arg =
   let doc = "Number of physical clusters." in
   Arg.(value & opt int 2 & info [ "c"; "clusters" ] ~doc)
+
+let topology_arg =
+  let doc =
+    "Inter-cluster interconnect: $(b,p2p) (the paper's baseline, and the \
+     default), $(b,bus), $(b,ring), $(b,mesh)CxR or $(b,hier)GxS (e.g. \
+     mesh4x2, hier2x4). p2p/bus/ring take their size from \
+     $(b,--clusters); mesh and hier carry their own cluster count."
+  in
+  Arg.(value & opt (some string) None & info [ "topology" ] ~doc ~docv:"NAME")
+
+(* Machine for a cluster count plus an optional --topology override.
+   Fixed-size shapes (meshCxR, hierGxS) set the cluster count
+   themselves; the parametric shapes take it from --clusters. *)
+let machine_of ~clusters topology =
+  match topology with
+  | None -> Config.default ~clusters
+  | Some name -> (
+      match Topology.of_name ~clusters name with
+      | Ok topo ->
+          {
+            (Config.default ~clusters:topo.Topology.clusters) with
+            Config.topology = topo;
+          }
+      | Error e ->
+          Printf.eprintf "csteer: %s\n" e;
+          exit 2)
+
+(* Named workloads outside the SPEC profile table: the hand-written
+   kernels and the adversarial steering scenarios, both explicit
+   single-phase Builder programs. *)
+let synth_workloads () =
+  Clusteer_workloads.Kernels.all @ Clusteer_workloads.Adversarial.all
 
 let uops_arg default =
   let doc = "Committed micro-ops to simulate per point." in
@@ -118,27 +151,46 @@ let energy_json (e : Clusteer_uarch.Energy.breakdown) =
       ("copies", Json.Float e.Clusteer_uarch.Energy.copies);
     ]
 
-let simulate workload clusters config uops phase trace_out trace_format
-    stats_interval json_out ledger_dir profile_flag =
+let simulate workload clusters topology config uops phase trace_out
+    trace_format stats_interval json_out ledger_dir profile_flag =
   protect @@ fun () ->
-  match Spec2000.find workload with
-  | exception Not_found ->
-      Printf.eprintf "unknown workload %S (try `csteer list`)\n" workload;
-      exit 1
-  | profile ->
-      let points = Pinpoints.points profile in
-      let point =
-        match List.nth_opt points phase with
-        | Some p -> p
-        | None ->
-            Printf.eprintf "workload has only %d phases\n" (List.length points);
-            exit 1
+  let source =
+    match List.assoc_opt workload (synth_workloads ()) with
+    | Some w -> `Synth w
+    | None -> (
+        match Spec2000.find workload with
+        | p -> `Spec p
+        | exception Not_found ->
+            Printf.eprintf
+              "unknown workload %S (try `csteer list`; kernels/adversarial: \
+               %s)\n"
+              workload
+              (String.concat ", " (List.map fst (synth_workloads ())));
+            exit 1)
+  in
+      let profile =
+        match source with
+        | `Spec p -> p
+        | `Synth w -> w.Synth.profile
       in
+      (match source with
+      | `Spec p ->
+          let points = List.length (Pinpoints.points p) in
+          if phase < 0 || phase >= points then begin
+            Printf.eprintf "workload has only %d phases\n" points;
+            exit 1
+          end
+      | `Synth _ ->
+          if phase <> 0 then begin
+            Printf.eprintf "workload has only 1 phase\n";
+            exit 1
+          end);
       if stats_interval < 0 then begin
         Printf.eprintf "--stats-interval must be non-negative\n";
         exit 1
       end;
-      let machine = Config.default ~clusters in
+      let machine = machine_of ~clusters topology in
+      let clusters = machine.Config.clusters in
       (* Collect events/intervals only when some output wants them:
          an unobserved run keeps the zero-overhead engine path. *)
       let interval =
@@ -157,13 +209,20 @@ let simulate workload clusters config uops phase trace_out trace_format
       let profiled = profile_flag || ledger_dir <> None in
       let prof = if profiled then Some (Obs.Profile.create ()) else None in
       let started = Unix.gettimeofday () in
-      let result, wall_s, gc =
+      let obs _ = Option.map Obs.Collector.sink collector in
+      let runs, wall_s, gc =
         Runner.measured (fun () ->
-            Runner.run_point ~machine ~configs:[ config ] ~uops
-              ~obs:(fun _ -> Option.map Obs.Collector.sink collector)
-              ?profile:prof point)
+            match source with
+            | `Spec p ->
+                let point = List.nth (Pinpoints.points p) phase in
+                (Runner.run_point ~machine ~configs:[ config ] ~uops ~obs
+                   ?profile:prof point)
+                  .Runner.runs
+            | `Synth w ->
+                Runner.run_workload ~machine ~configs:[ config ] ~uops ~obs
+                  ?profile:prof w)
       in
-      let name, stats = List.hd result.Runner.runs in
+      let name, stats = List.hd runs in
       Option.iter
         (fun dir ->
           let ledger = Obs.Ledger.create ~dir in
@@ -207,13 +266,23 @@ let simulate workload clusters config uops phase trace_out trace_format
         trace_out;
       if json_out then
         (* Machine-readable mode: exactly one JSON document on stdout. *)
+        (* The "topology" key appears only when --topology was given:
+           default runs keep the exact document the pinned goldens
+           (test/goldens/seed_*.json) were captured from. *)
+        let topo_field =
+          if topology = None then []
+          else [ ("topology", Topology.to_json machine.Config.topology) ]
+        in
         let doc =
           Json.Obj
-            [
-              ("workload", Json.Str profile.Profile.name);
-              ("phase", Json.Int phase);
-              ("config", Json.Str name);
-              ("clusters", Json.Int clusters);
+            ([
+               ("workload", Json.Str profile.Profile.name);
+               ("phase", Json.Int phase);
+               ("config", Json.Str name);
+               ("clusters", Json.Int clusters);
+             ]
+            @ topo_field
+            @ [
               ("uops", Json.Int uops);
               ("stats", Stats.to_json stats);
               ( "energy",
@@ -226,12 +295,15 @@ let simulate workload clusters config uops phase trace_out trace_format
                     Json.List
                       (List.map Obs.Interval.to_json (Obs.Collector.samples c))
               );
-            ]
+            ])
         in
         print_endline (Json.to_string doc)
       else begin
         Printf.printf "%s phase %d under %s on %d clusters (%d uops):\n"
           profile.Profile.name phase name clusters uops;
+        if topology <> None then
+          Printf.printf "interconnect: %s\n"
+            (Topology.describe machine.Config.topology);
         Format.printf "%a@." Stats.pp stats;
         let e = Clusteer_uarch.Energy.estimate ~clusters stats in
         Printf.printf
@@ -308,7 +380,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation point under one configuration")
     Term.(
-      const simulate $ workload_arg $ clusters_arg $ config_arg
+      const simulate $ workload_arg $ clusters_arg $ topology_arg $ config_arg
       $ uops_arg 20_000 $ phase $ trace_out $ trace_format $ stats_interval
       $ json_out $ ledger_dir $ profile_flag)
 
@@ -394,9 +466,8 @@ let default_check_policies clusters =
   else base
 
 let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
-    (profile : Profile.t) config =
+    (w : Synth.t) config =
   let clusters = machine.Config.clusters in
-  let w = Synth.build profile in
   let program = w.Synth.program and likely = w.Synth.likely in
   let annot, policy =
     Clusteer.Configuration.prepare config ~program ~likely ~clusters
@@ -444,7 +515,7 @@ let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
     else None
   in
   let label =
-    Printf.sprintf "%s/%s" profile.Profile.name
+    Printf.sprintf "%s/%s" w.Synth.profile.Profile.name
       (Clusteer.Configuration.name config)
   in
   let target =
@@ -453,18 +524,23 @@ let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
   in
   (label, Analysis.Checker.run ~passes target)
 
-let check all workloads clusters policies passes annot_file dynamic
+let check all workloads clusters topology policies passes annot_file dynamic
     dynamic_uops region_uops strict json =
   protect @@ fun () ->
   let passes =
     match Analysis.Checker.select (split_csv passes) with
     | Ok ps -> ps
     | Error e ->
-        Printf.eprintf "csteer: %s (expected ir, vc, place, dyn)\n" e;
+        Printf.eprintf "csteer: %s (expected ir, vc, place, dyn, topo)\n" e;
         exit 2
   in
-  let profiles =
-    if all then Spec2000.all
+  let synths =
+    (* --all covers every SPEC profile plus the three adversarial
+       scenarios — the generator's outputs are part of the checked
+       surface. *)
+    if all then
+      List.map Synth.build Spec2000.all
+      @ List.map snd Clusteer_workloads.Adversarial.all
     else
       match workloads with
       | None ->
@@ -473,17 +549,21 @@ let check all workloads clusters policies passes annot_file dynamic
       | Some names ->
           List.map
             (fun name ->
-              match Spec2000.find name with
-              | p -> p
-              | exception Not_found ->
-                  Printf.eprintf "unknown workload %S (try `csteer list`)\n"
-                    name;
-                  exit 2)
+              match List.assoc_opt name (synth_workloads ()) with
+              | Some w -> w
+              | None -> (
+                  match Spec2000.find name with
+                  | p -> Synth.build p
+                  | exception Not_found ->
+                      Printf.eprintf
+                        "unknown workload %S (try `csteer list`)\n" name;
+                      exit 2))
             (split_csv names)
   in
+  let machine = machine_of ~clusters topology in
   let configs =
     match policies with
-    | None -> default_check_policies clusters
+    | None -> default_check_policies machine.Config.clusters
     | Some names ->
         List.map
           (fun name ->
@@ -495,20 +575,19 @@ let check all workloads clusters policies passes annot_file dynamic
           (split_csv names)
   in
   (match annot_file with
-  | Some _ when List.length profiles > 1 || List.length configs > 1 ->
+  | Some _ when List.length synths > 1 || List.length configs > 1 ->
       Printf.eprintf
         "csteer: --annot applies to exactly one workload and one policy\n";
       exit 2
   | _ -> ());
-  let machine = Config.default ~clusters in
   let reports =
     List.concat_map
-      (fun profile ->
+      (fun w ->
         List.map
           (check_one ~machine ~passes ~region_uops ~annot_file ~dynamic
-             ~dynamic_uops profile)
+             ~dynamic_uops w)
           configs)
-      profiles
+      synths
   in
   let failed =
     List.exists (fun (_, diags) -> Analysis.Checker.failed ~strict diags) reports
@@ -576,7 +655,7 @@ let check_cmd =
       & info [ "passes" ]
           ~doc:
             "Comma-separated pass subset: $(b,ir), $(b,vc), $(b,place), \
-             $(b,dyn). Default: all applicable passes."
+             $(b,dyn), $(b,topo). Default: all applicable passes."
           ~docv:"LIST")
   in
   let annot_file =
@@ -631,23 +710,24 @@ let check_cmd =
           well-formedness, chain/leader invariants, static placement and \
           (optionally) the dynamic remap contract")
     Term.(
-      const check $ all $ workloads $ clusters_arg $ policies $ passes
-      $ annot_file $ dynamic $ dynamic_uops $ region_uops $ strict $ json_out)
+      const check $ all $ workloads $ clusters_arg $ topology_arg $ policies
+      $ passes $ annot_file $ dynamic $ dynamic_uops $ region_uops $ strict
+      $ json_out)
 
 (* ---- stats ---------------------------------------------------------- *)
 
 let workload_stats workload uops =
   let w =
-    match List.assoc_opt workload Clusteer_workloads.Kernels.all with
+    match List.assoc_opt workload (synth_workloads ()) with
     | Some k -> k
     | None -> (
         match Spec2000.find workload with
         | profile -> Synth.build profile
         | exception Not_found ->
             Printf.eprintf
-              "unknown workload %S (SPEC names or kernels: %s)\n" workload
-              (String.concat ", "
-                 (List.map fst Clusteer_workloads.Kernels.all));
+              "unknown workload %S (SPEC names, kernels or adversarial: %s)\n"
+              workload
+              (String.concat ", " (List.map fst (synth_workloads ())));
             exit 1)
   in
   let mix = Clusteer_workloads.Analysis.measure w ~uops ~seed:1 in
@@ -735,8 +815,13 @@ let sweep_cmd =
 
 let vliw_compare workload clusters =
   let machine = Clusteer_vliw.Machine.default ~clusters in
-  match List.assoc_opt workload Clusteer_workloads.Kernels.all with
-  | Some k ->
+  let single_block_loop (k : Synth.t) =
+    (* body + exit: the shape the modulo scheduler pipelines. Multi-nest
+       programs (e.g. adv-flip) take the acyclic per-region path. *)
+    Array.length k.Synth.program.Clusteer_isa.Program.blocks = 2
+  in
+  match List.assoc_opt workload (synth_workloads ()) with
+  | Some k when single_block_loop k ->
       (* Kernels are single-block loops: software-pipeline the body. *)
       let body =
         k.Clusteer_workloads.Synth.program.Clusteer_isa.Program.blocks.(0)
@@ -757,31 +842,35 @@ let vliw_compare workload clusters =
         clusters;
       report "one-cluster" local;
       report "round-robin" spread
-  | None -> (
-      match Spec2000.find workload with
-      | exception Not_found ->
-          Printf.eprintf "unknown workload %S\n" workload;
-          exit 1
-      | profile ->
-          let w = Synth.build profile in
-          let program = w.Synth.program and likely = w.Synth.likely in
-          let run name mode =
-            let s = Clusteer_vliw.Eval.run machine ~program ~likely mode in
-            Printf.printf "  %-14s static IPC %.2f  cycles %d  moves %d\n"
-              name s.Clusteer_vliw.Eval.static_ipc s.Clusteer_vliw.Eval.cycles
-              s.Clusteer_vliw.Eval.moves
-          in
-          Printf.printf "%s: acyclic scheduling on the %d-cluster VLIW\n"
-            profile.Profile.name clusters;
-          run "UAS" Clusteer_vliw.Eval.Unified;
-          run "RHOP"
-            (Clusteer_vliw.Eval.Fixed
-               (fun g -> Clusteer_compiler.Rhop.assign_region g ~clusters));
-          run "VC-partition"
-            (Clusteer_vliw.Eval.Fixed
-               (fun g ->
-                 Clusteer_compiler.Vc_partition.assign_region g
-                   ~virtual_clusters:clusters ())))
+  | other ->
+      let w =
+        match other with
+        | Some k -> k
+        | None -> (
+            match Spec2000.find workload with
+            | exception Not_found ->
+                Printf.eprintf "unknown workload %S\n" workload;
+                exit 1
+            | profile -> Synth.build profile)
+      in
+      let program = w.Synth.program and likely = w.Synth.likely in
+      let run name mode =
+        let s = Clusteer_vliw.Eval.run machine ~program ~likely mode in
+        Printf.printf "  %-14s static IPC %.2f  cycles %d  moves %d\n" name
+          s.Clusteer_vliw.Eval.static_ipc s.Clusteer_vliw.Eval.cycles
+          s.Clusteer_vliw.Eval.moves
+      in
+      Printf.printf "%s: acyclic scheduling on the %d-cluster VLIW\n"
+        w.Synth.profile.Profile.name clusters;
+      run "UAS" Clusteer_vliw.Eval.Unified;
+      run "RHOP"
+        (Clusteer_vliw.Eval.Fixed
+           (fun g -> Clusteer_compiler.Rhop.assign_region g ~clusters));
+      run "VC-partition"
+        (Clusteer_vliw.Eval.Fixed
+           (fun g ->
+             Clusteer_compiler.Vc_partition.assign_region g
+               ~virtual_clusters:clusters ()))
 
 let vliw_cmd =
   Cmd.v
@@ -801,11 +890,114 @@ let subset_profiles = function
       let names = String.split_on_char ',' names in
       Some (List.map Spec2000.find names)
 
-let experiment which uops benchmarks csv_dir domains steal ledger_dir =
+(* The --topology sweep: every built-in workload (the SPEC stand-ins
+   plus the adversarial scenarios) on one machine whose interconnect
+   is the named topology, under OP and the VC schemes — a per-fabric
+   view of copy traffic, copy-queue stalls and IPC. Deterministic for
+   any --domains. *)
+let topology_sweep ~record_sweep ~uops ~profiles ~domains ~strategy ~profiled
+    name =
+  let topo =
+    match Topology.of_name ~clusters:4 name with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "csteer: %s\n" e;
+        exit 2
+  in
+  let machine =
+    {
+      (Config.default ~clusters:topo.Topology.clusters) with
+      Config.topology = topo;
+    }
+  in
+  let clusters = machine.Config.clusters in
+  let configs =
+    Clusteer.Configuration.Op
+    :: Clusteer.Configuration.Vc { virtual_clusters = 2 }
+    ::
+    (if clusters <> 2 then
+       [ Clusteer.Configuration.Vc { virtual_clusters = clusters } ]
+     else [])
+  in
+  let grouped, adv =
+    record_sweep (fun () ->
+        let grouped =
+          Runner.run_grouped ~machine ~configs ~uops ?domains ~strategy
+            ~profiled ~progress
+            (Option.value profiles ~default:Spec2000.all)
+        in
+        let adv =
+          List.map
+            (fun (name, w) ->
+              progress name;
+              (name, Runner.run_workload ~machine ~configs ~uops w))
+            Clusteer_workloads.Adversarial.all
+        in
+        (grouped, adv))
+  in
+  let fmt_row ~label ~config ~ipc ~copies ~stall ~links =
+    [|
+      label;
+      config;
+      Printf.sprintf "%.4f" ipc;
+      Printf.sprintf "%.1f" copies;
+      Printf.sprintf "%.1f" stall;
+      Printf.sprintf "%.1f" links;
+    |]
+  in
+  let per_kuop n (s : Stats.t) = 1000. *. float_of_int n /. float_of_int (max 1 s.Stats.committed) in
+  let stall_pct (s : Stats.t) =
+    100. *. float_of_int s.Stats.stall_copyq_full /. float_of_int (max 1 s.Stats.cycles)
+  in
+  let spec_rows =
+    List.concat_map
+      (fun ((p : Profile.t), results) ->
+        List.map
+          (fun cfg ->
+            let config = Clusteer.Configuration.name cfg in
+            let m f = Runner.weighted_metric results ~config ~f in
+            fmt_row ~label:p.Profile.name ~config ~ipc:(m Stats.ipc)
+              ~copies:(m (fun s -> per_kuop s.Stats.copies_generated s))
+              ~stall:(m stall_pct)
+              ~links:(m (fun s -> per_kuop s.Stats.link_transfers s)))
+          configs)
+      grouped
+  in
+  let adv_rows =
+    List.concat_map
+      (fun (label, runs) ->
+        List.map
+          (fun (config, (s : Stats.t)) ->
+            fmt_row ~label ~config ~ipc:(Stats.ipc s)
+              ~copies:(per_kuop s.Stats.copies_generated s)
+              ~stall:(stall_pct s)
+              ~links:(per_kuop s.Stats.link_transfers s))
+          runs)
+      adv
+  in
+  Printf.printf "topology sweep: %s\n" (Topology.describe machine.Config.topology);
+  print_string
+    (Clusteer_util.Table.render
+       ~header:
+         [| "workload"; "config"; "ipc"; "copies/kuop"; "copy_stall%"; "links/kuop" |]
+       (spec_rows @ adv_rows))
+
+let experiment which topology uops benchmarks csv_dir domains steal ledger_dir
+    =
   protect @@ fun () ->
   let profiles = subset_profiles benchmarks in
   let strategy =
     if steal then Clusteer_util.Parallel.Steal else Clusteer_util.Parallel.Static
+  in
+  let label =
+    match (which, topology) with
+    | Some w, _ -> w
+    | None, Some t -> "topo:" ^ t
+    | None, None ->
+        Printf.eprintf
+          "csteer: experiment needs an EXPERIMENT name or --topology \
+           (expected tables, sec21, fig5, fig6, fig56, fig7)\n";
+        exit 2
   in
   (* A ledger entry wants phase timings, so it turns the per-shard
      profiler on; the sweep's merged registry then carries the
@@ -822,10 +1014,10 @@ let experiment which uops benchmarks csv_dir domains steal ledger_dir =
           Obs.Counters.value (Obs.Counters.counter "harness.uops_committed")
         in
         let s =
-          Obs.Ledger.append ledger ~kind:"experiment" ~label:which
+          Obs.Ledger.append ledger ~kind:"experiment" ~label
             ~config:
               (Json.Obj
-                 [ ("experiment", Json.Str which); ("uops", Json.Int uops) ])
+                 [ ("experiment", Json.Str label); ("uops", Json.Int uops) ])
             ~started ~wall_s ~outcome:"ok" ~uops:committed ~gc
             Obs.Counters.default
         in
@@ -833,6 +1025,16 @@ let experiment which uops benchmarks csv_dir domains steal ledger_dir =
       ledger_dir;
     run
   in
+  match (which, topology) with
+  | None, Some name ->
+      topology_sweep ~record_sweep ~uops ~profiles ~domains ~strategy
+        ~profiled name
+  | Some w, Some _ ->
+      Printf.eprintf
+        "csteer: --topology is its own sweep; drop the %S argument\n" w;
+      exit 2
+  | None, None -> assert false (* caught above *)
+  | Some which, None -> (
   match which with
   | "tables" ->
       Experiments.print_table1 ();
@@ -888,12 +1090,25 @@ let experiment which uops benchmarks csv_dir domains steal ledger_dir =
       Printf.eprintf
         "unknown experiment %S (expected tables, sec21, fig5, fig6, fig56, fig7)\n"
         other;
-      exit 1
+      exit 1)
 
 let experiment_cmd =
   let which =
-    let doc = "Experiment: tables, sec21, fig5, fig6, fig56, fig7." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+    let doc =
+      "Experiment: tables, sec21, fig5, fig6, fig56, fig7. Omit it with \
+       $(b,--topology) to run the interconnect sweep instead."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let topology =
+    let doc =
+      "Run every built-in workload (SPEC stand-ins plus the adversarial \
+       scenarios) on a machine with this interconnect: p2p, bus, ring, \
+       mesh4x2, hier2x4, ... Parametric shapes use 4 clusters; mesh/hier \
+       set their own cluster count."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "topology" ] ~doc ~docv:"NAME")
   in
   let benchmarks =
     let doc = "Comma-separated benchmark subset (default: full suite)." in
@@ -932,10 +1147,13 @@ let experiment_cmd =
           ~docv:"DIR")
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    (Cmd.info "experiment"
+       ~doc:
+         "Regenerate a table or figure from the paper, or sweep every \
+          workload over an interconnect topology with $(b,--topology)")
     Term.(
-      const experiment $ which $ uops_arg 20_000 $ benchmarks $ csv $ domains
-      $ steal $ ledger_dir)
+      const experiment $ which $ topology $ uops_arg 20_000 $ benchmarks $ csv
+      $ domains $ steal $ ledger_dir)
 
 (* ---- serve / submit / batch ---------------------------------------- *)
 
@@ -1436,6 +1654,120 @@ let runs_cmd =
     (Cmd.info "runs" ~doc:"Inspect and prune the on-disk run ledger")
     [ list_cmd; show_cmd; gc_cmd ]
 
+(* ---- topo ----------------------------------------------------------- *)
+
+let topo_of_name ~clusters name =
+  match Topology.of_name ~clusters name with
+  | Ok t -> t
+  | Error e ->
+      Printf.eprintf "csteer: %s\n" e;
+      exit 1
+
+let topo_list clusters json =
+  protect @@ fun () ->
+  let topos =
+    List.map (topo_of_name ~clusters) Topology.builtin_names
+  in
+  if json then
+    print_endline
+      (Json.to_string (Json.List (List.map Topology.to_json topos)))
+  else begin
+    let header =
+      [| "name"; "clusters"; "diameter"; "mean_dist"; "description" |]
+    in
+    let rows =
+      List.map
+        (fun t ->
+          [|
+            Topology.name t;
+            string_of_int t.Topology.clusters;
+            string_of_int (Topology.diameter t);
+            Printf.sprintf "%.2f" (Topology.mean_distance t);
+            Topology.describe t;
+          |])
+        topos
+    in
+    print_string (Clusteer_util.Table.render ~header rows)
+  end
+
+let topo_show name clusters json =
+  protect @@ fun () ->
+  let t = topo_of_name ~clusters name in
+  let matrix = Topology.distance_matrix t in
+  if json then
+    (* The "topology" value is the round-trippable description
+       (Topology.of_json accepts it); the rest is derived. *)
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("topology", Topology.to_json t);
+              ("diameter", Json.Int (Topology.diameter t));
+              ("mean_distance", Json.Float (Topology.mean_distance t));
+              ( "distance_matrix",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun row ->
+                          Json.List
+                            (Array.to_list
+                               (Array.map (fun d -> Json.Int d) row)))
+                        matrix)) );
+            ]))
+  else begin
+    Printf.printf "%s\n" (Topology.describe t);
+    Printf.printf "diameter %d hop(s), mean cross-cluster distance %.2f\n"
+      (Topology.diameter t)
+      (Topology.mean_distance t);
+    let n = Array.length matrix in
+    let header =
+      Array.init (n + 1) (fun j ->
+          if j = 0 then "hops" else string_of_int (j - 1))
+    in
+    let rows =
+      List.init n (fun i ->
+          Array.init (n + 1) (fun j ->
+              if j = 0 then string_of_int i
+              else string_of_int matrix.(i).(j - 1)))
+    in
+    print_string (Clusteer_util.Table.render ~header rows)
+  end
+
+let topo_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the description as one JSON document.")
+  in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:
+           "List the built-in interconnect topologies with their derived \
+            metrics")
+      Term.(const topo_list $ clusters_arg $ json)
+  in
+  let show_cmd =
+    let name_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"NAME"
+            ~doc:"Topology name (see $(b,csteer topo list)).")
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Describe one topology: JSON round-trip form, diameter, mean \
+            distance and the full hop-count matrix")
+      Term.(const topo_show $ name_arg $ clusters_arg $ json)
+  in
+  Cmd.group
+    (Cmd.info "topo"
+       ~doc:
+         "Inspect the interconnect topologies available to $(b,--topology)")
+    [ list_cmd; show_cmd ]
+
 (* ---- tune ----------------------------------------------------------- *)
 
 module Tune = Clusteer_tune
@@ -1453,7 +1785,7 @@ let algo_conv =
   Arg.conv (Tune.Search.algo_of_string, print)
 
 let space_arg =
-  let doc = "Parameter space to search: vc or op." in
+  let doc = "Parameter space to search: vc, op or topo." in
   Arg.(
     value
     & opt space_conv (List.hd Tune.Param_space.spaces)
@@ -1659,7 +1991,7 @@ let main =
     [
       list_cmd; simulate_cmd; compile_cmd; check_cmd; stats_cmd; sweep_cmd;
       vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd; metrics_cmd;
-      runs_cmd; tune_cmd;
+      runs_cmd; tune_cmd; topo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -7,6 +7,7 @@
      dune exec examples/interconnect_study.exe *)
 
 module Config = Clusteer_uarch.Config
+module Topology = Clusteer_topo.Topology
 module Stats = Clusteer_uarch.Stats
 module Runner = Clusteer_harness.Runner
 module Spec2000 = Clusteer_workloads.Spec2000
@@ -18,7 +19,9 @@ let uops = 12_000
 
 let topologies =
   [
-    ("p2p", Config.Point_to_point); ("bus", Config.Bus); ("ring", Config.Ring);
+    ("p2p", Topology.p2p ~clusters:4 ());
+    ("bus", Topology.bus ~clusters:4 ());
+    ("ring", Topology.ring ~clusters:4 ());
   ]
 
 let () =

@@ -104,7 +104,17 @@ let dyn_pass =
               ~clusters:t.config.Uarch.Config.clusters events);
   }
 
-let passes = [ ir_pass; vc_pass; place_pass; dyn_pass ]
+let topo_pass =
+  {
+    name = "topo";
+    applies = (fun _ -> true);
+    run =
+      (fun t ->
+        Topo_check.check ~topology:t.config.Uarch.Config.topology
+          ~clusters:t.config.Uarch.Config.clusters ());
+  }
+
+let passes = [ ir_pass; vc_pass; place_pass; dyn_pass; topo_pass ]
 
 let select names =
   match names with

@@ -48,8 +48,8 @@ type pass = { name : string; applies : target -> bool; run : target -> Diag.t li
 
 val passes : pass list
 (** The registry, in canonical order: ["ir"], ["vc"], ["place"],
-    ["dyn"]. A pass that does not apply to a target (e.g. ["vc"] on a
-    static annotation) is skipped silently by {!run}. *)
+    ["dyn"], ["topo"]. A pass that does not apply to a target (e.g.
+    ["vc"] on a static annotation) is skipped silently by {!run}. *)
 
 val select : string list -> (pass list, string) result
 (** Resolve pass names; [Error] names the first unknown one. The empty

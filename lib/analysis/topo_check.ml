@@ -1,0 +1,77 @@
+open Clusteer_isa
+module Topology = Clusteer_topo.Topology
+
+let check ~topology ~clusters () =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* TP002: structural validity, delegated to the topology's own
+     validator so the diagnostic always agrees with what the fabric
+     constructor would reject. *)
+  (match Topology.validate topology with
+  | Error msg -> add (Diag.errorf ~code:"TP002" "malformed topology: %s" msg)
+  | Ok () -> ());
+  (* TP001: the fabric must span exactly the machine's clusters. *)
+  if topology.Topology.clusters <> clusters then
+    add
+      (Diag.errorf ~code:"TP001"
+         "topology %s spans %d clusters but the machine has %d"
+         (Topology.name topology) topology.Topology.clusters clusters);
+  (* Metric checks only make sense on a structurally valid fabric of
+     the right size. *)
+  if Result.is_ok (Topology.validate topology) then begin
+    let n = topology.Topology.clusters in
+    let d = Topology.distance_matrix topology in
+    for a = 0 to n - 1 do
+      if d.(a).(a) <> 0 then
+        add
+          (Diag.errorf ~code:"TP004" "cluster %d has self-distance %d" a
+             d.(a).(a));
+      for b = 0 to n - 1 do
+        if a <> b && d.(a).(b) <= 0 then
+          add
+            (Diag.errorf ~code:"TP004" "clusters %d and %d are unreachable" a
+               b);
+        if d.(a).(b) <> d.(b).(a) then
+          add
+            (Diag.errorf ~code:"TP003"
+               "asymmetric hop count between clusters %d and %d (%d vs %d)" a
+               b
+               d.(a).(b)
+               d.(b).(a));
+        if
+          Topology.latency topology a b <> Topology.latency topology b a
+        then
+          add
+            (Diag.errorf ~code:"TP003"
+               "asymmetric latency between clusters %d and %d" a b)
+      done
+    done;
+    (* Triangle inequality over all ordered triples; n <= 16 keeps
+       this trivial. *)
+    let triangle_ok = ref true in
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          if d.(a).(c) > d.(a).(b) + d.(b).(c) then triangle_ok := false
+        done
+      done
+    done;
+    if not !triangle_ok then
+      add
+        (Diag.errorf ~code:"TP004"
+           "hop counts violate the triangle inequality");
+    (match topology.Topology.kind with
+    | Topology.Hier { groups; _ }
+      when groups >= 4 && topology.Topology.uplink_bandwidth = 1 ->
+        add
+          (Diag.warnf ~code:"TP005"
+             "%d groups share a single uplink channel; cross-group copies \
+              will serialize"
+             groups)
+    | _ -> ());
+    add
+      (Diag.infof ~code:"TP006" "%s: diameter %d hops, mean distance %.2f"
+         (Topology.name topology) (Topology.diameter topology)
+         (Topology.mean_distance topology))
+  end;
+  List.sort Diag.compare !diags

@@ -1,0 +1,33 @@
+(** Interconnect-topology invariants.
+
+    The topology subsystem ([lib/topo]) promises a well-formed fabric:
+    shape dimensions consistent with the cluster count, strictly
+    positive latencies/bandwidth, and a hop-count function that is a
+    metric (zero diagonal, symmetric, every pair reachable). This pass
+    re-derives those promises from an arbitrary
+    {!Clusteer_topo.Topology.t} — including one parsed from JSON or
+    built by hand around the constructors — and checks it against the
+    machine configuration it is about to steer.
+
+    Codes:
+    - [TP001] (error) — the topology spans a different number of
+      clusters than the machine configuration.
+    - [TP002] (error) — malformed description: non-positive latency,
+      bandwidth or dimension, or shape dimensions that do not multiply
+      out to the cluster count.
+    - [TP003] (error) — asymmetric hop counts or latencies
+      ([distance a b <> distance b a]).
+    - [TP004] (error) — broken metric: non-zero self-distance, an
+      unreachable cluster pair, or a triangle-inequality violation.
+    - [TP005] (warning) — shared-bottleneck risk: a hierarchical
+      fabric funnels 4+ groups through a single uplink channel.
+    - [TP006] (info) — fabric summary: diameter and mean hop count. *)
+
+open Clusteer_isa
+
+val check :
+  topology:Clusteer_topo.Topology.t -> clusters:int -> unit -> Diag.t list
+(** Validate [topology] against a machine with [clusters] physical
+    clusters. Returns structural diagnostics ordered by
+    {!Diag.compare}; an empty-to-info-only result means the fabric is
+    safe to simulate. *)

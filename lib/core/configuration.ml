@@ -70,6 +70,7 @@ type params = {
   crit_min_scale : float;
   max_chain : int;
   slack_threshold : int;
+  topology : Clusteer_topo.Topology.t option;
 }
 
 let default_params =
@@ -83,6 +84,7 @@ let default_params =
     crit_min_scale = 0.15;
     max_chain = 0;
     slack_threshold = 0;
+    topology = None;
   }
 
 let table3 ~clusters =
@@ -121,7 +123,8 @@ let prepare t ~program ~likely ~clusters ?region_uops
     match t with
     | Op ->
         Steer.Op.make ~stall_threshold:params.stall_threshold
-          ~imbalance_limit:params.imbalance_limit ?registry ()
+          ~imbalance_limit:params.imbalance_limit ?registry
+          ?topology:params.topology ()
     | Op_parallel ->
         Steer.Op_parallel.make ~stall_threshold:params.stall_threshold
           ~imbalance_limit:params.imbalance_limit ()
@@ -130,7 +133,7 @@ let prepare t ~program ~likely ~clusters ?region_uops
     | Rhop -> Steer.Static.make ~name:"rhop" ~annot
     | Vc _ ->
         Steer.Vc_map.make ~remap_threshold:params.remap_threshold ?registry
-          ~annot ~clusters ()
+          ?topology:params.topology ~annot ~clusters ()
     | Mod_n { n } -> Steer.Mod_n.make ~n ()
     | Dep -> Steer.Dep.make ?registry ()
     | Crit ->

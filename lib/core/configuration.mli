@@ -96,6 +96,18 @@ type params = {
       (** {!Clusteer_compiler.Crit_hints} criticality cut-off (cycles
           of slack, default 0): micro-ops with at most this much slack
           are marked critical for the [Crit] policy ([24]). *)
+  topology : Clusteer_topo.Topology.t option;
+      (** Inter-cluster fabric the steering layer should assume
+          (default [None] — the paper's uniform 1-cycle point-to-point
+          baseline). When set to a non-uniform topology (ring, mesh,
+          hier), {!Clusteer_steer.Vc_map} remaps to the nearest of the
+          least-loaded clusters and {!Clusteer_steer.Op} breaks load
+          ties toward fewer copy hops; on p2p/bus (or [None]) both
+          policies are bit-identical to the seed. The harness
+          ({!Clusteer_harness.Runner}) overwrites this field with the
+          machine's [Config.topology] so the engine's copy fabric and
+          the steering layer always agree; set it manually only when
+          calling {!prepare} directly. *)
 }
 (** Every tunable steering/compiler knob in one record — the single
     source of truth the auto-tuner's parameter space

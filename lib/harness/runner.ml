@@ -127,6 +127,18 @@ let run_workload_cached ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry
     ?profile ?reuse ?params ~machine ~configs ~uops workload =
   let warmup = Option.value ~default:(default_warmup uops) warmup in
   let committed = Counters.counter ?registry "harness.uops_committed" in
+  (* The machine's fabric is the single source of truth for topology:
+     whatever interconnect the engine simulates is also what the
+     steering layer reasons about, so [params.topology] is always
+     overwritten from the machine configuration here. On the default
+     point-to-point fabric the policies' uniform path keeps behavior
+     and counters bit-identical to a run without the injection. *)
+  let params =
+    let p =
+      Option.value params ~default:Clusteer.Configuration.default_params
+    in
+    { p with Clusteer.Configuration.topology = Some machine.Config.topology }
+  in
   let tb = shared_trace workload ~seed in
   List.map
     (fun config ->
@@ -140,7 +152,7 @@ let run_workload_cached ?warmup ?(seed = 1) ?(obs = fun _ -> None) ?registry
       let annot, policy =
         Clusteer.Configuration.prepare config ~program:workload.Synth.program
           ~likely:workload.Synth.likely ~clusters:machine.Config.clusters
-          ?params ?annot:cached_annot ?registry ()
+          ~params ?annot:cached_annot ?registry ()
       in
       (match (reuse, cached_annot) with
       | Some r, None ->

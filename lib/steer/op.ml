@@ -2,8 +2,23 @@ open Clusteer_isa
 open Clusteer_uarch
 module Bitset = Clusteer_util.Bitset
 
-let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
+let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry ?topology
+    () =
   let module Counters = Clusteer_obs.Counters in
+  (* Topology awareness: on a non-uniform fabric, load ties are broken
+     by the hop cost of the copies the pick would cause (each source
+     travels from its nearest resident cluster). On uniform fabrics
+     every candidate's cost is identical, so the tie-break never fires
+     and the decision stream is bit-identical to the seed policy. The
+     cost is pure integer arithmetic over a precomputed matrix — the
+     decide path stays allocation-free. *)
+  let dist =
+    match topology with
+    | Some tp when not (Clusteer_topo.Topology.is_uniform tp) ->
+        Clusteer_topo.Topology.distance_matrix tp
+    | _ -> [||]
+  in
+  let topo_aware = Array.length dist > 0 in
   (* Introspection: [op.vote_candidates] is a latency proxy for the
      serialized vote hardware of §2.1 — more tied candidates means a
      longer resolve chain; the override/stall counters expose how
@@ -25,6 +40,27 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
   let preferred = ref 0 in
   let min_load = ref 0 in
   let best_alt = ref 0 in
+  (* Hop cost of steering the current micro-op to [c]: each source not
+     resident on [c] is copied from its nearest resident cluster.
+     Scratch accumulators live at [make] scope so the call allocates
+     nothing. Only reached when [topo_aware]. *)
+  let cost_acc = ref 0 in
+  let cost_near = ref 0 in
+  let copy_cost srcs n c =
+    cost_acc := 0;
+    for i = 0 to n - 1 do
+      let loc = srcs.(i) in
+      if not (Bitset.mem loc c) then begin
+        cost_near := max_int;
+        for s = 0 to Array.length dist - 1 do
+          if Bitset.mem loc s && dist.(s).(c) < !cost_near then
+            cost_near := dist.(s).(c)
+        done;
+        if !cost_near < max_int then cost_acc := !cost_acc + !cost_near
+      end
+    done;
+    !cost_acc
+  in
   let decide view duop =
     let u = duop.Clusteer_trace.Dynuop.suop in
     let queue = Opcode.queue u.Uop.opcode in
@@ -68,6 +104,9 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
         if
           !preferred = -1
           || view.Policy.inflight c < view.Policy.inflight !preferred
+          || topo_aware
+             && view.Policy.inflight c = view.Policy.inflight !preferred
+             && copy_cost !src_buf n c < copy_cost !src_buf n !preferred
         then preferred := c
       end
     done;
@@ -87,6 +126,9 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
         if
           !preferred = -1
           || view.Policy.inflight c < view.Policy.inflight !preferred
+          || topo_aware
+             && view.Policy.inflight c = view.Policy.inflight !preferred
+             && copy_cost !src_buf n c < copy_cost !src_buf n !preferred
         then preferred := c
       done
     end;
@@ -102,7 +144,10 @@ let make ?(stall_threshold = 36) ?(imbalance_limit = 200) ?registry () =
           c <> !preferred
           && view.Policy.queue_free c queue >= stall_threshold
           && (!best_alt = -1
-             || view.Policy.inflight c < view.Policy.inflight !best_alt)
+             || view.Policy.inflight c < view.Policy.inflight !best_alt
+             || topo_aware
+                && view.Policy.inflight c = view.Policy.inflight !best_alt
+                && copy_cost !src_buf n c < copy_cost !src_buf n !best_alt)
         then best_alt := c
       done;
       if !best_alt = -1 then begin

@@ -19,6 +19,7 @@ val make :
   ?stall_threshold:int ->
   ?imbalance_limit:int ->
   ?registry:Clusteer_obs.Counters.registry ->
+  ?topology:Clusteer_topo.Topology.t ->
   unit ->
   Clusteer_uarch.Policy.t
 (** [stall_threshold] (unit: free issue-queue slots, default 36, the
@@ -33,6 +34,15 @@ val make :
     by the policy's decision count, so exact ties (equal votes, equal
     load) spread across clusters instead of all collapsing onto
     cluster 0; untied picks are unchanged.
+
+    [topology] (normally injected by the harness from the machine
+    configuration) adds one more tie-break level on non-uniform
+    fabrics: among equally loaded candidates, prefer the cluster whose
+    copies would travel the fewest hops
+    ({!Clusteer_topo.Topology.distance}, each source fetched from its
+    nearest resident cluster). On uniform fabrics — or when [topology]
+    is omitted — the decision stream is bit-identical to the seed
+    policy, and the path stays allocation-free either way.
 
     Registers introspection counters into [registry] (default
     {!Clusteer_obs.Counters.default}): [op.decisions],

@@ -2,6 +2,7 @@ open Clusteer_isa
 open Clusteer_uarch
 open Clusteer_trace
 module Counters = Clusteer_obs.Counters
+module Topology = Clusteer_topo.Topology
 
 let least_loaded view =
   let best = ref 0 in
@@ -10,11 +11,28 @@ let least_loaded view =
   done;
   !best
 
-let make ?(remap_threshold = 8) ?registry ~annot ~clusters () =
+let make ?(remap_threshold = 8) ?registry ?topology ~annot ~clusters () =
   if annot.Annot.virtual_clusters <= 0 then
     invalid_arg "Vc_map.make: annotation has no virtual clusters";
   let table =
     Array.init annot.Annot.virtual_clusters (fun v -> v mod clusters)
+  in
+  (* Topology awareness: on a non-uniform fabric the remap target is
+     chosen distance-aware (nearest of the least-loaded clusters to the
+     VC's current home, so remap-induced copies travel few hops) and
+     the hop distance of every remap is recorded. On uniform fabrics
+     (p2p, bus) every cross-cluster distance is 1, so the seed's
+     pick-the-least-loaded behavior — and its counter set — is kept
+     bit-identical. *)
+  let dist =
+    match topology with
+    | Some tp when not (Topology.is_uniform tp) -> Topology.distance_matrix tp
+    | _ -> [||]
+  in
+  let topo_aware = Array.length dist > 0 in
+  let remap_hops =
+    if topo_aware then Some (Counters.histogram ?registry "steer.remap.hops")
+    else None
   in
   (* Introspection: decision mix, remap activity, and how long the
      chain that just ended was when a leader consulted the counters —
@@ -54,7 +72,28 @@ let make ?(remap_threshold = 8) ?registry ~annot ~clusters () =
           > remap_threshold
         then begin
           Counters.incr remaps;
-          table.(vc) <- best
+          let target =
+            if not topo_aware then best
+            else begin
+              (* Nearest-to-home among the clusters at the global
+                 minimum load; ties by lowest index. [best] is the
+                 lowest-index minimum, so the scan below computes the
+                 lexicographic (distance, index) minimum. *)
+              let min_load = view.Policy.inflight best in
+              let t = ref best in
+              for c = 0 to view.Policy.clusters - 1 do
+                if
+                  view.Policy.inflight c = min_load
+                  && dist.(cur).(c) < dist.(cur).(!t)
+                then t := c
+              done;
+              !t
+            end
+          in
+          (match remap_hops with
+          | None -> ()
+          | Some h -> Counters.observe h dist.(cur).(target));
+          table.(vc) <- target
         end
       end;
       since_leader.(vc) <- since_leader.(vc) + 1;

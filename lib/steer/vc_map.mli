@@ -14,6 +14,7 @@ open Clusteer_isa
 val make :
   ?remap_threshold:int ->
   ?registry:Clusteer_obs.Counters.registry ->
+  ?topology:Clusteer_topo.Topology.t ->
   annot:Annot.t ->
   clusters:int ->
   unit ->
@@ -30,6 +31,16 @@ val make :
     without a VC assignment go to the least-loaded cluster. The knob
     is swept by the auto-tuner through
     [Clusteer.Configuration.params.remap_threshold].
+
+    [topology] (normally injected by the harness from the machine
+    configuration) makes the mapper distance-aware on non-uniform
+    fabrics: the remap target becomes the {e nearest} of the
+    least-loaded clusters to the VC's current home
+    ({!Clusteer_topo.Topology.distance}), and each remap's hop count
+    is recorded in a [steer.remap.hops] histogram. On uniform fabrics
+    (p2p, bus — or when [topology] is omitted) behavior and counters
+    are bit-identical to the seed mapper and no extra histogram is
+    registered.
 
     The policy registers introspection counters into [registry]
     (default {!Clusteer_obs.Counters.default}): [vc.decisions],

@@ -1,0 +1,33 @@
+(** Link-occupancy model for copy micro-ops.
+
+    One {!t} belongs to one engine instance and tracks, per physical
+    link of the topology, the next cycle the link is free. A transfer
+    reserves every link on its deterministic route at the staggered
+    cycle the copy traverses it (each hop holds its link for one
+    cycle — the occupancy model of the seed's point-to-point fabric,
+    applied per hop); if any link on the route is busy at its slot the
+    whole transfer is refused and the copy retries from the copy queue
+    next cycle, which is how link backpressure turns into
+    [stall_copyq_full] upstream.
+
+    On the point-to-point and bus topologies this is bit-identical to
+    the seed engine's [link_free] matrix: same refusal condition, same
+    single-cycle reservation, same arrival time. *)
+
+type t
+
+val create : Topology.t -> t
+val topology : t -> Topology.t
+
+val links : t -> int
+(** Number of physical links (reservation slots) the model tracks. *)
+
+val reset : t -> unit
+(** Mark every link free; used by [Engine.reset]. *)
+
+val try_transfer : t -> now:int -> from:int -> to_:int -> int
+(** Attempt to start a copy from cluster [from] to [to_] on cycle
+    [now]. Returns the route's total latency in cycles and reserves
+    every hop on success; returns [-1] (reserving nothing) when any
+    link on the route is occupied at the slot the copy would need it.
+    [from <> to_] is required. The function never allocates. *)

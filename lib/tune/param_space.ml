@@ -1,5 +1,7 @@
 module Json = Clusteer_obs.Json
 module Configuration = Clusteer.Configuration
+module Config = Clusteer_uarch.Config
+module Topology = Clusteer_topo.Topology
 
 type value = Int of int | Float of float
 
@@ -14,6 +16,11 @@ type t = {
   s_name : string;
   s_params : param array;
   s_materialize : value array -> Configuration.t * Configuration.params;
+  s_machine : (value array -> Config.t) option;
+      (* spaces that search over the machine itself (cluster count,
+         interconnect) build it from the candidate; [None] means the
+         caller's --clusters default machine, which keeps the pinned
+         "vc"/"op" spaces bit-identical to their pre-topology runs *)
 }
 
 let name t = t.s_name
@@ -75,6 +82,7 @@ let vc_space =
             max_chain = as_int values.(3);
             region_uops = as_int values.(4);
           } ));
+    s_machine = None;
   }
 
 let op_space =
@@ -97,9 +105,55 @@ let op_space =
             stall_threshold = as_int values.(0);
             imbalance_limit = as_int values.(1);
           } ));
+    s_machine = None;
   }
 
-let spaces = [ vc_space; op_space ]
+(* Machine-level space: the §4 question (map 2 virtual clusters onto 4
+   physical, or 4 onto 4?) crossed with the interconnect. The kind
+   codes build a shape that scales with the chosen cluster count:
+   mesh is (clusters/2)x2, hier is 2 groups of clusters/2. *)
+let topo_kind ~clusters = function
+  | 0 -> Topology.p2p ~clusters ()
+  | 1 -> Topology.ring ~clusters ()
+  | 2 -> Topology.mesh ~cols:(clusters / 2) ~rows:2 ()
+  | 3 -> Topology.hier ~groups:2 ~group_size:(clusters / 2) ()
+  | k -> invalid_arg (Printf.sprintf "topo space: unknown kind code %d" k)
+
+let topo_space =
+  {
+    s_name = "topo";
+    s_params =
+      [|
+        int_param "clusters" "physical clusters in the machine" ~default:4
+          [ 2; 4 ];
+        int_param "virtual_clusters"
+          "compiler partition arity (2->N vs N->N mapping)" ~default:2
+          [ 2; 4 ];
+        int_param "topology"
+          "interconnect kind: 0=p2p, 1=ring, 2=mesh (clusters/2)x2, \
+           3=hier 2x(clusters/2)"
+          ~default:0 [ 0; 1; 2; 3 ];
+        int_param "remap_threshold"
+          "Vc_map remap hysteresis (in-flight uops)" ~default:8 [ 2; 8; 32 ];
+      |];
+    s_materialize =
+      (fun values ->
+        ( Configuration.Vc { virtual_clusters = as_int values.(1) },
+          {
+            Configuration.default_params with
+            remap_threshold = as_int values.(3);
+          } ));
+    s_machine =
+      Some
+        (fun values ->
+          let clusters = as_int values.(0) in
+          {
+            (Config.default ~clusters) with
+            Config.topology = topo_kind ~clusters (as_int values.(2));
+          });
+  }
+
+let spaces = [ vc_space; op_space; topo_space ]
 
 let find name =
   let name = String.lowercase_ascii name in
@@ -160,6 +214,14 @@ let materialize t candidate =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Param_space.materialize: " ^ msg));
   t.s_materialize (values t candidate)
+
+let machine t ~clusters candidate =
+  (match validate t candidate with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Param_space.machine: " ^ msg));
+  match t.s_machine with
+  | None -> Config.default ~clusters
+  | Some f -> f (values t candidate)
 
 let value_to_string = function
   | Int n -> string_of_int n

@@ -12,7 +12,7 @@
     (units, defaults, paper references); this module only picks points
     from it.
 
-    Two built-in spaces:
+    Three built-in spaces:
     - ["vc"] — the hybrid scheme's knobs: virtual-cluster count,
       {!Clusteer.Configuration.params.remap_threshold},
       {!Clusteer.Configuration.params.crit_min_scale},
@@ -21,9 +21,15 @@
     - ["op"] — the OP baseline's knobs:
       {!Clusteer.Configuration.params.stall_threshold} and
       {!Clusteer.Configuration.params.imbalance_limit}.
+    - ["topo"] — machine-level choices: physical cluster count (the
+      paper's 2->4 vs 4->4 VC-mapping question), interconnect
+      topology kind, plus the remap hysteresis. This space also
+      defines the {!machine} a candidate runs on; the other two leave
+      the machine to the caller.
 
     Every space's default candidate reproduces the paper's constants
-    exactly ({!Clusteer.Configuration.default_params}). *)
+    exactly ({!Clusteer.Configuration.default_params}; the ["topo"]
+    default machine is the 4-cluster p2p baseline). *)
 
 type value = Int of int | Float of float
 
@@ -68,6 +74,15 @@ val bindings : t -> int array -> (string * value) list
 val materialize :
   t -> int array -> Clusteer.Configuration.t * Clusteer.Configuration.params
 (** The configuration and knob record a candidate denotes. *)
+
+val machine : t -> clusters:int -> int array -> Clusteer_uarch.Config.t
+(** The machine a candidate runs on. Spaces without machine-level
+    parameters (["vc"], ["op"]) return
+    [Clusteer_uarch.Config.default ~clusters] — exactly the machine
+    the study built before machine-level spaces existed — so their
+    studies stay bit-identical. ["topo"] builds the machine from the
+    candidate's cluster count and interconnect kind and ignores
+    [clusters]. *)
 
 val label : t -> int array -> string
 (** Compact human label, e.g.

@@ -53,7 +53,8 @@ type t = {
 
 (* ---- evaluation -------------------------------------------------- *)
 
-let evaluate ~space ~workloads ~machine ~uops ?domains ?ledger candidate =
+let evaluate ~space ~workloads ~clusters ~uops ?domains ?ledger candidate =
+  let machine = Param_space.machine space ~clusters candidate in
   let config, params = Param_space.materialize space candidate in
   let config_name = Configuration.name config in
   let committed_counter = Counters.counter "harness.uops_committed" in
@@ -100,8 +101,9 @@ let evaluate ~space ~workloads ~machine ~uops ?domains ?ledger candidate =
 (* Phase-weighted IPC of one configuration on one benchmark, averaged
    over the canonical stream and [tie_seeds] salted ones — the tie-
    break measurement. *)
-let replicated_ipc ~space ~machine ~uops ?domains ~tie_seeds candidate profile
+let replicated_ipc ~space ~clusters ~uops ?domains ~tie_seeds candidate profile
     =
+  let machine = Param_space.machine space ~clusters candidate in
   let config, params = Param_space.materialize space candidate in
   let config_name = Configuration.name config in
   let ipcs =
@@ -123,7 +125,7 @@ let delta_pct ~champion ~challenger =
 let classify ~epsilon_pct d =
   if d > epsilon_pct then Win else if d < -.epsilon_pct then Loss else Tie
 
-let compare_ab ~space ~machine ~uops ?domains ~epsilon_pct ~tie_seeds
+let compare_ab ~space ~clusters ~uops ?domains ~epsilon_pct ~tie_seeds
     ~workloads ~champion ~challenger () =
   let rows =
     List.map
@@ -157,11 +159,11 @@ let compare_ab ~space ~machine ~uops ?domains ~epsilon_pct ~tie_seeds
                on the means. *)
             Counters.incr (Counters.counter "tune.tie_breaks");
             let champion_ipc =
-              replicated_ipc ~space ~machine ~uops ?domains ~tie_seeds
+              replicated_ipc ~space ~clusters ~uops ?domains ~tie_seeds
                 champion.candidate profile
             in
             let challenger_ipc =
-              replicated_ipc ~space ~machine ~uops ?domains ~tie_seeds
+              replicated_ipc ~space ~clusters ~uops ?domains ~tie_seeds
                 challenger.candidate profile
             in
             let d =
@@ -197,8 +199,7 @@ let same_candidate a b = a = b
 let run ~space ~algo ~seed ~max_evals ~workloads ~clusters ~uops ?domains
     ?ledger ?incumbent ?(epsilon_pct = 0.5) ?(tie_seeds = 2)
     ?(progress = fun _ -> ()) () =
-  let machine = Config.default ~clusters in
-  let evaluate = evaluate ~space ~workloads ~machine ~uops ?domains ?ledger in
+  let evaluate = evaluate ~space ~workloads ~clusters ~uops ?domains ?ledger in
   let order = ref [] in
   let n = ref 0 in
   let eval candidate =
@@ -239,7 +240,7 @@ let run ~space ~algo ~seed ~max_evals ~workloads ~clusters ~uops ?domains
         evaluate incumbent_candidate
   in
   let ab =
-    compare_ab ~space ~machine ~uops ?domains ~epsilon_pct ~tie_seeds
+    compare_ab ~space ~clusters ~uops ?domains ~epsilon_pct ~tie_seeds
       ~workloads ~champion ~challenger ()
   in
   {

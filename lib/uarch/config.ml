@@ -1,4 +1,4 @@
-type topology = Point_to_point | Bus | Ring
+module Topology = Clusteer_topo.Topology
 
 type cache = {
   size_bytes : int;
@@ -28,8 +28,7 @@ type t = {
   copy_issue_width : int;
   int_regfile : int;
   fp_regfile : int;
-  link_latency : int;
-  topology : topology;
+  topology : Topology.t;
   lsq_size : int;
   mshrs : int;
   l1d : cache;
@@ -65,8 +64,7 @@ let default ~clusters =
     copy_issue_width = 1;
     int_regfile = 256;
     fp_regfile = 256;
-    link_latency = 1;
-    topology = Point_to_point;
+    topology = Topology.p2p ~link_latency:1 ~clusters ();
     lsq_size = 256;
     mshrs = 8;
     l1d = { size_bytes = 32 * 1024; ways = 4; line_bytes = 64; hit_latency = 3 };
@@ -113,7 +111,13 @@ let validate t =
   pos "copy_issue_width" t.copy_issue_width;
   pos "int_regfile" t.int_regfile;
   pos "fp_regfile" t.fp_regfile;
-  pos "link_latency" t.link_latency;
+  (match Topology.validate t.topology with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Config: " ^ m));
+  if t.topology.Topology.clusters <> t.clusters then
+    invalid_arg
+      (Printf.sprintf "Config: topology %s spans %d clusters, machine has %d"
+         (Topology.name t.topology) t.topology.Topology.clusters t.clusters);
   pos "lsq_size" t.lsq_size;
   pos "mshrs" t.mshrs;
   pos "memory_latency" t.memory_latency;
@@ -154,14 +158,7 @@ let describe t =
         "%d-entry INT %d/cycle, %d-entry FP %d/cycle, %d-entry COPY %d/cycle"
         t.int_iq_size t.int_issue_width t.fp_iq_size t.fp_issue_width
         t.copy_q_size t.copy_issue_width );
-    ( "Inter-cluster communication",
-      (match t.topology with
-      | Point_to_point ->
-          Printf.sprintf
-            "bi-directional point-to-point link, %d cycle latency, 1 copy/cycle"
-            t.link_latency
-      | Bus -> Printf.sprintf "shared bus, %d cycle latency, 1 copy/cycle total" t.link_latency
-      | Ring -> Printf.sprintf "ring, %d cycle(s) per hop, 1 copy/cycle per hop" t.link_latency) );
+    ("Inter-cluster communication", Topology.describe t.topology);
     ( "L1 data cache",
       Printf.sprintf "%s, %d-way, %d cycle hit, %dR/%dW ports, %d-entry LSQ"
         (kb t.l1d.size_bytes) t.l1d.ways t.l1d.hit_latency t.l1_read_ports

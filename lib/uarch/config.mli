@@ -6,15 +6,6 @@
     dedicated 1-cycle point-to-point links. The LSQ and the data cache
     hierarchy are unified and shared. *)
 
-type topology =
-  | Point_to_point
-      (** dedicated bi-directional link per cluster pair (the paper's
-          baseline): 1 copy/cycle per direction per pair *)
-  | Bus  (** one shared bus: 1 copy/cycle total, same latency *)
-  | Ring
-      (** unidirectional-pair ring: latency scales with hop distance,
-          bandwidth limited per hop *)
-
 type cache = {
   size_bytes : int;
   ways : int;
@@ -54,8 +45,13 @@ type t = {
   int_regfile : int;  (** 256-entry INT register file per cluster *)
   fp_regfile : int;  (** 256-entry FP register file per cluster *)
   (* Interconnect *)
-  link_latency : int;  (** 1 cycle (per hop for [Ring]) *)
-  topology : topology;
+  topology : Clusteer_topo.Topology.t;
+      (** inter-cluster fabric shape and per-hop/uplink latencies; the
+          default is the paper's 1-cycle point-to-point link over
+          [clusters] clusters. [topology.clusters] must equal
+          [clusters] ({!validate} enforces it); build alternatives
+          with {!Clusteer_topo.Topology.of_name} or its
+          constructors. *)
   (* Memory *)
   lsq_size : int;  (** 256 entries *)
   mshrs : int;

@@ -80,7 +80,7 @@ type t = {
   inflight : int array;  (* cluster -> dispatched, not yet completed *)
   ready_q : inst Pqueue.t array array;  (* cluster -> queue index *)
   unit_free : int array array;  (* cluster -> fu index -> next free cycle *)
-  link_free : int array array;  (* from -> to -> next free cycle *)
+  fabric : Clusteer_topo.Fabric.t;  (* per-link next-free-cycle state *)
   mutable lsq_used : int;
   regs_used : int array array;  (* cluster -> class (0 int, 1 fp) -> live dests *)
   mutable misses_outstanding : int;  (* in-flight L1 misses (MSHR usage) *)
@@ -229,7 +229,7 @@ let create ~config ~annot ~policy ?(prewarm = []) ?obs ?registry ?profile () =
       ready_q =
         Array.init clusters (fun _ -> Array.init 3 (fun _ -> Pqueue.create ()));
       unit_free = Array.init clusters (fun _ -> Array.make 4 0);
-      link_free = Array.init clusters (fun _ -> Array.make clusters 0);
+      fabric = Clusteer_topo.Fabric.create config.Config.topology;
       lsq_used = 0;
       regs_used = Array.init clusters (fun _ -> Array.make 2 0);
       misses_outstanding = 0;
@@ -296,7 +296,7 @@ let reset ?(prewarm = []) ?obs t ~annot ~policy =
   Array.fill t.inflight 0 (Array.length t.inflight) 0;
   Array.iter (fun qs -> Array.iter Pqueue.clear qs) t.ready_q;
   Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.unit_free;
-  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.link_free;
+  Clusteer_topo.Fabric.reset t.fabric;
   t.lsq_used <- 0;
   Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) t.regs_used;
   t.misses_outstanding <- 0;
@@ -480,24 +480,13 @@ let exec_latency t inst =
           Opcode.latency Opcode.Load + mem
       | op -> Opcode.latency op)
 
-(* Interconnect model: which resource a transfer occupies and how long
-   it travels, by topology. Point-to-point uses the dedicated
-   per-direction link; a bus is a single shared slot (modelled as the
-   [0][0] entry); a ring charges one hop per step of the shorter
-   direction and occupies the first hop's link. *)
-let transfer_route t ~from ~to_cluster =
-  match t.cfg.Config.topology with
-  | Config.Point_to_point -> (from, to_cluster, t.cfg.Config.link_latency)
-  | Config.Bus -> (0, 0, t.cfg.Config.link_latency)
-  | Config.Ring ->
-      let n = t.cfg.Config.clusters in
-      let fwd = (to_cluster - from + n) mod n in
-      let bwd = (from - to_cluster + n) mod n in
-      let hops = max 1 (min fwd bwd) in
-      let first_hop =
-        if fwd <= bwd then (from + 1) mod n else (from + n - 1) mod n
-      in
-      (from, first_hop, t.cfg.Config.link_latency * hops)
+(* Interconnect model: the topology's link-occupancy fabric
+   ({!Clusteer_topo.Fabric}) decides which links a transfer occupies
+   and how long it travels. A refused reservation (any link on the
+   deterministic route busy at its slot) leaves the copy in the queue
+   to retry next cycle — link backpressure becomes copy-queue
+   pressure upstream. On point-to-point and bus this is bit-identical
+   to the historical [link_free] matrix. *)
 
 (* Try to start one ready instruction; returns [true] on success,
    [false] when a structural hazard blocks it this cycle. *)
@@ -505,10 +494,12 @@ let try_start t inst =
   match inst.kind with
   | Copy_op { to_cluster; _ } ->
       let from = inst.cluster in
-      let res_a, res_b, latency = transfer_route t ~from ~to_cluster in
-      if t.link_free.(res_a).(res_b) > t.cycle then false
+      let latency =
+        Clusteer_topo.Fabric.try_transfer t.fabric ~now:t.cycle ~from
+          ~to_:to_cluster
+      in
+      if latency < 0 then false
       else begin
-        t.link_free.(res_a).(res_b) <- t.cycle + 1;
         t.stats.Stats.link_transfers <- t.stats.Stats.link_transfers + 1;
         (match t.obs with
         | None -> ()

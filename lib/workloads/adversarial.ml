@@ -1,0 +1,214 @@
+open Clusteer_isa
+open Clusteer_trace
+module Rng = Clusteer_util.Rng
+
+type shape =
+  | Fanout of { producers : int; consumers : int }
+  | Phase_flip of { period : int }
+  | Copy_storm of { chains : int; stride : int }
+
+let validate = function
+  | Fanout { producers; consumers } ->
+      if producers < 1 || producers > 12 then
+        Error "Fanout: 1 <= producers <= 12"
+      else if consumers < 1 || consumers > 24 then
+        Error "Fanout: 1 <= consumers <= 24"
+      else Ok ()
+  | Phase_flip { period } ->
+      if period < 1 || period > 4096 then Error "Phase_flip: 1 <= period <= 4096"
+      else Ok ()
+  | Copy_storm { chains; stride } ->
+      if chains < 2 || chains > 16 then Error "Copy_storm: 2 <= chains <= 16"
+      else if stride < 1 || stride >= chains then
+        Error "Copy_storm: 1 <= stride < chains"
+      else Ok ()
+
+let name = function
+  | Fanout { producers; consumers } ->
+      Printf.sprintf "adv.fanout%dx%d" producers consumers
+  | Phase_flip { period } -> Printf.sprintf "adv.flip%d" period
+  | Copy_storm { chains; stride } ->
+      Printf.sprintf "adv.storm%dx%d" chains stride
+
+(* Descriptive metadata only, mirroring [Kernels.meta]: adversarial
+   programs are explicit Builder programs, not re-synthesizable. *)
+let meta name ~fp ~ilp ~chain =
+  {
+    Profile.name;
+    suite = (if fp > 0.3 then Profile.Spec_fp else Profile.Spec_int);
+    seed = 1;
+    fp_ratio = fp;
+    mem_ratio = 0.0;
+    ilp;
+    chain_len = chain;
+    footprint_kb = 4;
+    stride_frac = 0.5;
+    chase_frac = 0.0;
+    loops = 1;
+    block_size = 8;
+    loop_trip = 32;
+    hard_branch_frac = 0.0;
+    phases = 1;
+  }
+
+(* Single-nest scaffold, shared with [Kernels.loop_kernel]'s shape:
+   induction counter + body + back-edge. *)
+let loop_program ~name ~meta:profile ~iters ~body =
+  let b = Program.Builder.create ~name ~nregs_per_class:64 () in
+  let loop_model = Program.Builder.branch_model b in
+  let blk = Program.Builder.reserve_block b in
+  let exit_ = Program.Builder.reserve_block b in
+  let ctr = Reg.int 32 in
+  let ctr_update =
+    Program.Builder.uop b Opcode.Int_alu ~dst:ctr ~srcs:[| ctr |] ()
+  in
+  let branch =
+    Program.Builder.uop b Opcode.Branch ~srcs:[| ctr |] ~branch_ref:loop_model
+      ()
+  in
+  let uops = (ctr_update :: body b) @ [ branch ] in
+  Program.Builder.define_block b blk uops ~succs:[ exit_; blk ];
+  Program.Builder.define_block b exit_ [] ~succs:[];
+  let program = Program.Builder.finish b ~entry:blk in
+  {
+    Synth.profile;
+    program;
+    branches = [| Branch_model.Loop iters |];
+    streams = [||];
+    likely = (fun id -> if id = blk then Some 1 else None);
+  }
+
+let fanout ~producers ~consumers =
+  loop_program
+    ~name:(Printf.sprintf "adv-fanout%dx%d" producers consumers)
+    ~meta:
+      (meta
+         (Printf.sprintf "adv.fanout%dx%d" producers consumers)
+         ~fp:0.0 ~ilp:consumers ~chain:1)
+    ~iters:512
+    ~body:(fun b ->
+      (* Hot producers r1..rP, each a 1-deep self-recurrence so the
+         value is redefined (and re-communicated) every iteration. *)
+      let prods =
+        List.init producers (fun i ->
+            let r = Reg.int (1 + i) in
+            Program.Builder.uop b Opcode.Int_alu ~dst:r ~srcs:[| r |] ())
+      in
+      (* Independent consumers, each reading two producers round-robin:
+         a maximally wide DDG whose every micro-op depends on the hot
+         values — each mis-steered consumer is a copy. *)
+      let cons =
+        List.init consumers (fun k ->
+            let s1 = Reg.int (1 + (k mod producers)) in
+            let s2 = Reg.int (1 + ((k + 1) mod producers)) in
+            Program.Builder.uop b Opcode.Int_alu
+              ~dst:(Reg.int (33 + k))
+              ~srcs:[| s1; s2 |] ())
+      in
+      prods @ cons)
+
+(* Two alternating loop nests: a wide independent integer phase and a
+   serial FP-chain phase, each [period] iterations. The trace
+   generator falls out of nest 1 into nest 2 and restarts at the
+   entry after nest 2, so the phases flip forever. *)
+let phase_flip ~period =
+  let pname = Printf.sprintf "adv-flip%d" period in
+  let b = Program.Builder.create ~name:pname ~nregs_per_class:64 () in
+  let model1 = Program.Builder.branch_model b in
+  let model2 = Program.Builder.branch_model b in
+  let blk1 = Program.Builder.reserve_block b in
+  let blk2 = Program.Builder.reserve_block b in
+  let exit_ = Program.Builder.reserve_block b in
+  (* Phase A: six independent integer recurrences — wide, balanced,
+     rewards spreading across clusters. *)
+  let ctr1 = Reg.int 32 in
+  let wide =
+    List.init 6 (fun i ->
+        let r = Reg.int (1 + i) in
+        Program.Builder.uop b Opcode.Int_alu ~dst:r ~srcs:[| r |] ())
+  in
+  let uops1 =
+    (Program.Builder.uop b Opcode.Int_alu ~dst:ctr1 ~srcs:[| ctr1 |] ()
+     :: wide)
+    @ [
+        Program.Builder.uop b Opcode.Branch ~srcs:[| ctr1 |]
+          ~branch_ref:model1 ();
+      ]
+  in
+  Program.Builder.define_block b blk1 uops1 ~succs:[ blk2; blk1 ];
+  (* Phase B: one serial FP chain — wants exactly one cluster; every
+     remap the mapper learned in phase A is now wrong. *)
+  let ctr2 = Reg.int 33 in
+  let chain =
+    List.init 4 (fun _ ->
+        Program.Builder.uop b Opcode.Fp_add ~dst:(Reg.fp 1)
+          ~srcs:[| Reg.fp 1; Reg.fp 1 |] ())
+  in
+  let uops2 =
+    (Program.Builder.uop b Opcode.Int_alu ~dst:ctr2 ~srcs:[| ctr2 |] ()
+     :: chain)
+    @ [
+        Program.Builder.uop b Opcode.Branch ~srcs:[| ctr2 |]
+          ~branch_ref:model2 ();
+      ]
+  in
+  Program.Builder.define_block b blk2 uops2 ~succs:[ exit_; blk2 ];
+  Program.Builder.define_block b exit_ [] ~succs:[];
+  let program = Program.Builder.finish b ~entry:blk1 in
+  {
+    Synth.profile =
+      meta (Printf.sprintf "adv.flip%d" period) ~fp:0.4 ~ilp:6 ~chain:4;
+    program;
+    branches = [| Branch_model.Loop period; Branch_model.Loop period |];
+    streams = [||];
+    likely =
+      (fun id ->
+        if id = blk1 || id = blk2 then Some 1 else None);
+  }
+
+let copy_storm ~chains ~stride =
+  loop_program
+    ~name:(Printf.sprintf "adv-storm%dx%d" chains stride)
+    ~meta:
+      (meta
+         (Printf.sprintf "adv.storm%dx%d" chains stride)
+         ~fp:0.0 ~ilp:chains ~chain:64)
+    ~iters:1024
+    ~body:(fun b ->
+      (* chain i: r_i <- r_i + r_{(i+stride) mod chains}. Each chain is
+         serial (load balancing must spread them), yet every link reads
+         a neighbouring chain's accumulator — one cross-cluster copy
+         per chain per iteration under any spread placement. *)
+      List.init chains (fun i ->
+          let self = Reg.int (1 + i) in
+          let other = Reg.int (1 + ((i + stride) mod chains)) in
+          Program.Builder.uop b Opcode.Int_alu ~dst:self
+            ~srcs:[| self; other |] ()))
+
+let synth shape =
+  (match validate shape with Ok () -> () | Error m -> invalid_arg m);
+  match shape with
+  | Fanout { producers; consumers } -> fanout ~producers ~consumers
+  | Phase_flip { period } -> phase_flip ~period
+  | Copy_storm { chains; stride } -> copy_storm ~chains ~stride
+
+let of_seed seed =
+  let rng = Rng.create seed in
+  match Rng.int rng 3 with
+  | 0 ->
+      Fanout
+        {
+          producers = 1 + Rng.int rng 12;
+          consumers = 1 + Rng.int rng 24;
+        }
+  | 1 -> Phase_flip { period = 1 + Rng.int rng 4096 }
+  | _ ->
+      let chains = 2 + Rng.int rng 15 in
+      Copy_storm { chains; stride = 1 + Rng.int rng (chains - 1) }
+
+let all =
+  [
+    ("adv-fanout", synth (Fanout { producers = 4; consumers = 24 }));
+    ("adv-flip", synth (Phase_flip { period = 64 }));
+    ("adv-storm", synth (Copy_storm { chains = 8; stride = 3 }));
+  ]

@@ -1,0 +1,55 @@
+(** Adversarial scenario generator: pathological DDG shapes.
+
+    The SPEC stand-ins ({!Spec2000}) and the hand-written kernels
+    ({!Kernels}) are friendly inputs — their dependence structure is
+    the kind steering policies were designed around. This module
+    generates programs that are deliberately hostile to cluster
+    steering, for measuring policy quality per topology on worst-case
+    traffic rather than average-case:
+
+    - {b fan-out} ([Fanout]): a few hot producers read by many
+      independent consumers every iteration. Wherever the consumers
+      are steered, most of them sit away from the producers, so every
+      mis-steered consumer is a copy; the wide, shallow DDG gives the
+      policy maximal freedom to get it wrong.
+    - {b phase flips} ([Phase_flip]): two loop nests with opposite
+      character — a wide independent integer phase, then a serial FP
+      chain — alternating every [period] iterations. Each flip
+      invalidates the load pattern the mapper just converged on,
+      stressing remap latency and hysteresis.
+    - {b copy storms} ([Copy_storm]): [chains] serial accumulators
+      where every link also reads its neighbour [stride] away. Any
+      placement that spreads the chains (as load balancing must)
+      pays a cross-cluster copy per chain per iteration — sustained
+      all-to-all link pressure.
+
+    Every generated program is a deterministic function of its shape,
+    built with {!Clusteer_isa.Program.Builder}, and passes the static
+    verifier ([csteer check]) — property-tested in
+    [test/test_topo.ml]. *)
+
+type shape =
+  | Fanout of { producers : int; consumers : int }
+      (** [1 <= producers <= 12], [1 <= consumers <= 24] *)
+  | Phase_flip of { period : int }  (** [1 <= period <= 4096] *)
+  | Copy_storm of { chains : int; stride : int }
+      (** [2 <= chains <= 16], [1 <= stride < chains] *)
+
+val validate : shape -> (unit, string) result
+(** Check the parameter ranges above. *)
+
+val name : shape -> string
+(** e.g. ["adv.fanout4x24"], ["adv.flip64"], ["adv.storm8x3"]. *)
+
+val synth : shape -> Synth.t
+(** Build the workload; raises [Invalid_argument] when {!validate}
+    rejects the shape. Deterministic in [shape]. *)
+
+val of_seed : int -> shape
+(** A valid shape drawn deterministically from [seed] (splitmix64) —
+    the qcheck property tests' generator. *)
+
+val all : (string * Synth.t) list
+(** Fixed representatives under their CLI names: ["adv-fanout"]
+    (4 producers, 24 consumers), ["adv-flip"] (period 64) and
+    ["adv-storm"] (8 chains, stride 3). *)

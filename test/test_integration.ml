@@ -187,9 +187,9 @@ let test_topologies_run_and_rank () =
     in
     (snd (List.hd runs)).Stats.cycles
   in
-  let p2p = cycles Config.Point_to_point in
-  let bus = cycles Config.Bus in
-  let ring = cycles Config.Ring in
+  let p2p = cycles (Clusteer_topo.Topology.p2p ~clusters:4 ()) in
+  let bus = cycles (Clusteer_topo.Topology.bus ~clusters:4 ()) in
+  let ring = cycles (Clusteer_topo.Topology.ring ~clusters:4 ()) in
   check_bool "bus not faster than p2p" true (bus >= p2p);
   check_bool "ring sane" true (ring > 0)
 
