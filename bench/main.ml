@@ -9,6 +9,7 @@
      CLUSTEER_BENCH_STUDY  "throughput" runs just the throughput study;
                            "tune" runs one tiny auto-tuner cycle;
                            "topo" runs the interconnect-topology study
+                           "predict" runs the cost-model accuracy study
      CLUSTEER_BENCH_REQUIRE_SPEEDUP
                            set to 1 to enforce the suite-speedup floor
                            (>=1.5x at 2 domains, >=3x at 4); checks the
@@ -1005,6 +1006,126 @@ let run_topo_study () =
       ("topology_study", Obs.Json.List entries);
     ]
 
+(* ---- prediction-accuracy study -------------------------------------------- *)
+
+(* CLUSTEER_BENCH_STUDY=predict: how tight is the static communication
+   cost model (lib/analysis) against simulated truth? Per workload and
+   policy: the predicted copy rate (must-cross), the sound may-cross
+   bound and the engine's measured copies/uop, plus the same drift
+   check `csteer analyze --vs-run` runs. A drift error here means the
+   static bound is unsound against the real engine — that is a build
+   failure, not a data point. *)
+let run_prediction_study () =
+  heading "Prediction study: static cost model vs simulated copies (2 clusters)";
+  let bench_uops = min uops 10_000 in
+  let machine = Config.default ~clusters:2 in
+  let workloads =
+    List.map
+      (fun n -> (n, Synth.build (Spec2000.find n)))
+      [ "gzip-1"; "mcf"; "swim" ]
+    @ Clusteer_workloads.Adversarial.all
+  in
+  let configs =
+    [
+      Clusteer.Configuration.Ob;
+      Clusteer.Configuration.Vc { virtual_clusters = 2 };
+      Clusteer.Configuration.Op;
+    ]
+  in
+  Printf.printf "%-12s %-6s %10s %10s %10s %10s %6s\n" "workload" "config"
+    "pred/uop" "bound/uop" "meas/uop" "bound use" "drift";
+  let violations = ref 0 in
+  let entries =
+    List.concat_map
+      (fun (wname, w) ->
+        let program = w.Synth.program and likely = w.Synth.likely in
+        List.map
+          (fun config ->
+            let registry = Obs.Counters.create () in
+            let annot, policy =
+              Clusteer.Configuration.prepare config ~program ~likely
+                ~clusters:2 ~registry ()
+            in
+            let prewarm =
+              Array.to_list
+                (Array.map Clusteer_trace.Mem_model.extent w.Synth.streams)
+            in
+            let engine =
+              Clusteer_uarch.Engine.create ~config:machine ~annot ~policy
+                ~prewarm ()
+            in
+            let gen = Synth.trace w ~seed:1 in
+            let stats =
+              Clusteer_uarch.Engine.run ~warmup:0 engine
+                ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+                ~uops:bench_uops
+            in
+            let model, _ =
+              Clusteer_analysis.Cost_model.analyze ~program ~annot
+                ~topology:machine.Config.topology ~clusters:2 ()
+            in
+            let run =
+              Clusteer_analysis.Dyn_check.observe_run ~registry stats
+            in
+            let drift =
+              Clusteer_analysis.Dyn_check.check_drift ~model:model run
+            in
+            let errors =
+              Clusteer_isa.Diag.count Clusteer_isa.Diag.Error drift
+            in
+            violations := !violations + errors;
+            let cname = Clusteer.Configuration.name config in
+            let dispatched =
+              max 1 run.Clusteer_analysis.Dyn_check.dispatched
+            in
+            let measured =
+              float_of_int stats.Stats.copies_generated
+              /. float_of_int dispatched
+            in
+            let bound =
+              Clusteer_analysis.Cost_model.copy_bound model ~dispatched
+                ~remaps:run.Clusteer_analysis.Dyn_check.remaps
+            in
+            let bound_use =
+              float_of_int stats.Stats.copies_generated
+              /. float_of_int (max 1 bound)
+            in
+            Printf.printf "%-12s %-6s %10.3f %10.3f %10.3f %9.1f%% %6s\n"
+              wname cname
+              model.Clusteer_analysis.Cost_model.pred_copy_rate
+              model.Clusteer_analysis.Cost_model.bound_copy_rate measured
+              (100.0 *. bound_use)
+              (if errors = 0 then "ok" else "FAIL");
+            Obs.Json.Obj
+              [
+                ("workload", Obs.Json.Str wname);
+                ("config", Obs.Json.Str cname);
+                ( "pred_copy_rate",
+                  Obs.Json.Float
+                    model.Clusteer_analysis.Cost_model.pred_copy_rate );
+                ( "bound_copy_rate",
+                  Obs.Json.Float
+                    model.Clusteer_analysis.Cost_model.bound_copy_rate );
+                ("measured_copy_rate", Obs.Json.Float measured);
+                ("bound_use", Obs.Json.Float bound_use);
+                ("drift_errors", Obs.Json.Int errors);
+              ])
+          configs)
+      workloads
+  in
+  write_bench_json
+    [
+      ("predict_uops", Obs.Json.Int bench_uops);
+      ("prediction_study", Obs.Json.List entries);
+    ];
+  if !violations > 0 then begin
+    Printf.eprintf
+      "prediction study: %d drift violation(s) — the static bound is \
+       unsound against the engine\n"
+      !violations;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro_point profile =
@@ -1174,9 +1295,12 @@ let () =
   | Some "throughput" -> run_throughput_study ()
   | Some "tune" -> run_tune_study ()
   | Some "topo" -> run_topo_study ()
+  | Some "predict" -> run_prediction_study ()
   | Some other ->
       Printf.eprintf
-        "unknown CLUSTEER_BENCH_STUDY %S (try: throughput, tune, topo)\n" other;
+        "unknown CLUSTEER_BENCH_STUDY %S (try: throughput, tune, topo, \
+         predict)\n"
+        other;
       exit 2
   | None ->
   run_tables ();
@@ -1194,6 +1318,7 @@ let () =
   run_scaling_study ();
   run_prefetch_study ();
   run_kernel_table ();
+  run_prediction_study ();
   run_observability_overhead_study ();
   run_throughput_study ();
   run_microbenchmarks ();

@@ -4,6 +4,8 @@
      list        enumerate the SPEC CPU2000 workload profiles
      simulate    run one simulation point under one configuration
      compile     run a software pass and print the partition summary
+     check       statically verify programs and steering annotations
+     analyze     static cost prediction + optional prediction-vs-run drift
      experiment  regenerate a paper table or figure
      serve       run the long-lived simulation service on a Unix socket
      submit      send one request (or a stats/shutdown command) to a server
@@ -465,6 +467,55 @@ let default_check_policies clusters =
     base @ [ Clusteer.Configuration.Vc { virtual_clusters = clusters } ]
   else base
 
+(* Workload selection shared by check and analyze: --all covers every
+   SPEC profile plus the three adversarial scenarios — the generator's
+   outputs are part of the checked surface. *)
+let resolve_synths ~cmd ~all workloads =
+  if all then
+    List.map Synth.build Spec2000.all
+    @ List.map snd Clusteer_workloads.Adversarial.all
+  else
+    match workloads with
+    | None ->
+        Printf.eprintf "csteer: %s needs -w WORKLOADS or --all\n" cmd;
+        exit 2
+    | Some names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name (synth_workloads ()) with
+            | Some w -> w
+            | None -> (
+                match Spec2000.find name with
+                | p -> Synth.build p
+                | exception Not_found ->
+                    Printf.eprintf "unknown workload %S (try `csteer list`)\n"
+                      name;
+                    exit 2))
+          (split_csv names)
+
+let resolve_configs ~machine policies =
+  match policies with
+  | None -> default_check_policies machine.Config.clusters
+  | Some names ->
+      List.map
+        (fun name ->
+          match Clusteer.Configuration.of_name name with
+          | Ok c -> c
+          | Error (`Msg e) ->
+              Printf.eprintf "csteer: %s\n" e;
+              exit 2)
+        (split_csv names)
+
+(* --annot swaps in an externally supplied annotation, which only makes
+   sense against exactly one workload × policy. *)
+let restrict_annot ~annot_file ~synths ~configs =
+  match annot_file with
+  | Some _ when List.length synths > 1 || List.length configs > 1 ->
+      Printf.eprintf
+        "csteer: --annot applies to exactly one workload and one policy\n";
+      exit 2
+  | _ -> ()
+
 let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
     (w : Synth.t) config =
   let clusters = machine.Config.clusters in
@@ -522,7 +573,14 @@ let check_one ~machine ~passes ~region_uops ~annot_file ~dynamic ~dynamic_uops
     Analysis.Checker.target ~label ~region_uops ?claimed ?critical ?events
       ~program ~likely ~annot ~config:machine ()
   in
-  (label, Analysis.Checker.run ~passes target)
+  (* The cost model also feeds the text summary's prediction columns;
+     recomputing it here is cheap and keeps the pass selection (which
+     may exclude "cost") independent of the report format. *)
+  let model, _ =
+    Analysis.Cost_model.analyze ~program ~annot
+      ~topology:machine.Config.topology ~clusters ()
+  in
+  (label, model, Analysis.Checker.run ~passes target)
 
 let check all workloads clusters topology policies passes annot_file dynamic
     dynamic_uops region_uops strict json =
@@ -531,55 +589,14 @@ let check all workloads clusters topology policies passes annot_file dynamic
     match Analysis.Checker.select (split_csv passes) with
     | Ok ps -> ps
     | Error e ->
-        Printf.eprintf "csteer: %s (expected ir, vc, place, dyn, topo)\n" e;
+        Printf.eprintf
+          "csteer: %s (expected ir, liv, vc, place, cost, dyn, topo, meta)\n" e;
         exit 2
   in
-  let synths =
-    (* --all covers every SPEC profile plus the three adversarial
-       scenarios — the generator's outputs are part of the checked
-       surface. *)
-    if all then
-      List.map Synth.build Spec2000.all
-      @ List.map snd Clusteer_workloads.Adversarial.all
-    else
-      match workloads with
-      | None ->
-          Printf.eprintf "csteer: check needs -w WORKLOADS or --all\n";
-          exit 2
-      | Some names ->
-          List.map
-            (fun name ->
-              match List.assoc_opt name (synth_workloads ()) with
-              | Some w -> w
-              | None -> (
-                  match Spec2000.find name with
-                  | p -> Synth.build p
-                  | exception Not_found ->
-                      Printf.eprintf
-                        "unknown workload %S (try `csteer list`)\n" name;
-                      exit 2))
-            (split_csv names)
-  in
+  let synths = resolve_synths ~cmd:"check" ~all workloads in
   let machine = machine_of ~clusters topology in
-  let configs =
-    match policies with
-    | None -> default_check_policies machine.Config.clusters
-    | Some names ->
-        List.map
-          (fun name ->
-            match Clusteer.Configuration.of_name name with
-            | Ok c -> c
-            | Error (`Msg e) ->
-                Printf.eprintf "csteer: %s\n" e;
-                exit 2)
-          (split_csv names)
-  in
-  (match annot_file with
-  | Some _ when List.length synths > 1 || List.length configs > 1 ->
-      Printf.eprintf
-        "csteer: --annot applies to exactly one workload and one policy\n";
-      exit 2
-  | _ -> ());
+  let configs = resolve_configs ~machine policies in
+  restrict_annot ~annot_file ~synths ~configs;
   let reports =
     List.concat_map
       (fun w ->
@@ -590,7 +607,9 @@ let check all workloads clusters topology policies passes annot_file dynamic
       synths
   in
   let failed =
-    List.exists (fun (_, diags) -> Analysis.Checker.failed ~strict diags) reports
+    List.exists
+      (fun (_, _, diags) -> Analysis.Checker.failed ~strict diags)
+      reports
   in
   if json then
     print_endline
@@ -602,18 +621,23 @@ let check all workloads clusters topology policies passes annot_file dynamic
               ( "targets",
                 Json.List
                   (List.map
-                     (fun (label, diags) ->
+                     (fun (label, _, diags) ->
                        Analysis.Checker.report_json ~label diags)
                      reports) );
             ]))
   else begin
     List.iter
-      (fun (label, diags) ->
+      (fun (label, model, diags) ->
         let errors = Diag.count Diag.Error diags in
         let warnings = Diag.count Diag.Warning diags in
         let infos = Diag.count Diag.Info diags in
-        Printf.printf "%s: %d error(s), %d warning(s), %d info\n" label errors
-          warnings infos;
+        Printf.printf
+          "%s: %d error(s), %d warning(s), %d info | %s, pred %.3f copies/uop, \
+           imbalance %.2f\n"
+          label errors warnings infos
+          (Analysis.Cost_model.kind_name model.Analysis.Cost_model.kind)
+          model.Analysis.Cost_model.pred_copy_rate
+          model.Analysis.Cost_model.imbalance;
         List.iter
           (fun d ->
             if d.Diag.severity <> Diag.Info || strict then
@@ -654,8 +678,9 @@ let check_cmd =
       value & opt string ""
       & info [ "passes" ]
           ~doc:
-            "Comma-separated pass subset: $(b,ir), $(b,vc), $(b,place), \
-             $(b,dyn), $(b,topo). Default: all applicable passes."
+            "Comma-separated pass subset: $(b,ir), $(b,liv), $(b,vc), \
+             $(b,place), $(b,cost), $(b,dyn), $(b,topo), $(b,meta). \
+             Default: all applicable passes."
           ~docv:"LIST")
   in
   let annot_file =
@@ -713,6 +738,289 @@ let check_cmd =
       const check $ all $ workloads $ clusters_arg $ topology_arg $ policies
       $ passes $ annot_file $ dynamic $ dynamic_uops $ region_uops $ strict
       $ json_out)
+
+(* ---- analyze ------------------------------------------------------- *)
+
+(* Static-analysis report: liveness plus the communication cost model
+   per target, optionally validated against a fresh simulation
+   (--vs-run). Where [check] is a pass/fail gate that hides info
+   findings unless --strict, [analyze] is a report: the LIV/CM infos
+   are the point, so they always print. *)
+
+let analyze_one ~machine ~region_uops ~annot_file ~vs_run ~run_uops
+    ~max_copy_rate ~max_imbalance (w : Synth.t) config =
+  let clusters = machine.Config.clusters in
+  let topology = machine.Config.topology in
+  let program = w.Synth.program and likely = w.Synth.likely in
+  (* Private counter registry per target: the drift check reads the
+     policy's remap counters, and targets must not share mutable
+     counter state. The topology is threaded into the policy the same
+     way the harness does, so a --vs-run replay steers exactly like
+     [csteer simulate] on the same fabric. *)
+  let registry = Obs.Counters.create () in
+  let params =
+    {
+      Clusteer.Configuration.default_params with
+      Clusteer.Configuration.topology = Some topology;
+    }
+  in
+  let annot, policy =
+    Clusteer.Configuration.prepare config ~program ~likely ~clusters
+      ~region_uops ~params ~registry ()
+  in
+  let annot =
+    match annot_file with
+    | None -> annot
+    | Some path -> Clusteer_isa.Annot_io.load ~path
+  in
+  let liveness = Analysis.Liveness.analyze program in
+  let model, corrupt =
+    Analysis.Cost_model.analyze ~program ~annot ~topology ~clusters ~liveness
+      ()
+  in
+  let static_diags =
+    Analysis.Liveness.check ~int_budget:machine.Config.int_regfile
+      ~fp_budget:machine.Config.fp_regfile program
+    @ corrupt
+    @ Analysis.Cost_model.check ?max_copy_rate ?max_imbalance model
+  in
+  let drift, dispatched =
+    if not vs_run then ([], 0)
+    else begin
+      let prewarm =
+        Array.to_list
+          (Array.map Clusteer_trace.Mem_model.extent w.Synth.streams)
+      in
+      let engine =
+        Clusteer_uarch.Engine.create ~config:machine ~annot ~policy ~prewarm
+          ()
+      in
+      let gen = Synth.trace w ~seed:1 in
+      let stats =
+        Clusteer_uarch.Engine.run ~warmup:0 engine
+          ~source:(fun () -> Clusteer_trace.Tracegen.next gen)
+          ~uops:run_uops
+      in
+      let run = Analysis.Dyn_check.observe_run ~registry stats in
+      ( Analysis.Dyn_check.check_drift ~model run,
+        run.Analysis.Dyn_check.dispatched )
+    end
+  in
+  let diags = List.sort Diag.compare (static_diags @ drift) in
+  let label =
+    Printf.sprintf "%s/%s" w.Synth.profile.Profile.name
+      (Clusteer.Configuration.name config)
+  in
+  (label, model, diags, dispatched)
+
+let analyze all workloads clusters topology policies annot_file region_uops
+    vs_run run_uops max_copy_rate max_imbalance strict json ledger_dir =
+  protect @@ fun () ->
+  let synths = resolve_synths ~cmd:"analyze" ~all workloads in
+  let machine = machine_of ~clusters topology in
+  let configs = resolve_configs ~machine policies in
+  restrict_annot ~annot_file ~synths ~configs;
+  let started = Unix.gettimeofday () in
+  let reports, wall_s, gc =
+    Runner.measured (fun () ->
+        List.concat_map
+          (fun w ->
+            List.map
+              (analyze_one ~machine ~region_uops ~annot_file ~vs_run
+                 ~run_uops ~max_copy_rate ~max_imbalance w)
+              configs)
+          synths)
+  in
+  let failed =
+    List.exists
+      (fun (_, _, diags, _) -> Analysis.Checker.failed ~strict diags)
+      reports
+  in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("strict", Json.Bool strict);
+              ("vs_run", Json.Bool vs_run);
+              ("topology", Topology.to_json machine.Config.topology);
+              ("failed", Json.Bool failed);
+              ( "targets",
+                Json.List
+                  (List.map
+                     (fun (label, model, diags, dispatched) ->
+                       Json.Obj
+                         [
+                           ("target", Json.Str label);
+                           ("model", Analysis.Cost_model.to_json model);
+                           ("dispatched", Json.Int dispatched);
+                           ( "errors",
+                             Json.Int (Diag.count Diag.Error diags) );
+                           ( "warnings",
+                             Json.Int (Diag.count Diag.Warning diags) );
+                           ("infos", Json.Int (Diag.count Diag.Info diags));
+                           ( "diagnostics",
+                             Json.List (List.map Diag.to_json diags) );
+                         ])
+                     reports) );
+            ]))
+  else begin
+    List.iter
+      (fun (label, model, diags, _) ->
+        let open Analysis.Cost_model in
+        Printf.printf
+          "%s: %s placement, %d uops, %d/%d uses cross (pred %.3f \
+           copies/uop, bound %.3f), %d hops / %d cycles, imbalance %.2f\n"
+          label (kind_name model.kind) model.uops model.must_cross
+          model.reg_uses model.pred_copy_rate model.bound_copy_rate
+          model.pred_hops model.pred_latency model.imbalance;
+        List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags)
+      reports;
+    Printf.printf "analyzed %d target(s)%s: %s\n" (List.length reports)
+      (if vs_run then " with drift check" else "")
+      (if failed then " FAIL" else "ok")
+  end;
+  Option.iter
+    (fun dir ->
+      let ledger = Obs.Ledger.create ~dir in
+      let total_dispatched =
+        List.fold_left (fun acc (_, _, _, d) -> acc + d) 0 reports
+      in
+      let s =
+        Obs.Ledger.append ledger ~kind:"analyze"
+          ~label:
+            (Printf.sprintf "analyze/%d-targets%s" (List.length reports)
+               (if vs_run then "/vs-run" else ""))
+          ~config:
+            (Json.Obj
+               [
+                 ("targets", Json.Int (List.length reports));
+                 ("clusters", Json.Int machine.Config.clusters);
+                 ( "topology",
+                   Json.Str (Topology.name machine.Config.topology) );
+                 ("strict", Json.Bool strict);
+                 ("vs_run", Json.Bool vs_run);
+               ])
+          ~started ~wall_s
+          ~outcome:(if failed then "fail" else "ok")
+          ~uops:total_dispatched ~gc
+          (Obs.Counters.create ())
+      in
+      Printf.eprintf "ledger: run %d recorded in %s\n" s.Obs.Ledger.id dir)
+    ledger_dir;
+  if failed then exit 1
+
+let analyze_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze every built-in workload profile.")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workloads" ]
+          ~doc:"Comma-separated workload names (e.g. mcf,gzip)."
+          ~docv:"NAMES")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "policies" ]
+          ~doc:
+            "Comma-separated steering configurations to model (default: \
+             ob,rhop,vc2, plus vcN on an N-cluster machine)."
+          ~docv:"NAMES")
+  in
+  let annot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "annot" ]
+          ~doc:
+            "Model this annotation file (from $(b,csteer compile --emit)) \
+             instead of the freshly compiled one. Requires a single \
+             workload and policy."
+          ~docv:"FILE")
+  in
+  let region_uops =
+    Arg.(
+      value & opt int 512
+      & info [ "region-uops" ]
+          ~doc:"Region size used by the compiler passes." ~docv:"N")
+  in
+  let vs_run =
+    Arg.(
+      value & flag
+      & info [ "vs-run" ]
+          ~doc:
+            "Also simulate each target and verify the dynamic copy and \
+             remap counters land inside the static bounds (drift codes \
+             CM100..CM103).")
+  in
+  let run_uops =
+    Arg.(
+      value & opt int 20_000
+      & info [ "n"; "uops" ]
+          ~doc:"Committed micro-ops to simulate under $(b,--vs-run)."
+          ~docv:"N")
+  in
+  let max_copy_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cm-max-copy-rate" ]
+          ~doc:
+            "CM004 threshold: predicted copies per micro-op above which \
+             the placement is flagged (default 2.0)."
+          ~docv:"RATE")
+  in
+  let max_imbalance =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cm-max-imbalance" ]
+          ~doc:
+            "CM005 threshold: static load imbalance (max cluster load over \
+             the best integer split) above which the placement is flagged \
+             (default 4.0)."
+          ~docv:"X")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as failures (info never fails).")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one JSON document with the per-target model and \
+             diagnostics.")
+  in
+  let ledger_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ]
+          ~doc:
+            "Record the analysis in the ledger at $(docv); inspect with \
+             $(b,csteer runs)."
+          ~docv:"DIR")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Predict placement cost statically — liveness, criticality and \
+          the communication cost model — and optionally verify a real run \
+          stays inside the predicted bounds")
+    Term.(
+      const analyze $ all $ workloads $ clusters_arg $ topology_arg
+      $ policies $ annot_file $ region_uops $ vs_run $ run_uops
+      $ max_copy_rate $ max_imbalance $ strict $ json_out $ ledger_dir)
 
 (* ---- stats ---------------------------------------------------------- *)
 
@@ -1989,7 +2297,8 @@ let main =
   in
   Cmd.group (Cmd.info "csteer" ~doc)
     [
-      list_cmd; simulate_cmd; compile_cmd; check_cmd; stats_cmd; sweep_cmd;
+      list_cmd; simulate_cmd; compile_cmd; check_cmd; analyze_cmd; stats_cmd;
+      sweep_cmd;
       vliw_cmd; experiment_cmd; serve_cmd; submit_cmd; batch_cmd; metrics_cmd;
       runs_cmd; tune_cmd; topo_cmd;
     ]

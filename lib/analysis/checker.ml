@@ -114,7 +114,58 @@ let topo_pass =
           ~clusters:t.config.Uarch.Config.clusters ());
   }
 
-let passes = [ ir_pass; vc_pass; place_pass; dyn_pass; topo_pass ]
+let liv_pass =
+  {
+    name = "liv";
+    applies = (fun _ -> true);
+    run =
+      (fun t ->
+        Liveness.check ~int_budget:t.config.Uarch.Config.int_regfile
+          ~fp_budget:t.config.Uarch.Config.fp_regfile t.program);
+  }
+
+let cost_pass =
+  {
+    name = "cost";
+    applies = (fun _ -> true);
+    run =
+      (fun t ->
+        let model, errors =
+          Cost_model.analyze ~program:t.program ~annot:t.annot
+            ~topology:t.config.Uarch.Config.topology
+            ~clusters:t.config.Uarch.Config.clusters ()
+        in
+        errors @ Cost_model.check model);
+  }
+
+(* Pass name -> the stable codes it can emit. The compiler's
+   partition-quality findings and the drift checker share the
+   vocabulary, so they register here too even though they are not
+   checker passes. *)
+let code_table =
+  [
+    ("ir", Ir_check.codes);
+    ("vc", Vc_check.codes);
+    ("place", Place_check.codes);
+    ("dyn", Dyn_check.codes);
+    ("topo", Topo_check.codes);
+    ("liv", Liveness.codes);
+    ("cost", Cost_model.codes);
+    ("drift", Dyn_check.drift_codes);
+    ("compiler", Compiler.Diagnostics.codes);
+    ("meta", Meta_check.codes);
+  ]
+
+let meta_pass =
+  {
+    name = "meta";
+    applies = (fun _ -> true);
+    run = (fun _ -> Meta_check.check code_table);
+  }
+
+let passes =
+  [ ir_pass; liv_pass; vc_pass; place_pass; cost_pass; dyn_pass; topo_pass;
+    meta_pass ]
 
 let select names =
   match names with

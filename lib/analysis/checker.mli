@@ -47,9 +47,17 @@ val target :
 type pass = { name : string; applies : target -> bool; run : target -> Diag.t list }
 
 val passes : pass list
-(** The registry, in canonical order: ["ir"], ["vc"], ["place"],
-    ["dyn"], ["topo"]. A pass that does not apply to a target (e.g.
-    ["vc"] on a static annotation) is skipped silently by {!run}. *)
+(** The registry, in canonical order: ["ir"], ["liv"], ["vc"],
+    ["place"], ["cost"], ["dyn"], ["topo"], ["meta"]. A pass that does
+    not apply to a target (e.g. ["vc"] on a static annotation) is
+    skipped silently by {!run}. *)
+
+val code_table : (string * string list) list
+(** Every stable diagnostic code, grouped by the pass (or shared
+    vocabulary: ["compiler"] for CP0xx, ["drift"] for CM1xx) that owns
+    it. The ["meta"] pass checks this table for duplicates; the test
+    suite additionally checks it against the ARCHITECTURE.md diagnostic
+    table. *)
 
 val select : string list -> (pass list, string) result
 (** Resolve pass names; [Error] names the first unknown one. The empty

@@ -1,0 +1,345 @@
+open Clusteer_isa
+module Topology = Clusteer_topo.Topology
+module Json = Clusteer_obs.Json
+
+type placement_kind =
+  | Static_placement
+  | Virtual_placement
+  | Dynamic_placement
+
+type t = {
+  kind : placement_kind;
+  clusters : int;
+  domains : int;
+  topology : Topology.t;
+  uops : int;
+  reg_uses : int;
+  must_cross : int;
+  may_cross : int;
+  pred_copy_rate : float;
+  bound_copy_rate : float;
+  pred_hops : int;
+  pred_latency : int;
+  load : int array;
+  unplaced : int;
+  imbalance : float;
+  peak_live : int;
+  max_block_uops : int;
+  max_srcs : int;
+  iterations : int;
+}
+
+let codes = [ "CM001"; "CM002"; "CM003"; "CM004"; "CM005"; "CM006" ]
+
+let kind_name = function
+  | Static_placement -> "static"
+  | Virtual_placement -> "virtual"
+  | Dynamic_placement -> "dynamic"
+
+(* Origin masks fit one int: bit [d] for placement domain [d], bit
+   [domains] for "external" (pre-trace machine state, resident in every
+   cluster — never copies) and bit [domains+1] for "roaming" (a
+   definition the hardware steers freely — it lands in exactly one
+   cluster, so its consumers may have to copy). Domain counts beyond
+   the int width degrade to the all-roaming model. *)
+let max_domains = 60
+
+let analyze ~program:(p : Program.t) ~annot ~topology ~clusters
+    ?liveness () =
+  let n = p.Program.uop_count in
+  let errors = ref [] in
+  let err d = errors := d :: !errors in
+  let nvc = annot.Annot.virtual_clusters in
+  let arrays_sized =
+    Array.length annot.Annot.vc_of = n
+    && Array.length annot.Annot.cluster_of = n
+  in
+  if not arrays_sized then
+    err
+      (Diag.errorf ~code:"CM006"
+         "annotation covers %d uops but the program has %d"
+         (Array.length annot.Annot.vc_of)
+         n);
+  let is_virtual = nvc > 0 in
+  let is_static =
+    (not is_virtual) && arrays_sized
+    && Array.exists (fun c -> c <> -1) annot.Annot.cluster_of
+  in
+  let kind =
+    if is_virtual && nvc <= max_domains then Virtual_placement
+    else if is_static && clusters <= max_domains then Static_placement
+    else Dynamic_placement
+  in
+  let domains =
+    match kind with
+    | Virtual_placement -> nvc
+    | Static_placement -> clusters
+    | Dynamic_placement -> 0
+  in
+  let external_bit = 1 lsl domains in
+  let roam_bit = external_bit lsl 1 in
+  (* Domain of a static uop under the annotation; -1 = roaming. Emits
+     CM006 once per out-of-range entry, then treats it as roaming. *)
+  let domain_of =
+    match kind with
+    | Dynamic_placement -> fun _ -> -1
+    | Virtual_placement ->
+        fun id ->
+          let v = annot.Annot.vc_of.(id) in
+          if v >= nvc || v < -1 then begin
+            err
+              (Diag.errorf ~uop:id
+                 ~block:(Program.block_of_uop p id)
+                 ~code:"CM006" "virtual cluster %d out of range [0, %d)" v nvc);
+            -1
+          end
+          else v
+    | Static_placement ->
+        fun id ->
+          let c = annot.Annot.cluster_of.(id) in
+          if c >= clusters || c < -1 then begin
+            err
+              (Diag.errorf ~uop:id
+                 ~block:(Program.block_of_uop p id)
+                 ~code:"CM006" "cluster %d out of range [0, %d)" c clusters);
+            -1
+          end
+          else c
+  in
+  let domain = Array.init n (fun id -> if arrays_sized then domain_of id else -1) in
+  (* Initial physical mapping of a domain: the hardware VC table starts
+     as [v mod clusters]; static domains are physical already. *)
+  let phys d =
+    match kind with Virtual_placement -> d mod clusters | _ -> d
+  in
+  let nregs = p.Program.nregs_per_class in
+  let nslots = 2 * nregs in
+  let code r = Reg.encode ~nregs_per_class:nregs r in
+  let cfg = Fixpoint.of_program p in
+  let lattice =
+    {
+      Fixpoint.bottom = Array.make nslots 0;
+      equal = ( = );
+      join = (fun a b -> Array.mapi (fun i w -> w lor b.(i)) a);
+    }
+  in
+  let def_mask id =
+    let d = domain.(id) in
+    if d < 0 then roam_bit else 1 lsl d
+  in
+  let transfer b env =
+    let env = Array.copy env in
+    Array.iter
+      (fun (u : Uop.t) ->
+        match u.Uop.dst with
+        | Some r -> env.(code r) <- def_mask u.Uop.id
+        | None -> ())
+      p.Program.blocks.(b).Block.uops;
+    env
+  in
+  let seed b =
+    if b = p.Program.entry then Some (Array.make nslots external_bit) else None
+  in
+  let r =
+    Fixpoint.solve ~direction:Fixpoint.Forward ~lattice ~cfg ~seed ~transfer ()
+  in
+  (* Per-use pass: walk each block forward with the solved entry fact,
+     classifying every distinct-register source operand. *)
+  let dist = Topology.distance_matrix topology in
+  let lat = Topology.latency_matrix topology in
+  let reg_uses = ref 0 in
+  let must_cross = ref 0 and may_cross = ref 0 in
+  let pred_hops = ref 0 and pred_latency = ref 0 in
+  let max_srcs = ref 0 in
+  let bound_rate = ref 0. in
+  let max_block_uops = ref 0 in
+  let seen = Array.make nslots (-1) in
+  Array.iteri
+    (fun b (blk : Block.t) ->
+      let nuops = Array.length blk.Block.uops in
+      if nuops > !max_block_uops then max_block_uops := nuops;
+      let env = Array.copy r.Fixpoint.input.(b) in
+      let block_may = ref 0 in
+      Array.iter
+        (fun (u : Uop.t) ->
+          let self = domain.(u.Uop.id) in
+          let distinct = ref 0 in
+          Array.iter
+            (fun reg ->
+              let c = code reg in
+              if seen.(c) <> u.Uop.id then begin
+                seen.(c) <- u.Uop.id;
+                incr distinct;
+                incr reg_uses;
+                let mask = env.(c) in
+                let origins = mask land (external_bit - 1) in
+                let external_ = mask land external_bit <> 0 in
+                let roaming = mask land roam_bit <> 0 in
+                (* may-cross: any reaching definition whose domain is
+                   not the consumer's own. The external origin is
+                   resident everywhere and never copies; a roaming
+                   definition could be anywhere, so it always may
+                   cross; an all-zero mask (unreachable code) is
+                   treated pessimistically. *)
+                let foreign =
+                  if self < 0 then origins
+                  else origins land lnot (1 lsl self)
+                in
+                if mask = 0 || roaming || foreign <> 0 then begin
+                  incr may_cross;
+                  incr block_may
+                end;
+                (* must-cross: every origin is a known domain mapped to
+                   a different physical cluster under the initial
+                   mapping — only meaningful for a placed consumer. The
+                   cost charged is the farthest origin (the copy the
+                   consumer would actually wait for). *)
+                if self >= 0 && origins <> 0 && not external_ && not roaming
+                then begin
+                  let all_far = ref true and hops = ref 0 and cyc = ref 0 in
+                  for d = 0 to domains - 1 do
+                    if origins land (1 lsl d) <> 0 then
+                      if phys d = phys self then all_far := false
+                      else begin
+                        if dist.(phys d).(phys self) > !hops then
+                          hops := dist.(phys d).(phys self);
+                        if lat.(phys d).(phys self) > !cyc then
+                          cyc := lat.(phys d).(phys self)
+                      end
+                  done;
+                  if !all_far then begin
+                    incr must_cross;
+                    pred_hops := !pred_hops + !hops;
+                    pred_latency := !pred_latency + !cyc
+                  end
+                end
+              end)
+            u.Uop.srcs;
+          if !distinct > !max_srcs then max_srcs := !distinct;
+          match u.Uop.dst with
+          | Some reg -> env.(code reg) <- def_mask u.Uop.id
+          | None -> ())
+        blk.Block.uops;
+      if nuops > 0 then begin
+        let rate = float_of_int !block_may /. float_of_int nuops in
+        if rate > !bound_rate then bound_rate := rate
+      end)
+    p.Program.blocks;
+  let load = Array.make clusters 0 in
+  let unplaced = ref 0 in
+  for id = 0 to n - 1 do
+    let d = domain.(id) in
+    if d < 0 then incr unplaced else load.(phys d) <- load.(phys d) + 1
+  done;
+  let placed = n - !unplaced in
+  (* Imbalance is measured against the best integer split over the
+     clusters the placement can actually address: a 2-VC annotation on
+     a 4-cluster machine addresses 2 clusters by design, and a 5-uop
+     program cannot spread evenly however it is placed. 1.0 = as even
+     as an integer assignment allows. *)
+  let addressable =
+    match kind with
+    | Virtual_placement -> min domains clusters
+    | Static_placement | Dynamic_placement -> clusters
+  in
+  let imbalance =
+    if placed = 0 then 1.
+    else
+      let best_max = (placed + addressable - 1) / addressable in
+      float_of_int (Array.fold_left max 0 load) /. float_of_int best_max
+  in
+  let live =
+    match liveness with Some l -> l | None -> Liveness.analyze p
+  in
+  let model =
+    {
+      kind;
+      clusters;
+      domains;
+      topology;
+      uops = n;
+      reg_uses = !reg_uses;
+      must_cross = !must_cross;
+      may_cross = !may_cross;
+      pred_copy_rate =
+        (if n = 0 then 0. else float_of_int !must_cross /. float_of_int n);
+      bound_copy_rate = !bound_rate;
+      pred_hops = !pred_hops;
+      pred_latency = !pred_latency;
+      load;
+      unplaced = !unplaced;
+      imbalance;
+      peak_live = live.Liveness.peak_int + live.Liveness.peak_fp;
+      max_block_uops = !max_block_uops;
+      max_srcs = !max_srcs;
+      iterations = r.Fixpoint.iterations;
+    }
+  in
+  (model, List.rev !errors)
+
+let check ?(max_copy_rate = 2.0) ?(max_imbalance = 4.0) m =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  add
+    (Diag.infof ~code:"CM001"
+       "%s placement: %d/%d source operands must cross clusters (%.3f \
+        copies/uop predicted), %d may cross (bound %.3f/uop)"
+       (kind_name m.kind) m.must_cross m.reg_uses m.pred_copy_rate m.may_cross
+       m.bound_copy_rate);
+  add
+    (Diag.infof ~code:"CM002"
+       "predicted copy cost on %s: %d hops, %d cycles (%.2f hops/copy)"
+       (Topology.name m.topology) m.pred_hops m.pred_latency
+       (if m.must_cross = 0 then 0.
+        else float_of_int m.pred_hops /. float_of_int m.must_cross));
+  add
+    (Diag.infof ~code:"CM003"
+       "static load per cluster [%s]%s, imbalance %.2f (1.00 = even)"
+       (String.concat " "
+          (Array.to_list (Array.map string_of_int m.load)))
+       (if m.unplaced > 0 then Printf.sprintf " + %d roaming" m.unplaced
+        else "")
+       m.imbalance);
+  if m.pred_copy_rate > max_copy_rate then
+    add
+      (Diag.warnf ~code:"CM004"
+         "predicted copy rate %.3f/uop exceeds the %.3f threshold — the \
+          placement communicates more than it computes"
+         m.pred_copy_rate max_copy_rate);
+  if m.kind <> Dynamic_placement && m.imbalance > max_imbalance then
+    add
+      (Diag.warnf ~code:"CM005"
+         "static load imbalance %.2f exceeds the %.2f threshold (loads [%s])"
+         m.imbalance max_imbalance
+         (String.concat " "
+            (Array.to_list (Array.map string_of_int m.load))));
+  List.rev !diags
+
+let copy_bound m ~dispatched ~remaps =
+  int_of_float (ceil (m.bound_copy_rate *. float_of_int dispatched))
+  + (remaps * m.peak_live)
+  + (m.max_srcs * m.max_block_uops)
+
+let to_json m =
+  Json.Obj
+    [
+      ("kind", Json.Str (kind_name m.kind));
+      ("clusters", Json.Int m.clusters);
+      ("domains", Json.Int m.domains);
+      ("topology", Json.Str (Topology.name m.topology));
+      ("uops", Json.Int m.uops);
+      ("reg_uses", Json.Int m.reg_uses);
+      ("must_cross", Json.Int m.must_cross);
+      ("may_cross", Json.Int m.may_cross);
+      ("pred_copy_rate", Json.Float m.pred_copy_rate);
+      ("bound_copy_rate", Json.Float m.bound_copy_rate);
+      ("pred_hops", Json.Int m.pred_hops);
+      ("pred_latency", Json.Int m.pred_latency);
+      ("load", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) m.load)));
+      ("unplaced", Json.Int m.unplaced);
+      ("imbalance", Json.Float m.imbalance);
+      ("peak_live", Json.Int m.peak_live);
+      ("max_block_uops", Json.Int m.max_block_uops);
+      ("max_srcs", Json.Int m.max_srcs);
+      ("iterations", Json.Int m.iterations);
+    ]

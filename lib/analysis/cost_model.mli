@@ -1,0 +1,110 @@
+(** Static communication cost model.
+
+    For a program, a steering annotation and an interconnect topology,
+    predict what the placement will cost at run time before any cycle is
+    simulated: how many inter-cluster copies the placement implies, how
+    far those copies travel, and how evenly the static uops spread over
+    the physical clusters. The predictions come from a forward
+    {e reaching-origins} dataflow over the block CFG (an instance of
+    {!Fixpoint}): per architectural register, the set of placement
+    domains — virtual clusters for a VC annotation, physical clusters
+    for a static one — whose definitions may reach each use, plus an
+    "external" origin for machine state that predates the trace (which
+    the engine seeds as resident in {e every} cluster, so it never
+    copies) and a "roaming" origin for definitions the hardware steers
+    freely (they land in exactly one, unknown, cluster — so their
+    consumers may always have to copy).
+
+    Two layers of output per source operand:
+    - {b must-cross} — every reaching definition lives in a domain
+      mapped to a different physical cluster than the consumer; such a
+      use will generate a copy (modulo value-reuse dedup). This is the
+      {e prediction}.
+    - {b may-cross} — some reaching definition may live elsewhere. This
+      is the sound over-approximation the drift checker turns into a
+      run-time {e bound}: dynamic copies for a window of [d] dispatched
+      uops cannot exceed [bound_copy_rate * d] plus a remap-stranding
+      term ([remaps * peak_live], VC schemes only — a leader remap can
+      strand at most the live values) plus one partial block at the
+      window edge ([max_srcs * max_block_uops]).
+
+    Codes:
+    - [CM001] (info) — predicted copy counts and rates.
+    - [CM002] (info) — hop- and latency-weighted predicted copy cost.
+    - [CM003] (info) — static per-cluster load and imbalance.
+    - [CM004] (warning) — predicted copy rate above threshold.
+    - [CM005] (warning) — static load imbalance above threshold.
+    - [CM006] (error) — the annotation names a cluster or virtual
+      cluster out of range (a corrupted placement).
+
+    The drift codes [CM100..CM103] comparing these bounds against a
+    recorded run live in {!Dyn_check}. *)
+
+open Clusteer_isa
+module Topology = Clusteer_topo.Topology
+
+type placement_kind =
+  | Static_placement  (** [cluster_of]: OB / RHOP *)
+  | Virtual_placement  (** [vc_of] + initial table [v mod clusters] *)
+  | Dynamic_placement  (** no annotation: the hardware roams freely *)
+
+type t = {
+  kind : placement_kind;
+  clusters : int;
+  domains : int;  (** placement domains (VCs or clusters); 0 if dynamic *)
+  topology : Topology.t;
+  uops : int;  (** static micro-ops *)
+  reg_uses : int;  (** distinct-register source operands, program-wide *)
+  must_cross : int;  (** uses that will copy under the initial mapping *)
+  may_cross : int;  (** uses that may copy under any reachable mapping *)
+  pred_copy_rate : float;  (** [must_cross / uops] *)
+  bound_copy_rate : float;
+      (** max over blocks of (may-cross uses / block uops) — the sound
+          per-dispatched-uop copy rate *)
+  pred_hops : int;  (** hop-weighted must-cross cost *)
+  pred_latency : int;  (** latency-weighted must-cross cost, cycles *)
+  load : int array;  (** static uops per physical cluster *)
+  unplaced : int;  (** uops with no static placement *)
+  imbalance : float;
+      (** max per-cluster load relative to the best integer split over
+          the clusters the placement can address (a [vcN] annotation
+          addresses [min N clusters] under the initial table); [1.0] =
+          as even as an integer assignment allows *)
+  peak_live : int;  (** INT + FP peak pressure (remap stranding bound) *)
+  max_block_uops : int;
+  max_srcs : int;  (** largest distinct-register source count of a uop *)
+  iterations : int;  (** solver transfer applications *)
+}
+
+val codes : string list
+val kind_name : placement_kind -> string
+
+val analyze :
+  program:Program.t ->
+  annot:Annot.t ->
+  topology:Topology.t ->
+  clusters:int ->
+  ?liveness:Liveness.t ->
+  unit ->
+  t * Diag.t list
+(** Run the reaching-origins analysis and assemble the model. The
+    returned diagnostics are the CM006 errors found while reading the
+    annotation (out-of-range entries are treated as unplaced and the
+    analysis continues, so one corrupt entry cannot hide another).
+    [liveness] avoids recomputing pressure when the caller already has
+    it. *)
+
+val check : ?max_copy_rate:float -> ?max_imbalance:float -> t -> Diag.t list
+(** Render CM001..CM005 from a model. Defaults: [max_copy_rate] 2.0
+    predicted copies per uop, [max_imbalance] 4.0 (the compiler's CP002
+    uses the same 4x convention); both are cleared with margin by every
+    built-in workload under the built-in policies and topologies
+    (pinned by [make analyze-smoke]; the worst built-in is OB's 3.3x
+    static skew on the 8-cluster mesh). *)
+
+val copy_bound : t -> dispatched:int -> remaps:int -> int
+(** The largest dynamic [copies_generated] consistent with the model
+    for a run that dispatched [dispatched] program uops and remapped
+    [remaps] times. *)
+
+val to_json : t -> Clusteer_obs.Json.t

@@ -1,8 +1,13 @@
 open Clusteer_isa
 module Uarch = Clusteer_uarch
 module Trace = Clusteer_trace
+module Counters = Clusteer_obs.Counters
+module Topology = Clusteer_topo.Topology
 
 type event = { uop : int; cluster : int }
+
+let codes = [ "DYN001"; "DYN002" ]
+let drift_codes = [ "CM100"; "CM101"; "CM102"; "CM103" ]
 
 let recording (policy : Uarch.Policy.t) =
   let events = ref [] in
@@ -44,4 +49,66 @@ let check ~annot ~clusters events =
               :: !diags
       end)
     events;
+  List.rev !diags
+
+type run = {
+  dispatched : int;
+  copies_generated : int;
+  remaps : int;
+  leader_decisions : int;
+  remap_hops_max : int;
+}
+
+let observe_run ~registry (stats : Uarch.Stats.t) =
+  let c name = Counters.value (Counters.counter ~registry name) in
+  {
+    dispatched = stats.Uarch.Stats.dispatched;
+    copies_generated = stats.Uarch.Stats.copies_generated;
+    remaps = c "vc.remaps";
+    leader_decisions = c "vc.leader_decisions";
+    remap_hops_max =
+      Counters.hist_max (Counters.histogram ~registry "steer.remap.hops");
+  }
+
+let check_drift ~model run =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let bound =
+    Cost_model.copy_bound model ~dispatched:run.dispatched ~remaps:run.remaps
+  in
+  let rate =
+    if run.dispatched = 0 then 0.
+    else float_of_int run.copies_generated /. float_of_int run.dispatched
+  in
+  add
+    (Diag.infof ~code:"CM100"
+       "run generated %d copies over %d dispatched uops (%.3f/uop); static \
+        bound %d (rate %.3f/uop + %d remaps x %d live + %d edge), predicted \
+        %.3f/uop"
+       run.copies_generated run.dispatched rate bound
+       model.Cost_model.bound_copy_rate run.remaps
+       model.Cost_model.peak_live
+       (model.Cost_model.max_srcs * model.Cost_model.max_block_uops)
+       model.Cost_model.pred_copy_rate);
+  if run.copies_generated > bound then
+    add
+      (Diag.errorf ~code:"CM101"
+         "dynamic copies %d exceed the static bound %d — the policy \
+          communicates more than the placement can explain"
+         run.copies_generated bound);
+  if model.Cost_model.kind = Cost_model.Virtual_placement then begin
+    if run.remaps > run.leader_decisions then
+      add
+        (Diag.errorf ~code:"CM102"
+           "%d remaps recorded over only %d chain-leader decisions — the \
+            hardware remapped mid-chain"
+           run.remaps run.leader_decisions)
+  end;
+  let diam = Topology.diameter model.Cost_model.topology in
+  if run.remap_hops_max > diam then
+    add
+      (Diag.errorf ~code:"CM103"
+         "a remap moved a virtual cluster %d hops; the topology diameter is \
+          %d"
+         run.remap_hops_max diam);
   List.rev !diags

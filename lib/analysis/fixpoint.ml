@@ -1,0 +1,97 @@
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type cfg = { nblocks : int; succs : int -> int array }
+
+type 'a result = { input : 'a array; output : 'a array; iterations : int }
+
+exception Diverged of int
+
+let of_program (p : Clusteer_isa.Program.t) =
+  {
+    nblocks = Array.length p.Clusteer_isa.Program.blocks;
+    succs =
+      (fun b -> p.Clusteer_isa.Program.blocks.(b).Clusteer_isa.Block.succs);
+  }
+
+let solve ?order ?fuel ?(seed = fun _ -> None) ~direction ~lattice ~cfg
+    ~transfer () =
+  let n = cfg.nblocks in
+  let fuel =
+    match fuel with Some f -> f | None -> (64 * (n + 1) * (n + 1)) + 256
+  in
+  let order =
+    match order with Some o -> o | None -> Array.init n (fun i -> i)
+  in
+  if Array.length order <> n then
+    invalid_arg "Fixpoint.solve: order must list every block once";
+  let priority = Array.make n (-1) in
+  Array.iteri
+    (fun rank b ->
+      if b < 0 || b >= n || priority.(b) >= 0 then
+        invalid_arg "Fixpoint.solve: order must be a permutation of blocks";
+      priority.(b) <- rank)
+    order;
+  (* Orient edges in flow direction once. *)
+  let fpreds = Array.make n [] and fsuccs = Array.make n [] in
+  for b = 0 to n - 1 do
+    Array.iter
+      (fun s ->
+        if s < 0 || s >= n then
+          invalid_arg "Fixpoint.solve: successor out of range"
+        else begin
+          match direction with
+          | Forward ->
+              fpreds.(s) <- b :: fpreds.(s);
+              fsuccs.(b) <- s :: fsuccs.(b)
+          | Backward ->
+              fpreds.(b) <- s :: fpreds.(b);
+              fsuccs.(s) <- b :: fsuccs.(s)
+        end)
+      (cfg.succs b)
+  done;
+  let by_priority l =
+    List.sort_uniq (fun a b -> compare priority.(a) priority.(b)) l
+  in
+  for b = 0 to n - 1 do
+    fpreds.(b) <- by_priority fpreds.(b);
+    fsuccs.(b) <- by_priority fsuccs.(b)
+  done;
+  let input = Array.make n lattice.bottom in
+  let output = Array.make n lattice.bottom in
+  let queued = Array.make n false in
+  let queue = Queue.create () in
+  let enqueue b =
+    if not queued.(b) then begin
+      queued.(b) <- true;
+      Queue.push b queue
+    end
+  in
+  Array.iter enqueue order;
+  let iterations = ref 0 in
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    queued.(b) <- false;
+    incr iterations;
+    if !iterations > fuel then raise (Diverged !iterations);
+    let in_ =
+      List.fold_left
+        (fun acc p -> lattice.join acc output.(p))
+        (match seed b with
+        | None -> lattice.bottom
+        | Some s -> lattice.join lattice.bottom s)
+        fpreds.(b)
+    in
+    input.(b) <- in_;
+    let out = transfer b in_ in
+    if not (lattice.equal out output.(b)) then begin
+      output.(b) <- out;
+      List.iter enqueue fsuccs.(b)
+    end
+  done;
+  { input; output; iterations = !iterations }

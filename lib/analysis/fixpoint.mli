@@ -1,0 +1,77 @@
+(** Generic worklist fixpoint solver over a block CFG.
+
+    The dataflow analyses in this library (liveness, reaching placement
+    origins) are all instances of one scheme: a join-semilattice of
+    facts, a per-block monotone transfer function, and iteration to a
+    fixed point over the control-flow graph in either direction. This
+    module is that scheme, parameterized so the property tests can feed
+    it arbitrary graphs and lattices.
+
+    Semantics: writing flow-predecessors for the CFG predecessors under
+    [Forward] and the CFG successors under [Backward],
+
+    - [input b] = join of [seed b] (when given) and the [output] of
+      every flow-predecessor of [b];
+    - [output b] = [transfer b (input b)].
+
+    On return both equations hold at every block (local consistency —
+    the property the qcheck suite pins). Every block is transferred at
+    least once, so facts are defined even for unreachable blocks. *)
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;  (** least element; initial value of every fact *)
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type cfg = {
+  nblocks : int;
+  succs : int -> int array;
+      (** control-flow successors of a block, ids in [\[0, nblocks)] *)
+}
+
+type 'a result = {
+  input : 'a array;
+      (** per block: fact flowing {e into} the transfer function. For a
+          backward analysis this is the fact at the block's {e end}
+          (e.g. live-out). *)
+  output : 'a array;
+      (** per block: [transfer b (input b)]. For a backward analysis
+          the fact at the block's start (e.g. live-in). *)
+  iterations : int;  (** transfer applications until convergence *)
+}
+
+exception Diverged of int
+(** Raised when the solver exhausts its fuel — the transfer function is
+    not monotone or the lattice has unbounded height. Carries the
+    iteration count reached. *)
+
+val of_program : Clusteer_isa.Program.t -> cfg
+(** The program's block graph as a solver CFG. *)
+
+val solve :
+  ?order:int array ->
+  ?fuel:int ->
+  ?seed:(int -> 'a option) ->
+  direction:direction ->
+  lattice:'a lattice ->
+  cfg:cfg ->
+  transfer:(int -> 'a -> 'a) ->
+  unit ->
+  'a result
+(** Iterate to the least fixed point.
+
+    [order] is a processing priority (a permutation of block ids):
+    blocks are first visited in that order and re-enqueued succs are
+    pushed in it too. The fixed point of a monotone transfer over a
+    finite-height lattice does not depend on it — the order-independence
+    property test feeds random permutations. Default: ascending ids.
+
+    [seed b] is an extra boundary fact joined into block [b]'s input
+    (e.g. "all registers externally defined" at the entry). Default:
+    none.
+
+    [fuel] caps transfer applications (default [64 * (n+1)^2 + 256]);
+    exceeding it raises {!Diverged}. *)

@@ -11,6 +11,9 @@ let expects_dst (op : Opcode.t) =
   | Opcode.Fp_mul | Opcode.Fp_div | Opcode.Load | Opcode.Copy ->
       true
 
+let codes =
+  [ "IR001"; "IR002"; "IR003"; "IR004"; "IR005"; "IR006"; "IR007"; "IR008" ]
+
 let check (p : Program.t) =
   let diags = ref [] in
   let add d = diags := d :: !diags in

@@ -30,6 +30,8 @@
 
 open Clusteer_isa
 
+val codes : string list
+
 val check : Program.t -> Diag.t list
 (** All IR findings, in discovery order (callers sort). Never raises,
     even on badly corrupted programs. *)

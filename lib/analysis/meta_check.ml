@@ -1,0 +1,43 @@
+open Clusteer_isa
+
+let codes = [ "META001" ]
+
+let check ?documented table =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let owners = Hashtbl.create 64 in
+  List.iter
+    (fun (pass, cs) ->
+      List.iter
+        (fun code ->
+          match Hashtbl.find_opt owners code with
+          | Some other when other <> pass ->
+              add
+                (Diag.errorf ~code:"META001"
+                   "diagnostic code %s is registered by both %S and %S" code
+                   other pass)
+          | Some _ | None -> Hashtbl.replace owners code pass)
+        cs)
+    table;
+  (match documented with
+  | None -> ()
+  | Some doc ->
+      let doc_set = Hashtbl.create 64 in
+      List.iter (fun c -> Hashtbl.replace doc_set c ()) doc;
+      Hashtbl.iter
+        (fun code pass ->
+          if not (Hashtbl.mem doc_set code) then
+            add
+              (Diag.errorf ~code:"META001"
+                 "code %s (pass %S) is missing from the documented \
+                  diagnostic table"
+                 code pass))
+        owners;
+      List.iter
+        (fun code ->
+          if not (Hashtbl.mem owners code) then
+            add
+              (Diag.errorf ~code:"META001"
+                 "code %s is documented but no pass registers it" code))
+        doc);
+  List.sort Diag.compare !diags

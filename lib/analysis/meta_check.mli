@@ -1,0 +1,22 @@
+(** Self-check over the diagnostic-code registry.
+
+    Every pass (and the compiler's partition-quality reporter) declares
+    the stable codes it can emit; this pass verifies the registry is
+    coherent so the vocabulary stays trustworthy as passes are added:
+
+    - [META001] (error) — a code is registered by more than one pass
+      (two findings would be indistinguishable by code), or — when a
+      documented-code list is supplied — a registered code is missing
+      from the documentation table, or a code is documented but
+      registered nowhere.
+
+    The ARCHITECTURE.md diagnostic table is the canonical documented
+    list; the test suite feeds it in, while the runtime pass checks
+    uniqueness only (the binary does not carry the docs). *)
+
+val codes : string list
+
+val check :
+  ?documented:string list -> (string * string list) list -> Clusteer_isa.Diag.t list
+(** [check ~documented table] where [table] maps a pass name to its
+    registered codes. *)

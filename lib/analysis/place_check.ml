@@ -2,6 +2,8 @@ open Clusteer_isa
 open Clusteer_ddg
 module Uarch = Clusteer_uarch
 
+let codes = [ "PL001"; "PL002"; "PL003"; "PL004"; "PL005" ]
+
 let check ~program ~likely ~annot ~config ?(region_uops = 512) () =
   let n = program.Program.uop_count in
   if Array.length annot.Annot.cluster_of <> n then
@@ -73,21 +75,19 @@ let check_crit ~program ~likely ~critical ?(region_uops = 512)
     ]
   else begin
     let diags = ref [] in
-    let regions = Region.build ~program ~likely ~max_uops:region_uops in
+    (* Slack comes from the shared longest-path module — the same
+       function Crit_hints calls — so this pass checks the hints
+       against their own definition, not a private recomputation. *)
     List.iter
-      (fun (region : Region.t) ->
-        let g = Ddg.of_region region in
-        let crit = Critical.analyze g in
-        Array.iteri
-          (fun node (u : Uop.t) ->
+      (fun (rs : Slack.region_slack) ->
+        Slack.iter rs (fun ~node:_ ~uop:(u : Uop.t) ~slack ->
             let id = u.Uop.id in
-            let slack = crit.Critical.slack.(node) in
             let expected = slack <= slack_threshold in
             if expected && not critical.(id) then
               diags :=
                 Diag.errorf ~uop:id
                   ~block:(Program.block_of_uop program id)
-                  ~region:region.Region.id ~code:"PL005"
+                  ~region:rs.Slack.region.Region.id ~code:"PL005"
                   "uop with slack %d (threshold %d) not marked critical" slack
                   slack_threshold
                 :: !diags
@@ -95,11 +95,10 @@ let check_crit ~program ~likely ~critical ?(region_uops = 512)
               diags :=
                 Diag.errorf ~uop:id
                   ~block:(Program.block_of_uop program id)
-                  ~region:region.Region.id ~code:"PL005"
+                  ~region:rs.Slack.region.Region.id ~code:"PL005"
                   "uop marked critical but has slack %d (threshold %d)" slack
                   slack_threshold
-                :: !diags)
-          region.Region.uops)
-      regions;
+                :: !diags))
+      (Slack.analyze ~program ~likely ~region_uops ());
     List.rev !diags
   end

@@ -14,6 +14,8 @@
 open Clusteer_isa
 module Uarch = Clusteer_uarch
 
+val codes : string list
+
 val check :
   program:Program.t ->
   likely:(int -> int option) ->

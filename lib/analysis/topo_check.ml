@@ -1,6 +1,8 @@
 open Clusteer_isa
 module Topology = Clusteer_topo.Topology
 
+let codes = [ "TP001"; "TP002"; "TP003"; "TP004"; "TP005"; "TP006" ]
+
 let check ~topology ~clusters () =
   let diags = ref [] in
   let add d = diags := d :: !diags in

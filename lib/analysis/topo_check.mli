@@ -25,6 +25,8 @@
 
 open Clusteer_isa
 
+val codes : string list
+
 val check :
   topology:Clusteer_topo.Topology.t -> clusters:int -> unit -> Diag.t list
 (** Validate [topology] against a machine with [clusters] physical

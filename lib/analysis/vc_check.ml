@@ -18,6 +18,12 @@ let ragged (p : Program.t) (a : Annot.t) =
       bad "cluster_of" (Array.length a.Annot.cluster_of);
     ]
 
+let codes =
+  [
+    "VC001"; "VC002"; "VC003"; "VC004"; "VC005"; "VC006"; "VC007";
+    "VC008"; "VC009"; "VC010";
+  ]
+
 let check ~program ~likely ~annot ?(region_uops = 512) ?max_chain () =
   match ragged program annot with
   | _ :: _ as diags -> diags

@@ -29,6 +29,8 @@
 open Clusteer_isa
 module Compiler = Clusteer_compiler
 
+val codes : string list
+
 val check :
   program:Program.t ->
   likely:(int -> int option) ->

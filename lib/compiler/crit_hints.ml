@@ -1,17 +1,7 @@
-open Clusteer_isa
 open Clusteer_ddg
 
+(* The slack computation itself lives in Clusteer_ddg.Slack so the
+   checker's PL005 pass verifies against the very function that
+   produced the hints, not a reimplementation that could drift. *)
 let compute ~program ~likely ?(region_uops = 512) ?(slack_threshold = 0) () =
-  let critical = Array.make program.Program.uop_count false in
-  let regions = Region.build ~program ~likely ~max_uops:region_uops in
-  List.iter
-    (fun region ->
-      let g = Ddg.of_region region in
-      let crit = Critical.analyze g in
-      Array.iteri
-        (fun node (u : Uop.t) ->
-          if crit.Critical.slack.(node) <= slack_threshold then
-            critical.(u.Uop.id) <- true)
-        region.Region.uops)
-    regions;
-  critical
+  Slack.hints ~program ~likely ~region_uops ~slack_threshold ()

@@ -72,6 +72,8 @@ let to_json t =
       ("intra_vc_edges", Json.Int t.intra_vc_edges);
     ]
 
+let codes = [ "CP001"; "CP002"; "CP003"; "CP004" ]
+
 let findings t =
   let diags = ref [] in
   let add d = diags := d :: !diags in

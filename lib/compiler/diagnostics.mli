@@ -22,6 +22,10 @@ type t = {
   intra_vc_edges : int;
 }
 
+val codes : string list
+(** The stable CP0xx codes {!findings} can emit — registered in the
+    analyzer's [Checker.code_table] self-check. *)
+
 val of_annot :
   program:Program.t ->
   likely:(int -> int option) ->

@@ -1,0 +1,43 @@
+(** Shared longest-path slack over compilation regions.
+
+    Both the compiler's criticality-hint pass ({!Clusteer_compiler}'s
+    [Crit_hints]) and the static checker's PL005 verification need the
+    same quantity: per static micro-op, the slack of its node in the
+    region DDG's longest-path (criticality) analysis. Recomputing it in
+    two places let the checker and the compiler drift apart; this module
+    is the single implementation both sides call, so a hint the compiler
+    emits is by construction the hint the checker expects. *)
+
+open Clusteer_isa
+
+type region_slack = {
+  region : Region.t;
+  crit : Critical.t;  (** longest-path analysis of the region DDG *)
+}
+
+val analyze :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  ?region_uops:int ->
+  unit ->
+  region_slack list
+(** Build the superblock regions (default [region_uops] 512, the
+    compiler's default window) and run {!Critical.analyze} over each
+    region's DDG. Regions cover the program, so every static micro-op
+    appears in exactly one result. *)
+
+val iter :
+  region_slack -> (node:int -> uop:Uop.t -> slack:int -> unit) -> unit
+(** Visit the region's micro-ops in flattened program order with their
+    DDG node index and slack. *)
+
+val hints :
+  program:Program.t ->
+  likely:(int -> int option) ->
+  ?region_uops:int ->
+  ?slack_threshold:int ->
+  unit ->
+  bool array
+(** Per-static-uop criticality marks: [true] iff the uop's slack is at
+    most [slack_threshold] (default 0, i.e. critical-path nodes only).
+    This is the function whose output PL005 pins. *)

@@ -98,8 +98,15 @@ val distance_matrix : t -> int array array
 (** Fresh [clusters]x[clusters] matrix of {!distance} — precompute it
     once where the query sits on a hot path. *)
 
+val latency_matrix : t -> int array array
+(** Fresh [clusters]x[clusters] matrix of {!latency} — the static cost
+    model weights predicted copies with it. *)
+
 val diameter : t -> int
 (** Largest pairwise {!distance}. *)
+
+val max_latency : t -> int
+(** Largest pairwise {!latency}. *)
 
 val mean_distance : t -> float
 (** Mean {!distance} over ordered cross-cluster pairs; [0.] for a

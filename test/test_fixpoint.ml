@@ -1,0 +1,482 @@
+(* Tests for the dataflow layer: qcheck properties of the worklist
+   fixpoint solver (the fixpoint equations hold, facts are independent
+   of worklist scheduling, fuel catches non-monotone transfers),
+   pinned golden liveness/cost-model numbers for built-in and
+   adversarial workloads, drift-check pass/fail unit cases, corrupted
+   placements (CM006), and the META001 diagnostic-code cross-check
+   against ARCHITECTURE.md's pass table. *)
+
+open Clusteer_isa
+module Analysis = Clusteer_analysis
+module Fixpoint = Analysis.Fixpoint
+module Liveness = Analysis.Liveness
+module Cost_model = Analysis.Cost_model
+module Dyn_check = Analysis.Dyn_check
+module Meta_check = Analysis.Meta_check
+module Checker = Analysis.Checker
+module Topology = Clusteer_topo.Topology
+module Synth = Clusteer_workloads.Synth
+module Spec2000 = Clusteer_workloads.Spec2000
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let has code diags = List.exists (fun d -> d.Diag.code = code) diags
+
+let assert_code what code diags =
+  if not (has code diags) then
+    Alcotest.failf "%s: expected %s among [%s]" what code
+      (String.concat " " (List.map (fun d -> d.Diag.code) diags))
+
+(* ---- solver properties --------------------------------------------- *)
+
+(* A random CFG plus a random monotone transfer over int bitmasks:
+   f_b(x) = (x land keep_b) lor gen_b is monotone in the subset order,
+   so the solver must converge and the solution must satisfy the
+   fixpoint equations for either direction. *)
+
+type scenario = {
+  nblocks : int;
+  succs : int array array;
+  gen : int array;
+  keep : int array;
+  seed_mask : int array;  (** -1 = no seed at this block *)
+}
+
+let gen_scenario =
+  QCheck.Gen.(
+    int_range 1 12 >>= fun nblocks ->
+    let block = int_range 0 (nblocks - 1) in
+    array_size (return nblocks) (array_size (int_range 0 3) block)
+    >>= fun succs ->
+    array_size (return nblocks) (int_bound 0xFFFF) >>= fun gen_ ->
+    array_size (return nblocks) (int_bound 0xFFFF) >>= fun keep ->
+    array_size (return nblocks)
+      (frequency [ (3, return (-1)); (1, int_bound 0xFFFF) ])
+    >>= fun seed_mask -> return { nblocks; succs; gen = gen_; keep; seed_mask })
+
+let print_scenario s =
+  Printf.sprintf "{nblocks=%d; succs=[%s]}" s.nblocks
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun a ->
+               "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a))
+               ^ "]")
+             s.succs)))
+
+let arb_scenario = QCheck.make ~print:print_scenario gen_scenario
+
+let lattice =
+  { Fixpoint.bottom = 0; equal = Int.equal; join = (fun a b -> a lor b) }
+
+let solve ?order s direction =
+  let cfg = { Fixpoint.nblocks = s.nblocks; succs = (fun b -> s.succs.(b)) } in
+  let transfer b x = x land s.keep.(b) lor s.gen.(b) in
+  let seed b = if s.seed_mask.(b) < 0 then None else Some s.seed_mask.(b) in
+  Fixpoint.solve ?order ~direction ~lattice ~cfg ~transfer ~seed ()
+
+(* Flow predecessors: CFG predecessors when running forward, CFG
+   successors when running backward. *)
+let flow_preds s direction b =
+  match direction with
+  | Fixpoint.Backward -> Array.to_list s.succs.(b)
+  | Fixpoint.Forward ->
+      List.filter
+        (fun p -> Array.exists (( = ) b) s.succs.(p))
+        (List.init s.nblocks Fun.id)
+
+let prop_fixpoint_equations =
+  QCheck.Test.make ~name:"solution satisfies the fixpoint equations"
+    ~count:300 arb_scenario (fun s ->
+      List.for_all
+        (fun direction ->
+          let r = solve s direction in
+          Array.for_all Fun.id
+            (Array.init s.nblocks (fun b ->
+                 let seeded = max 0 s.seed_mask.(b) in
+                 let expect_in =
+                   List.fold_left
+                     (fun acc p -> acc lor r.Fixpoint.output.(p))
+                     seeded (flow_preds s direction b)
+                 in
+                 r.Fixpoint.input.(b) = expect_in
+                 && r.Fixpoint.output.(b)
+                    = (r.Fixpoint.input.(b) land s.keep.(b)) lor s.gen.(b))))
+        [ Fixpoint.Forward; Fixpoint.Backward ])
+
+let prop_order_independent =
+  QCheck.Test.make ~name:"facts do not depend on worklist order" ~count:300
+    QCheck.(pair arb_scenario (int_bound 1_000_000))
+    (fun (s, salt) ->
+      (* A deterministic pseudo-random permutation of the block ids. *)
+      let order = Array.init s.nblocks Fun.id in
+      let st = ref (salt + 17) in
+      for i = s.nblocks - 1 downto 1 do
+        st := (!st * 1103515245) + 12345;
+        let j = abs !st mod (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      List.for_all
+        (fun direction ->
+          let a = solve s direction in
+          let b = solve ~order s direction in
+          a.Fixpoint.input = b.Fixpoint.input
+          && a.Fixpoint.output = b.Fixpoint.output)
+        [ Fixpoint.Forward; Fixpoint.Backward ])
+
+let test_fuel_catches_divergence () =
+  (* A transfer that keeps inventing new facts never converges; the
+     fuel bound must turn that into Diverged, not a hang. *)
+  let cfg = { Fixpoint.nblocks = 2; succs = (fun b -> [| 1 - b |]) } in
+  let transfer _ x = x + 1 in
+  check_bool "non-monotone transfer diverges" true
+    (match
+       Fixpoint.solve ~direction:Fixpoint.Forward ~lattice ~cfg ~transfer ()
+     with
+    | exception Fixpoint.Diverged _ -> true
+    | _ -> false)
+
+let test_bad_order_rejected () =
+  let cfg = { Fixpoint.nblocks = 3; succs = (fun _ -> [||]) } in
+  let transfer _ x = x in
+  check_bool "non-permutation order rejected" true
+    (match
+       Fixpoint.solve ~order:[| 0; 0; 2 |] ~direction:Fixpoint.Forward
+         ~lattice ~cfg ~transfer ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- golden model numbers ------------------------------------------ *)
+
+let p2p = Topology.p2p ~clusters:2 ()
+
+let build name =
+  match List.assoc_opt name Clusteer_workloads.Adversarial.all with
+  | Some w -> w
+  | None -> Synth.build (Spec2000.find name)
+
+let model name policy =
+  let w = build name in
+  let program = w.Synth.program and likely = w.Synth.likely in
+  let config =
+    match Clusteer.Configuration.of_name policy with
+    | Ok c -> c
+    | Error (`Msg m) -> Alcotest.fail m
+  in
+  let annot, _ =
+    Clusteer.Configuration.prepare config ~program ~likely ~clusters:2 ()
+  in
+  let m, errors =
+    Cost_model.analyze ~program ~annot ~topology:p2p ~clusters:2 ()
+  in
+  check_int (name ^ "/" ^ policy ^ " clean") 0 (List.length errors);
+  m
+
+(* One golden row per (workload, policy): the crossing counts, the
+   per-block bound rate and the static load vector pin the whole
+   reaching-origins analysis — any change to the dataflow, the
+   chain/leader layout or the initial VC table moves one of these. *)
+let goldens =
+  [
+    ("164.gzip-1", "ob", (36, 60, 36, [| 72; 62 |]));
+    ("164.gzip-1", "vc2", (39, 67, 39, [| 65; 69 |]));
+    ("181.mcf", "ob", (37, 49, 37, [| 57; 60 |]));
+    ("181.mcf", "vc2", (28, 46, 28, [| 69; 48 |]));
+    ("171.swim", "ob", (60, 92, 60, [| 109; 112 |]));
+    ("171.swim", "vc2", (52, 81, 52, [| 111; 110 |]));
+    ("adv-fanout", "ob", (24, 24, 24, [| 16; 14 |]));
+    ("adv-fanout", "vc2", (24, 24, 24, [| 19; 11 |]));
+    ("adv-flip", "ob", (1, 1, 1, [| 6; 8 |]));
+    ("adv-flip", "vc2", (0, 0, 0, [| 9; 5 |]));
+    ("adv-storm", "ob", (0, 2, 0, [| 5; 5 |]));
+    ("adv-storm", "vc2", (0, 2, 0, [| 5; 5 |]));
+  ]
+
+let test_golden_models () =
+  List.iter
+    (fun (name, policy, (must, may, hops, load)) ->
+      let m = model name policy in
+      let label what = Printf.sprintf "%s/%s %s" name policy what in
+      check_int (label "must_cross") must m.Cost_model.must_cross;
+      check_int (label "may_cross") may m.Cost_model.may_cross;
+      check_int (label "pred_hops") hops m.Cost_model.pred_hops;
+      (* On the 1-cycle point-to-point fabric every hop is a cycle. *)
+      check_int (label "pred_latency") hops m.Cost_model.pred_latency;
+      check_bool (label "load") true (m.Cost_model.load = load))
+    goldens
+
+let test_golden_liveness () =
+  List.iter
+    (fun (name, (peak_int, peak_fp, dead)) ->
+      let w = build name in
+      let liv = Liveness.analyze w.Synth.program in
+      let label what = Printf.sprintf "%s %s" name what in
+      check_int (label "peak INT") peak_int liv.Liveness.peak_int;
+      check_int (label "peak FP") peak_fp liv.Liveness.peak_fp;
+      check_int (label "dead defs") dead
+        (List.length liv.Liveness.dead_defs))
+    [
+      ("164.gzip-1", (11, 3, 14));
+      ("181.mcf", (15, 2, 7));
+      ("171.swim", (16, 6, 31));
+      ("adv-fanout", (5, 0, 24));
+      ("adv-flip", (8, 1, 0));
+      ("adv-storm", (9, 0, 0));
+    ]
+
+let test_liveness_diags_are_info () =
+  (* Dead definitions and pressure summaries are reports, not failures:
+     --strict must stay usable on every built-in workload. *)
+  let w = build "171.swim" in
+  let diags = Liveness.check w.Synth.program in
+  assert_code "dead defs reported" "LIV001" diags;
+  assert_code "pressure reported" "LIV002" diags;
+  check_int "no errors" 0 (Diag.count Diag.Error diags);
+  check_int "no warnings" 0 (Diag.count Diag.Warning diags);
+  (* A budget below the measured peak must turn into the LIV003 warning. *)
+  let tight = Liveness.check ~int_budget:8 w.Synth.program in
+  assert_code "budget exceeded" "LIV003" tight;
+  check_bool "LIV003 is a warning" true
+    (List.exists
+       (fun d -> d.Diag.code = "LIV003" && d.Diag.severity = Diag.Warning)
+       tight)
+
+let test_cost_check_defaults_clean () =
+  List.iter
+    (fun (name, policy, _) ->
+      let diags = Cost_model.check (model name policy) in
+      check_int
+        (Printf.sprintf "%s/%s default thresholds clean" name policy)
+        0
+        (List.length
+           (List.filter (fun d -> d.Diag.severity <> Diag.Info) diags)))
+    goldens
+
+let test_cost_thresholds_fire () =
+  let m = model "164.gzip-1" "vc2" in
+  assert_code "tight copy-rate threshold" "CM004"
+    (Cost_model.check ~max_copy_rate:0.01 m);
+  assert_code "tight imbalance threshold" "CM005"
+    (Cost_model.check ~max_imbalance:1.0 m)
+
+(* ---- corrupted placements ------------------------------------------ *)
+
+let test_cm006_corrupt_static () =
+  let w = build "164.gzip-1" in
+  let program = w.Synth.program and likely = w.Synth.likely in
+  let annot, _ =
+    Clusteer.Configuration.prepare Clusteer.Configuration.Ob ~program ~likely
+      ~clusters:2 ()
+  in
+  let bad = Annot.copy annot in
+  bad.Annot.cluster_of.(3) <- 99;
+  bad.Annot.cluster_of.(7) <- -5;
+  let _, errors =
+    Cost_model.analyze ~program ~annot:bad ~topology:p2p ~clusters:2 ()
+  in
+  (* One corrupt entry must not hide another. *)
+  check_int "both corruptions reported" 2 (List.length errors);
+  List.iter (fun d -> check_bool "code is CM006" true (d.Diag.code = "CM006"))
+    errors
+
+let test_cm006_corrupt_virtual () =
+  let w = build "164.gzip-1" in
+  let program = w.Synth.program and likely = w.Synth.likely in
+  let annot, _ =
+    Clusteer.Configuration.prepare
+      (Clusteer.Configuration.Vc { virtual_clusters = 2 })
+      ~program ~likely ~clusters:2 ()
+  in
+  let bad = Annot.copy annot in
+  bad.Annot.vc_of.(0) <- 9;
+  let _, errors =
+    Cost_model.analyze ~program ~annot:bad ~topology:p2p ~clusters:2 ()
+  in
+  assert_code "vc out of range" "CM006" errors
+
+(* ---- drift checking ------------------------------------------------ *)
+
+let drift_model policy = model "164.gzip-1" policy
+
+let ok_run m =
+  {
+    Dyn_check.dispatched = 1_000;
+    copies_generated =
+      min 400 (Cost_model.copy_bound m ~dispatched:1_000 ~remaps:0);
+    remaps = 0;
+    leader_decisions = 50;
+    remap_hops_max = 0;
+  }
+
+let test_drift_within_bounds () =
+  let m = drift_model "vc2" in
+  let diags = Dyn_check.check_drift ~model:m (ok_run m) in
+  assert_code "summary always present" "CM100" diags;
+  check_int "no drift errors" 0 (Diag.count Diag.Error diags)
+
+let test_drift_copy_violation () =
+  let m = drift_model "vc2" in
+  let run =
+    {
+      (ok_run m) with
+      Dyn_check.copies_generated =
+        Cost_model.copy_bound m ~dispatched:1_000 ~remaps:0 + 1;
+    }
+  in
+  assert_code "copies beyond bound" "CM101" (Dyn_check.check_drift ~model:m run)
+
+let test_drift_remap_violation () =
+  let m = drift_model "vc2" in
+  let run =
+    { (ok_run m) with Dyn_check.remaps = 51; leader_decisions = 50 }
+  in
+  (* The remap term loosens the copy bound, so only CM102 may fire. *)
+  assert_code "more remaps than leaders" "CM102"
+    (Dyn_check.check_drift ~model:m run);
+  (* The leader contract is a VC-scheme notion: a static placement has
+     no leaders, so the same counters are not a violation. *)
+  let m_static = drift_model "ob" in
+  check_bool "CM102 is virtual-only" false
+    (has "CM102"
+       (Dyn_check.check_drift ~model:m_static
+          { (ok_run m_static) with Dyn_check.remaps = 51; leader_decisions = 0 }))
+
+let test_drift_hop_violation () =
+  let m = drift_model "vc2" in
+  let run = { (ok_run m) with Dyn_check.remap_hops_max = 5 } in
+  (* p2p diameter is 1: a 5-hop remap cannot have happened there. *)
+  assert_code "remap beyond the diameter" "CM103"
+    (Dyn_check.check_drift ~model:m run)
+
+(* ---- the meta check ------------------------------------------------ *)
+
+let test_meta_duplicate () =
+  assert_code "duplicate registration" "META001"
+    (Meta_check.check [ ("a", [ "X001" ]); ("b", [ "X001" ]) ]);
+  check_int "clean table" 0
+    (List.length (Meta_check.check [ ("a", [ "X001" ]); ("b", [ "X002" ]) ]))
+
+let test_meta_documented () =
+  assert_code "undocumented code" "META001"
+    (Meta_check.check ~documented:[ "X001" ]
+       [ ("a", [ "X001"; "X002" ]) ]);
+  assert_code "unregistered documented code" "META001"
+    (Meta_check.check ~documented:[ "X001"; "X003" ] [ ("a", [ "X001" ]) ]);
+  check_int "in-sync table" 0
+    (List.length
+       (Meta_check.check ~documented:[ "X001"; "X002" ]
+          [ ("a", [ "X001" ]); ("b", [ "X002" ]) ]))
+
+let test_registry_self_check () =
+  check_int "the real registry has no duplicates" 0
+    (List.length (Meta_check.check Checker.code_table))
+
+(* Every code registered in Checker.code_table must appear in
+   ARCHITECTURE.md's pass table (and vice versa): scan the document
+   for code-shaped tokens — 2+ uppercase letters, exactly three
+   digits, delimited — and hand both sets to the meta check. *)
+let architecture_md =
+  let candidates =
+    [
+      "../../../ARCHITECTURE.md";
+      "../ARCHITECTURE.md";
+      "ARCHITECTURE.md";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let scan_codes text =
+  let n = String.length text in
+  let is_upper c = c >= 'A' && c <= 'Z' in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c = is_upper c || is_digit c || (c >= 'a' && c <= 'z') in
+  let codes = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_upper text.[!i] && (!i = 0 || not (is_word text.[!i - 1])) then begin
+      let j = ref !i in
+      while !j < n && is_upper text.[!j] do
+        incr j
+      done;
+      let letters = !j - !i in
+      let k = ref !j in
+      while !k < n && is_digit text.[!k] do
+        incr k
+      done;
+      let digits = !k - !j in
+      if
+        letters >= 2 && digits = 3
+        && (!k = n || not (is_word text.[!k]))
+      then codes := String.sub text !i (!k - !i) :: !codes;
+      i := !k + 1
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !codes
+
+let test_doc_table_in_sync () =
+  match architecture_md with
+  | None -> Alcotest.skip ()
+  | Some path ->
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let documented = scan_codes text in
+      check_bool "scanner found the table" true (List.length documented > 20);
+      match Meta_check.check ~documented Checker.code_table with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "ARCHITECTURE.md out of sync: %s"
+            (Format.asprintf "%a" Diag.pp d)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "clusteer_fixpoint"
+    [
+      ( "solver",
+        [
+          qc prop_fixpoint_equations;
+          qc prop_order_independent;
+          Alcotest.test_case "fuel catches divergence" `Quick
+            test_fuel_catches_divergence;
+          Alcotest.test_case "bad order rejected" `Quick
+            test_bad_order_rejected;
+        ] );
+      ( "goldens",
+        [
+          Alcotest.test_case "cost models" `Quick test_golden_models;
+          Alcotest.test_case "liveness" `Quick test_golden_liveness;
+          Alcotest.test_case "liveness severities" `Quick
+            test_liveness_diags_are_info;
+          Alcotest.test_case "default thresholds clean" `Quick
+            test_cost_check_defaults_clean;
+          Alcotest.test_case "tight thresholds fire" `Quick
+            test_cost_thresholds_fire;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "static CM006" `Quick test_cm006_corrupt_static;
+          Alcotest.test_case "virtual CM006" `Quick test_cm006_corrupt_virtual;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "within bounds" `Quick test_drift_within_bounds;
+          Alcotest.test_case "copy violation" `Quick
+            test_drift_copy_violation;
+          Alcotest.test_case "remap violation" `Quick
+            test_drift_remap_violation;
+          Alcotest.test_case "hop violation" `Quick test_drift_hop_violation;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "duplicate codes" `Quick test_meta_duplicate;
+          Alcotest.test_case "documented set" `Quick test_meta_documented;
+          Alcotest.test_case "registry self-check" `Quick
+            test_registry_self_check;
+          Alcotest.test_case "doc table in sync" `Quick
+            test_doc_table_in_sync;
+        ] );
+    ]
